@@ -1,0 +1,280 @@
+// Command benchgen regenerates every table and figure of the paper's
+// evaluation section and writes them as CSV files plus a textual summary.
+//
+// Usage:
+//
+//	benchgen [-out DIR] [-full] [table3|fig3|fig5|fig6|fig7|equilibrium|all]
+//
+// With -full, the paper-scale configurations are used (500k nodes, 100-200
+// runs); the default configurations finish on a laptop in minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/dsn2020-algorand/incentives/internal/analysis"
+	"github.com/dsn2020-algorand/incentives/internal/evolution"
+	"github.com/dsn2020-algorand/incentives/internal/experiments"
+	"github.com/dsn2020-algorand/incentives/internal/stats"
+)
+
+func main() {
+	outDir := flag.String("out", "results", "output directory for CSV files")
+	full := flag.Bool("full", false, "use paper-scale configurations")
+	flag.Parse()
+
+	targets := flag.Args()
+	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
+		targets = []string{
+			"table3", "fig3", "fig5", "fig6", "fig7", "equilibrium",
+			"evolution", "weaksync", "costs", "sensitivity", "mixed",
+		}
+	}
+	if err := run(*outDir, *full, targets); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(outDir string, full bool, targets []string) error {
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	for _, target := range targets {
+		fmt.Printf("==> %s\n", target)
+		var err error
+		switch target {
+		case "table3":
+			err = genTable3(outDir)
+		case "fig3":
+			err = genFig3(outDir, full)
+		case "fig5":
+			err = genFig5(outDir)
+		case "fig6":
+			err = genFig6(outDir, full)
+		case "fig7":
+			err = genFig7(outDir, full)
+		case "equilibrium":
+			err = genEquilibrium(outDir)
+		case "evolution":
+			err = genEvolution(outDir)
+		case "weaksync":
+			err = genWeakSync(outDir)
+		case "costs":
+			err = genCosts(outDir)
+		case "sensitivity":
+			err = genSensitivity(outDir)
+		case "mixed":
+			err = genMixed(outDir)
+		default:
+			err = fmt.Errorf("unknown target %q", target)
+		}
+		if err != nil {
+			return fmt.Errorf("%s: %w", target, err)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func writeCSV(outDir, name string, table *stats.Table) error {
+	path := filepath.Join(outDir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := table.WriteCSV(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+func genTable3(outDir string) error {
+	res, err := experiments.RunTable3()
+	if err != nil {
+		return err
+	}
+	if err := res.WriteSummary(os.Stdout); err != nil {
+		return err
+	}
+	return writeCSV(outDir, "table3.csv", res.Table())
+}
+
+func genFig3(outDir string, full bool) error {
+	cfg := experiments.DefaultFig3Config()
+	if full {
+		cfg = experiments.FullFig3Config()
+	}
+	res, err := experiments.RunFig3(cfg)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteSummary(os.Stdout); err != nil {
+		return err
+	}
+	return writeCSV(outDir, "fig3.csv", res.Table())
+}
+
+func genFig5(outDir string) error {
+	res, err := experiments.RunFig5(experiments.DefaultFig5Config())
+	if err != nil {
+		return err
+	}
+	if err := res.WriteSummary(os.Stdout); err != nil {
+		return err
+	}
+	return writeCSV(outDir, "fig5.csv", res.Table())
+}
+
+func genFig6(outDir string, full bool) error {
+	cfg := experiments.DefaultFig6Config()
+	if full {
+		cfg = experiments.FullFig6Config()
+	}
+	res, err := experiments.RunFig6(cfg)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteSummary(os.Stdout); err != nil {
+		return err
+	}
+	for _, panel := range res.Panels {
+		h, err := panel.Histogram(cfg.HistogramBins)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nB_i distribution for %s:\n%s", panel.Distribution, h.Render(50))
+	}
+	return writeCSV(outDir, "fig6.csv", res.Table())
+}
+
+func genFig7(outDir string, full bool) error {
+	cfg := experiments.DefaultFig7Config()
+	if full {
+		cfg = experiments.FullFig7Config()
+	}
+	res, err := experiments.RunFig7(cfg)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteSummary(os.Stdout); err != nil {
+		return err
+	}
+	return writeCSV(outDir, "fig7.csv", res.Table())
+}
+
+// genWeakSync reproduces the Fig. 3-(c) asynchrony spike and recovery.
+func genWeakSync(outDir string) error {
+	res, err := experiments.RunWeakSync(experiments.DefaultWeakSyncConfig())
+	if err != nil {
+		return err
+	}
+	if err := res.WriteSummary(os.Stdout); err != nil {
+		return err
+	}
+	return writeCSV(outDir, "weaksync.csv", res.Table())
+}
+
+// genCosts compares measured protocol expenditure against the Eq. 1-2
+// cost model.
+func genCosts(outDir string) error {
+	res, err := experiments.RunCosts(experiments.DefaultCostsConfig())
+	if err != nil {
+		return err
+	}
+	if err := res.WriteSummary(os.Stdout); err != nil {
+		return err
+	}
+	return writeCSV(outDir, "costs.csv", res.Table())
+}
+
+// genMixed sweeps selfish / malicious / faulty behaviour mixes.
+func genMixed(outDir string) error {
+	res, err := experiments.RunMixed(experiments.DefaultMixedConfig())
+	if err != nil {
+		return err
+	}
+	if err := res.WriteSummary(os.Stdout); err != nil {
+		return err
+	}
+	return writeCSV(outDir, "mixed.csv", res.Table())
+}
+
+// genSensitivity reports the elasticities of B* with respect to every
+// Algorithm 1 input.
+func genSensitivity(outDir string) error {
+	in := experiments.PaperFig5Inputs()
+	sens, err := analysis.MechanismSensitivities(in, 0.01)
+	if err != nil {
+		return err
+	}
+	t := &stats.Table{}
+	elasticities := make([]float64, len(sens))
+	for i, s := range sens {
+		fmt.Printf("elasticity of B* wrt %-5s = %+.3f\n", s.Param, s.Elasticity)
+		elasticities[i] = s.Elasticity
+	}
+	t.AddColumn("elasticity", elasticities)
+	if top, ok := analysis.MostSensitive(sens); ok {
+		fmt.Printf("most sensitive input: %s (watch the %s cost gap)\n", top.Param, top.Param)
+	}
+	return writeCSV(outDir, "sensitivity.csv", t)
+}
+
+// genEvolution runs the extension experiment: repeated-round best-response
+// dynamics under both reward schemes (see internal/evolution).
+func genEvolution(outDir string) error {
+	t := &stats.Table{}
+	for _, scheme := range []evolution.SchemeKind{evolution.SchemeFoundation, evolution.SchemeRoleBased} {
+		res, err := evolution.Run(evolution.DefaultConfig(scheme))
+		if err != nil {
+			return err
+		}
+		pl, pm := res.PrefixStratCoop()
+		fmt.Printf("%-11s survival %3d rounds, block rate %.2f, producing-prefix dispositions: leaders %.3f committee %.3f\n",
+			scheme, res.SurvivalRounds(), res.BlockRate(), pl, pm)
+		rounds := make([]float64, len(res.Stats))
+		stratM := make([]float64, len(res.Stats))
+		stratK := make([]float64, len(res.Stats))
+		produced := make([]float64, len(res.Stats))
+		for i, s := range res.Stats {
+			rounds[i] = float64(s.Round)
+			stratM[i] = s.StratCommittee
+			stratK[i] = s.StratOthers
+			if s.BlockProduced {
+				produced[i] = 1
+			}
+		}
+		prefix := scheme.String() + "_"
+		if len(t.Columns) == 0 {
+			t.AddColumn("round", rounds)
+		}
+		t.AddColumn(prefix+"strat_committee", stratM)
+		t.AddColumn(prefix+"strat_others", stratK)
+		t.AddColumn(prefix+"produced", produced)
+	}
+	return writeCSV(outDir, "evolution.csv", t)
+}
+
+func genEquilibrium(outDir string) error {
+	res, err := experiments.RunEquilibrium(experiments.DefaultEquilibriumConfig())
+	if err != nil {
+		return err
+	}
+	if err := res.WriteSummary(os.Stdout); err != nil {
+		return err
+	}
+	t := &stats.Table{}
+	n := float64(res.Config.Samples)
+	t.AddColumn("theorem1", []float64{float64(res.Theorem1) / n})
+	t.AddColumn("theorem2", []float64{float64(res.Theorem2) / n})
+	t.AddColumn("lemma1", []float64{float64(res.Lemma1) / n})
+	t.AddColumn("theorem3", []float64{float64(res.Theorem3) / n})
+	t.AddColumn("tightness", []float64{float64(res.Tightness) / n})
+	return writeCSV(outDir, "equilibrium.csv", t)
+}

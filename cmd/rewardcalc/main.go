@@ -1,0 +1,127 @@
+// Command rewardcalc runs Algorithm 1 for a stake population and prints
+// the incentive-compatible reward parameters (α, β, γ, B_i), the three
+// Theorem 3 bounds at the optimum, and a Nash-equilibrium certification.
+//
+// The population is either sampled from a named distribution or read from
+// a file with one stake per line.
+//
+// Usage:
+//
+//	rewardcalc [-dist u200|n100-20|n100-10|n2000-25] [-nodes N]
+//	           [-stakes file] [-floor W] [-seed S]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/dsn2020-algorand/incentives/internal/core"
+	"github.com/dsn2020-algorand/incentives/internal/game"
+	"github.com/dsn2020-algorand/incentives/internal/sim"
+	"github.com/dsn2020-algorand/incentives/internal/stake"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		distName  = flag.String("dist", "u200", "stake distribution: u200, n100-20, n100-10, n2000-25, pareto")
+		nodes     = flag.Int("nodes", 100_000, "population size when sampling")
+		stakeFile = flag.String("stakes", "", "file with one stake per line (overrides -dist)")
+		floor     = flag.Float64("floor", 0, "ignore sync-set stakes below this value (paper's s*_k floor)")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	pop, err := loadPopulation(*stakeFile, *distName, *nodes, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("population: %d accounts, total %.1f Algos, min %.3f, max %.3f\n",
+		pop.N(), pop.Total(), pop.Min(), pop.Max())
+
+	costs := game.DefaultRoleCosts()
+	opts := core.Options{OtherFloor: *floor}
+	in, err := core.InputsFromPopulation(pop, costs, opts)
+	if err != nil {
+		return err
+	}
+	params, err := core.Minimize(in)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("\nAlgorithm 1 output:\n")
+	fmt.Printf("  alpha = %.6g\n  beta  = %.6g\n  gamma = %.6g\n", params.Alpha, params.Beta, params.Gamma)
+	fmt.Printf("  B_i   = %.6g Algos per round (infimum %.6g, binding: %s)\n",
+		params.B, params.MinB, params.Binding)
+
+	l, m, k := core.Bounds(in, params.Alpha, params.Beta)
+	fmt.Printf("\nTheorem 3 bounds at the optimum:\n")
+	fmt.Printf("  leader:    %.6g\n  committee: %.6g\n  others:    %.6g\n", l, m, k)
+
+	if err := core.VerifyIncentiveCompatible(in, params); err != nil {
+		return fmt.Errorf("certification FAILED: %w", err)
+	}
+	fmt.Printf("\ncertified: cooperative profile is a Nash equilibrium at B_i\n")
+	return nil
+}
+
+func loadPopulation(file, dist string, nodes int, seed int64) (*stake.Population, error) {
+	if file != "" {
+		return readStakes(file)
+	}
+	var d stake.Distribution
+	switch dist {
+	case "u200":
+		d = stake.Uniform{A: 1, B: 200}
+	case "n100-20":
+		d = stake.Normal{Mu: 100, Sigma: 20}
+	case "n100-10":
+		d = stake.Normal{Mu: 100, Sigma: 10}
+	case "n2000-25":
+		d = stake.Normal{Mu: 2000, Sigma: 25}
+	case "pareto":
+		d = stake.Pareto{Xm: 10, Alpha: 1.5}
+	default:
+		return nil, fmt.Errorf("unknown distribution %q", dist)
+	}
+	return stake.SamplePopulation(d, nodes, sim.NewRNG(seed, "rewardcalc"))
+}
+
+func readStakes(path string) (*stake.Population, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var stakes []float64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		v, err := strconv.ParseFloat(line, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse stake %q: %w", line, err)
+		}
+		stakes = append(stakes, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(stakes) == 0 {
+		return nil, fmt.Errorf("no stakes in %s", path)
+	}
+	return &stake.Population{Stakes: stakes}, nil
+}

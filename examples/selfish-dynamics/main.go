@@ -1,0 +1,72 @@
+// Command selfish-dynamics runs the repeated-round extension experiment:
+// a population of honest-but-selfish nodes revising their strategies by
+// myopic best response, under the Foundation's role-blind reward split
+// versus the paper's role-based split at the Algorithm 1 reward. It
+// prints the learned cooperation dispositions per role over time, showing
+// that the role-based premiums keep leaders and committee members fully
+// cooperative for as long as the chain lives — and that the unpaid
+// "others" commons erodes under both schemes, which is exactly why the
+// paper wants the Foundation to keep adapting rewards.
+//
+// Usage:
+//
+//	go run ./examples/selfish-dynamics [-nodes N] [-rounds R] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/dsn2020-algorand/incentives/internal/evolution"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 300, "population size")
+	rounds := flag.Int("rounds", 100, "rounds to simulate")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+	if err := run(*nodes, *rounds, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(nodes, rounds int, seed int64) error {
+	for _, scheme := range []evolution.SchemeKind{
+		evolution.SchemeFoundation,
+		evolution.SchemeRoleBased,
+	} {
+		cfg := evolution.DefaultConfig(scheme)
+		cfg.Nodes = nodes
+		cfg.Rounds = rounds
+		cfg.Seed = seed
+		res, err := evolution.Run(cfg)
+		if err != nil {
+			return err
+		}
+
+		fmt.Printf("== %s ==\n", scheme)
+		fmt.Println("round  leaders  committee  others  sync-set  block")
+		step := rounds / 10
+		if step == 0 {
+			step = 1
+		}
+		for i, s := range res.Stats {
+			if i%step != 0 && i != len(res.Stats)-1 {
+				continue
+			}
+			mark := " "
+			if s.BlockProduced {
+				mark = "+"
+			}
+			fmt.Printf("%5d  %7.2f  %9.2f  %6.2f  %8.3f  %s\n",
+				s.Round, s.StratLeaders, s.StratCommittee, s.StratOthers, s.CoopSyncSet, mark)
+		}
+		pl, pm := res.PrefixStratCoop()
+		fmt.Printf("survived %d rounds producing blocks; dispositions while alive: leaders %.3f, committee %.3f\n\n",
+			res.SurvivalRounds(), pl, pm)
+	}
+	fmt.Println("takeaway: the role-based premiums hold the paid roles at full cooperation;")
+	fmt.Println("the unpaid relay commons erodes under both schemes until liveness tips over.")
+	return nil
+}

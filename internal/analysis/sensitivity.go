@@ -1,0 +1,98 @@
+// Package analysis provides sensitivity analysis for the reward
+// mechanism: how the minimum incentive-compatible reward B* responds to
+// perturbations in costs, role stakes and minimum stakes. The Foundation
+// can read the elasticities to know which network quantities to monitor —
+// the paper's closing recommendation made quantitative.
+package analysis
+
+import (
+	"fmt"
+
+	"github.com/dsn2020-algorand/incentives/internal/core"
+)
+
+// Sensitivity reports how B* responds to one parameter.
+type Sensitivity struct {
+	// Param names the perturbed input.
+	Param string
+	// Base is B* at the unperturbed inputs.
+	Base float64
+	// Perturbed is B* after scaling the parameter by (1 + Rel).
+	Perturbed float64
+	// Elasticity is (ΔB/B) / (Δx/x), the local log-log slope.
+	Elasticity float64
+}
+
+// perturbation describes one scalar input of Algorithm 1.
+type perturbation struct {
+	name  string
+	apply func(*core.Inputs, float64)
+}
+
+func perturbations() []perturbation {
+	return []perturbation{
+		{"SL", func(in *core.Inputs, f float64) { in.SL *= f }},
+		{"SM", func(in *core.Inputs, f float64) { in.SM *= f }},
+		{"SK", func(in *core.Inputs, f float64) { in.SK *= f }},
+		{"s*_l", func(in *core.Inputs, f float64) { in.MinLeader *= f }},
+		{"s*_m", func(in *core.Inputs, f float64) { in.MinCommittee *= f }},
+		{"s*_k", func(in *core.Inputs, f float64) { in.MinOther *= f }},
+		{"c^L", func(in *core.Inputs, f float64) { in.Costs.Leader *= f }},
+		{"c^M", func(in *core.Inputs, f float64) { in.Costs.Committee *= f }},
+		{"c^K", func(in *core.Inputs, f float64) { in.Costs.Other *= f }},
+		{"c_so", func(in *core.Inputs, f float64) { in.Costs.Sortition *= f }},
+	}
+}
+
+// MechanismSensitivities perturbs every Algorithm 1 input by the relative
+// step rel (e.g. 0.01 for 1%) and reports the resulting elasticities of
+// B*. Perturbations that make the inputs infeasible are skipped.
+func MechanismSensitivities(in core.Inputs, rel float64) ([]Sensitivity, error) {
+	if rel <= 0 || rel >= 1 {
+		return nil, fmt.Errorf("analysis: relative step %g out of (0,1)", rel)
+	}
+	base, err := core.Minimize(in)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: base point: %w", err)
+	}
+	out := make([]Sensitivity, 0, 10)
+	for _, p := range perturbations() {
+		perturbed := in
+		p.apply(&perturbed, 1+rel)
+		if perturbed.Validate() != nil {
+			continue
+		}
+		res, err := core.Minimize(perturbed)
+		if err != nil {
+			continue
+		}
+		out = append(out, Sensitivity{
+			Param:      p.name,
+			Base:       base.MinB,
+			Perturbed:  res.MinB,
+			Elasticity: ((res.MinB - base.MinB) / base.MinB) / rel,
+		})
+	}
+	return out, nil
+}
+
+// MostSensitive returns the sensitivity with the largest absolute
+// elasticity, the quantity the operator should watch first.
+func MostSensitive(sens []Sensitivity) (Sensitivity, bool) {
+	var best Sensitivity
+	found := false
+	for _, s := range sens {
+		if !found || abs(s.Elasticity) > abs(best.Elasticity) {
+			best = s
+			found = true
+		}
+	}
+	return best, found
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dsn2020-algorand/incentives/internal/core"
+	"github.com/dsn2020-algorand/incentives/internal/game"
+)
+
+func paperInputs() core.Inputs {
+	const total = 50e6
+	return core.Inputs{
+		SL:           26,
+		SM:           13_000,
+		SK:           total - 26 - 13_000,
+		MinLeader:    1,
+		MinCommittee: 1,
+		MinOther:     10,
+		Costs:        game.DefaultRoleCosts(),
+	}
+}
+
+func findParam(t *testing.T, sens []Sensitivity, name string) Sensitivity {
+	t.Helper()
+	for _, s := range sens {
+		if s.Param == name {
+			return s
+		}
+	}
+	t.Fatalf("parameter %q missing from sensitivities", name)
+	return Sensitivity{}
+}
+
+func TestMechanismSensitivities(t *testing.T) {
+	sens, err := MechanismSensitivities(paperInputs(), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sens) < 8 {
+		t.Fatalf("only %d sensitivities computed", len(sens))
+	}
+
+	// The binding bound is B* ≈ (c^K − c_so)·S_K/(s*_k·γ), so locally:
+	//   elasticity wrt S_K   ≈ +1
+	//   elasticity wrt s*_k  ≈ −1
+	//   elasticity wrt c^K   ≈ c^K/(c^K−c_so) = 6
+	//   elasticity wrt c_so  ≈ −c_so/(c^K−c_so) = −5
+	checks := []struct {
+		param string
+		want  float64
+		tol   float64
+	}{
+		{"SK", 1, 0.1},
+		{"s*_k", -1, 0.1},
+		{"c^K", 6, 0.6},
+		{"c_so", -5, 0.6},
+	}
+	for _, c := range checks {
+		s := findParam(t, sens, c.param)
+		if math.Abs(s.Elasticity-c.want) > c.tol {
+			t.Errorf("elasticity(%s) = %.3f, want %.1f ± %.1f",
+				c.param, s.Elasticity, c.want, c.tol)
+		}
+	}
+
+	// Non-binding parameters barely move B*.
+	for _, param := range []string{"SL", "SM", "c^L", "c^M"} {
+		s := findParam(t, sens, param)
+		if math.Abs(s.Elasticity) > 0.2 {
+			t.Errorf("elasticity(%s) = %.3f, expected near zero (non-binding)",
+				param, s.Elasticity)
+		}
+	}
+}
+
+func TestMostSensitive(t *testing.T) {
+	sens, err := MechanismSensitivities(paperInputs(), 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top, ok := MostSensitive(sens)
+	if !ok {
+		t.Fatal("no sensitivities")
+	}
+	// The cost gap c^K − c_so dominates: c^K has elasticity ~6.
+	if top.Param != "c^K" {
+		t.Errorf("most sensitive = %s (%.2f), want c^K", top.Param, top.Elasticity)
+	}
+	if _, ok := MostSensitive(nil); ok {
+		t.Error("MostSensitive(nil) should report not found")
+	}
+}
+
+func TestMechanismSensitivitiesValidation(t *testing.T) {
+	if _, err := MechanismSensitivities(paperInputs(), 0); err == nil {
+		t.Error("rel=0 accepted")
+	}
+	if _, err := MechanismSensitivities(paperInputs(), 1); err == nil {
+		t.Error("rel=1 accepted")
+	}
+	bad := paperInputs()
+	bad.SK = 0
+	if _, err := MechanismSensitivities(bad, 0.01); err == nil {
+		t.Error("infeasible base accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package core_test
+
+import (
+	"fmt"
+
+	"github.com/dsn2020-algorand/incentives/internal/core"
+	"github.com/dsn2020-algorand/incentives/internal/game"
+	"github.com/dsn2020-algorand/incentives/internal/stake"
+)
+
+// ExampleMinimize computes the incentive-compatible reward for the
+// paper's Sec. V-A constants: a 50M-Algo network with the sortition
+// expectations S_L = 26 and S_M = 13000 and minimum stakes (1, 1, 10).
+func ExampleMinimize() {
+	in := core.Inputs{
+		SL:           26,
+		SM:           13_000,
+		SK:           50e6 - 13_026,
+		MinLeader:    1,
+		MinCommittee: 1,
+		MinOther:     10,
+		Costs:        game.DefaultRoleCosts(),
+	}
+	params, err := core.Minimize(in)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("minimum reward: %.2f Algos per round\n", params.MinB)
+	fmt.Printf("binding bound:  %s\n", params.Binding)
+	// Output:
+	// minimum reward: 5.09 Algos per round
+	// binding bound:  others
+}
+
+// ExampleBoundB evaluates the Fig. 5 surface at the paper's reported
+// optimum (α, β) = (0.02, 0.03).
+func ExampleBoundB() {
+	in := core.Inputs{
+		SL:           26,
+		SM:           13_000,
+		SK:           50e6 - 13_026,
+		MinLeader:    1,
+		MinCommittee: 1,
+		MinOther:     10,
+		Costs:        game.DefaultRoleCosts(),
+	}
+	fmt.Printf("B(0.02, 0.03) = %.2f Algos\n", core.BoundB(in, 0.02, 0.03))
+	// Output:
+	// B(0.02, 0.03) = 5.26 Algos
+}
+
+// ExampleController tracks a drifting stake population round by round,
+// the paper's "adapt dynamically with the distribution of stakes": as the
+// network grows, the required reward grows with it.
+func ExampleController() {
+	costs := game.DefaultRoleCosts()
+	c := core.NewController(costs, core.Options{})
+	pop := &stake.Population{Stakes: make([]float64, 20_000)}
+	for i := range pop.Stakes {
+		pop.Stakes[i] = 100
+	}
+	p1, err := c.Step(pop)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// The population doubles in size: S_K doubles while s*_k stays put,
+	// so the required reward rises.
+	pop.Stakes = append(pop.Stakes, pop.Stakes...)
+	p2, err := c.Step(pop)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("reward grew with the network:", p2.B > p1.B)
+	fmt.Println("rounds tracked:", len(c.History()))
+	// Output:
+	// reward grew with the network: true
+	// rounds tracked: 2
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/dsn2020-algorand/incentives/internal/game"
+)
+
+// paperInputs are the Sec. V-A numerical-analysis constants: expected
+// role stakes on a 50M-Algo network with s* = (1, 1, 10).
+func paperInputs() Inputs {
+	const total = 50e6
+	return Inputs{
+		SL:           26,
+		SM:           13_000,
+		SK:           total - 26 - 13_000,
+		MinLeader:    1,
+		MinCommittee: 1,
+		MinOther:     10,
+		Costs:        game.DefaultRoleCosts(),
+	}
+}
+
+func TestInputsValidate(t *testing.T) {
+	good := paperInputs()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("paper inputs invalid: %v", err)
+	}
+	cases := []func(*Inputs){
+		func(in *Inputs) { in.SL = 0 },
+		func(in *Inputs) { in.SM = -1 },
+		func(in *Inputs) { in.SK = 0 },
+		func(in *Inputs) { in.MinLeader = 0 },
+		func(in *Inputs) { in.MinLeader = in.SL + 1 },
+		func(in *Inputs) { in.MinCommittee = 0 },
+		func(in *Inputs) { in.MinOther = 0 },
+		func(in *Inputs) { in.MinOther = in.SK * 2 },
+		func(in *Inputs) { in.Costs.Sortition = 0 },
+	}
+	for i, mutate := range cases {
+		in := paperInputs()
+		mutate(&in)
+		if err := in.Validate(); err == nil {
+			t.Errorf("case %d: invalid inputs accepted", i)
+		}
+	}
+}
+
+func TestBoundsAtPaperPoint(t *testing.T) {
+	// At (α, β) = (0.02, 0.03) — the paper's reported optimum — the
+	// "others" bound dominates and evaluates to ≈5.26 Algos:
+	// (c^K − c_so) · S_K / (s*_k · γ) = 1e-6 · (50e6 − 13026) / (10 · 0.95).
+	in := paperInputs()
+	l, m, k := Bounds(in, 0.02, 0.03)
+	wantK := 1e-6 * in.SK / (10 * 0.95)
+	if math.Abs(k-wantK) > 1e-6 {
+		t.Errorf("others bound = %v, want %v", k, wantK)
+	}
+	if l >= k || m >= k {
+		t.Errorf("others bound should dominate: l=%v m=%v k=%v", l, m, k)
+	}
+	if k < 5.0 || k > 5.5 {
+		t.Errorf("paper point B = %v, want ~5.26 Algos", k)
+	}
+}
+
+func TestBoundsInfeasible(t *testing.T) {
+	in := paperInputs()
+	// α so small that α/SL <= γ/(SK+s*_l): leader bound infeasible.
+	l, _, _ := Bounds(in, 1e-12, 0.03)
+	if !math.IsInf(l, 1) {
+		t.Errorf("leader bound should be +Inf at tiny alpha, got %v", l)
+	}
+	// Degenerate shares.
+	if b := BoundB(in, 0, 0.5); !math.IsInf(b, 1) {
+		t.Errorf("alpha=0 should be infeasible, got %v", b)
+	}
+	if b := BoundB(in, 0.6, 0.5); !math.IsInf(b, 1) {
+		t.Errorf("alpha+beta>1 should be infeasible, got %v", b)
+	}
+}
+
+func TestMinimizeMatchesPaper(t *testing.T) {
+	p, err := Minimize(paperInputs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper reports ~5.2 Algos; the exact continuous optimum is ~5.09.
+	if p.MinB < 4.5 || p.MinB > 5.5 {
+		t.Errorf("MinB = %v, want ~5.1 Algos", p.MinB)
+	}
+	if p.Binding != "others" {
+		t.Errorf("binding = %s, want others", p.Binding)
+	}
+	if p.Alpha <= 0 || p.Beta <= 0 || p.Gamma <= 0 ||
+		math.Abs(p.Alpha+p.Beta+p.Gamma-1) > 1e-9 {
+		t.Errorf("shares do not sum to one: %+v", p)
+	}
+	if p.B <= p.MinB {
+		t.Error("published B must exceed the strict bound")
+	}
+}
+
+func TestMinimizeIsFeasible(t *testing.T) {
+	in := paperInputs()
+	p, err := Minimize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := BoundB(in, p.Alpha, p.Beta); math.IsInf(b, 1) {
+		t.Error("optimal shares are infeasible")
+	} else if math.Abs(b-p.MinB) > 1e-6*p.MinB {
+		t.Errorf("BoundB at optimum = %v, MinB = %v", b, p.MinB)
+	}
+}
+
+func TestGridMinimizeAgreesWithAnalytic(t *testing.T) {
+	in := paperInputs()
+	analytic, err := Minimize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid, err := GridMinimize(in, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The grid can only do as well as the continuous optimum.
+	if grid.MinB < analytic.MinB-1e-9 {
+		t.Errorf("grid %v beat analytic %v", grid.MinB, analytic.MinB)
+	}
+	if grid.MinB > analytic.MinB*1.25 {
+		t.Errorf("grid %v far above analytic %v", grid.MinB, analytic.MinB)
+	}
+}
+
+func TestGridMinimizeValidation(t *testing.T) {
+	if _, err := GridMinimize(paperInputs(), 1); err == nil {
+		t.Error("steps=1 accepted")
+	}
+	bad := paperInputs()
+	bad.SL = 0
+	if _, err := GridMinimize(bad, 10); err == nil {
+		t.Error("invalid inputs accepted")
+	}
+}
+
+func TestMinimizeHigherTotalStakeNeedsSmallerShare(t *testing.T) {
+	// Paper's Fig. 6-(c)/(d) comparison: on the 1B-Algo network
+	// (N(2000,25)) the required reward is smaller than on the 50M-Algo
+	// network *relative to the per-unit cost basis*, because s*_k grows
+	// from ~56 to ~1900. Here we isolate the s*_k effect.
+	in := paperInputs()
+	small, err := Minimize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.MinOther = 1900
+	big, err := Minimize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.MinB >= small.MinB {
+		t.Errorf("larger s*_k should reduce B: %v >= %v", big.MinB, small.MinB)
+	}
+}
+
+func TestMinimizeMonotoneInOtherCost(t *testing.T) {
+	in := paperInputs()
+	base, err := Minimize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Costs.Other *= 2
+	in.Costs.Committee *= 2
+	in.Costs.Leader *= 2
+	higher, err := Minimize(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if higher.MinB <= base.MinB {
+		t.Errorf("doubling costs should raise B: %v <= %v", higher.MinB, base.MinB)
+	}
+}
+
+// Property: the analytic optimum never exceeds any feasible grid point.
+func TestMinimizeOptimalityProperty(t *testing.T) {
+	f := func(aRaw, bRaw uint16, skRaw uint32) bool {
+		in := paperInputs()
+		in.SK = 1e6 + float64(skRaw%uint32(100e6))
+		analytic, err := Minimize(in)
+		if err != nil {
+			return true // infeasible configurations are allowed to error
+		}
+		alpha := (float64(aRaw%998) + 1) / 1000
+		beta := (float64(bRaw%998) + 1) / 1000
+		if alpha+beta >= 1 {
+			return true
+		}
+		b := BoundB(in, alpha, beta)
+		return b >= analytic.MinB-1e-6*analytic.MinB
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Minimize output always satisfies the feasibility constraints
+// Eq. 8 and Eq. 9.
+func TestMinimizeFeasibilityProperty(t *testing.T) {
+	f := func(skRaw uint32, minKRaw uint16) bool {
+		in := paperInputs()
+		in.SK = 1e5 + float64(skRaw%uint32(1e9))
+		in.MinOther = 1 + float64(minKRaw%2000)
+		if in.MinOther > in.SK {
+			return true
+		}
+		p, err := Minimize(in)
+		if err != nil {
+			return true
+		}
+		eq8 := p.Alpha/in.SL - p.Gamma/(in.SK+in.MinLeader)
+		eq9 := p.Beta/in.SM - p.Gamma/(in.SK+in.MinCommittee)
+		return eq8 > 0 && eq9 > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"errors"
+
+	"github.com/dsn2020-algorand/incentives/internal/stake"
+)
+
+// SmoothingPolicy configures the production controller's hysteresis.
+// Recomputing and republishing (α, β, B) every round would make node
+// income jittery and leak per-round stake information; the policy
+// republishes only when the optimum drifts materially, while never
+// publishing a reward below the currently required bound (which would
+// break the Theorem 3 guarantee).
+type SmoothingPolicy struct {
+	// RelTolerance is the relative drift of the newly computed optimum
+	// from the published parameters that triggers republication.
+	RelTolerance float64
+	// Headroom inflates the published reward above the strict bound so
+	// that small upward drifts don't force immediate updates.
+	Headroom float64
+	// MaxRoundsBetweenUpdates forces republication after this many rounds
+	// even without drift (0 = never force).
+	MaxRoundsBetweenUpdates int
+}
+
+// DefaultSmoothing republishes on 10% drift with 20% headroom, at least
+// every 1000 rounds.
+func DefaultSmoothing() SmoothingPolicy {
+	return SmoothingPolicy{
+		RelTolerance:            0.10,
+		Headroom:                0.20,
+		MaxRoundsBetweenUpdates: 1000,
+	}
+}
+
+// Validate reports invalid policies.
+func (p SmoothingPolicy) Validate() error {
+	if p.RelTolerance < 0 || p.RelTolerance >= 1 {
+		return errors.New("core: RelTolerance must be in [0, 1)")
+	}
+	if p.Headroom < 0 {
+		return errors.New("core: negative headroom")
+	}
+	if p.MaxRoundsBetweenUpdates < 0 {
+		return errors.New("core: negative update interval")
+	}
+	return nil
+}
+
+// SmoothedController wraps the per-round Algorithm 1 computation with a
+// publication policy: Step always computes the exact optimum, but the
+// published parameters only change when the policy demands it.
+type SmoothedController struct {
+	inner  *Controller
+	policy SmoothingPolicy
+
+	published   Params
+	hasPublish  bool
+	sinceUpdate int
+	updates     int
+}
+
+// NewSmoothedController builds the production controller.
+func NewSmoothedController(c *Controller, policy SmoothingPolicy) (*SmoothedController, error) {
+	if c == nil {
+		return nil, errors.New("core: nil controller")
+	}
+	if err := policy.Validate(); err != nil {
+		return nil, err
+	}
+	return &SmoothedController{inner: c, policy: policy}, nil
+}
+
+// Updates returns how many times new parameters were published.
+func (s *SmoothedController) Updates() int { return s.updates }
+
+// Step computes the round's optimum and returns the parameters to
+// publish, republishing per the policy. The returned parameters always
+// satisfy the current Theorem 3 bound.
+func (s *SmoothedController) Step(pop *stake.Population) (Params, error) {
+	exact, err := s.inner.Step(pop)
+	if err != nil {
+		return Params{}, err
+	}
+	s.sinceUpdate++
+	if s.shouldRepublish(exact) {
+		published := exact
+		published.B = exact.MinB * (1 + s.policy.Headroom)
+		s.published = published
+		s.hasPublish = true
+		s.sinceUpdate = 0
+		s.updates++
+	}
+	return s.published, nil
+}
+
+func (s *SmoothedController) shouldRepublish(exact Params) bool {
+	if !s.hasPublish {
+		return true
+	}
+	if s.policy.MaxRoundsBetweenUpdates > 0 && s.sinceUpdate >= s.policy.MaxRoundsBetweenUpdates {
+		return true
+	}
+	// The published reward must stay strictly above the current bound; if
+	// the bound caught up with the headroom, republish immediately.
+	if s.published.B <= exact.MinB {
+		return true
+	}
+	// Republish when the optimum drifted materially in either direction.
+	rel := (exact.MinB - s.published.MinB) / s.published.MinB
+	if rel < 0 {
+		rel = -rel
+	}
+	return rel > s.policy.RelTolerance
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/dsn2020-algorand/incentives/internal/game"
+	"github.com/dsn2020-algorand/incentives/internal/stake"
+)
+
+func TestSmoothingPolicyValidate(t *testing.T) {
+	if err := DefaultSmoothing().Validate(); err != nil {
+		t.Fatalf("default policy invalid: %v", err)
+	}
+	bad := []SmoothingPolicy{
+		{RelTolerance: -0.1},
+		{RelTolerance: 1},
+		{RelTolerance: 0.1, Headroom: -1},
+		{RelTolerance: 0.1, MaxRoundsBetweenUpdates: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad policy %d accepted", i)
+		}
+	}
+}
+
+func TestNewSmoothedControllerValidation(t *testing.T) {
+	if _, err := NewSmoothedController(nil, DefaultSmoothing()); err == nil {
+		t.Error("nil controller accepted")
+	}
+	c := NewController(game.DefaultRoleCosts(), Options{})
+	if _, err := NewSmoothedController(c, SmoothingPolicy{RelTolerance: 2}); err == nil {
+		t.Error("invalid policy accepted")
+	}
+}
+
+func TestSmoothedControllerStablePopulation(t *testing.T) {
+	pop := testPopulation(t, stake.Normal{Mu: 100, Sigma: 10}, 20_000)
+	inner := NewController(game.DefaultRoleCosts(), Options{})
+	s, err := NewSmoothedController(inner, DefaultSmoothing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first Params
+	for i := 0; i < 50; i++ {
+		p, err := s.Step(pop)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = p
+			continue
+		}
+		if p != first {
+			t.Fatalf("round %d: parameters changed on a static population", i)
+		}
+	}
+	if s.Updates() != 1 {
+		t.Errorf("Updates = %d, want 1 on static population", s.Updates())
+	}
+}
+
+func TestSmoothedControllerRepublishesOnDrift(t *testing.T) {
+	pop := testPopulation(t, stake.Normal{Mu: 100, Sigma: 10}, 20_000)
+	inner := NewController(game.DefaultRoleCosts(), Options{})
+	s, err := NewSmoothedController(inner, DefaultSmoothing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(pop); err != nil {
+		t.Fatal(err)
+	}
+	// Double the population (same per-account stakes): SK doubles while
+	// s*_k stays put, so the binding bound doubles — a 100% drift. (Note
+	// that scaling every stake by 2 would NOT drift the bound: the SK and
+	// s*_k elasticities are +1 and −1 and cancel exactly.)
+	pop.Stakes = append(pop.Stakes, pop.Stakes...)
+	p, err := s.Step(pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Updates() != 2 {
+		t.Errorf("Updates = %d, want 2 after drift", s.Updates())
+	}
+	// The republished reward must cover the new bound with headroom.
+	exact, err := ComputeParameters(pop, game.DefaultRoleCosts(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.B <= exact.MinB {
+		t.Errorf("published B %v does not cover the new bound %v", p.B, exact.MinB)
+	}
+}
+
+func TestSmoothedControllerForcedUpdate(t *testing.T) {
+	pop := testPopulation(t, stake.Normal{Mu: 100, Sigma: 10}, 20_000)
+	inner := NewController(game.DefaultRoleCosts(), Options{})
+	policy := DefaultSmoothing()
+	policy.MaxRoundsBetweenUpdates = 5
+	s, err := NewSmoothedController(inner, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 11; i++ {
+		if _, err := s.Step(pop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Initial publish + forced refreshes at rounds 6 and 11.
+	if s.Updates() != 3 {
+		t.Errorf("Updates = %d, want 3 with forced interval 5", s.Updates())
+	}
+}
+
+func TestSmoothedControllerNeverBelowBound(t *testing.T) {
+	pop := testPopulation(t, stake.Uniform{A: 1, B: 200}, 20_000)
+	inner := NewController(game.DefaultRoleCosts(), Options{})
+	s, err := NewSmoothedController(inner, SmoothingPolicy{RelTolerance: 0.5, Headroom: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Step(pop); err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the min stake: the bound rises sharply (B ~ 1/s*_k). Even
+	// within tolerance, the controller must republish rather than publish
+	// a reward below the bound.
+	minIdx := 0
+	for i, st := range pop.Stakes {
+		if st < pop.Stakes[minIdx] {
+			minIdx = i
+		}
+	}
+	pop.Stakes[minIdx] /= 10
+	p, err := s.Step(pop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := ComputeParameters(pop, game.DefaultRoleCosts(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.B <= exact.MinB {
+		t.Errorf("published B %v below required bound %v", p.B, exact.MinB)
+	}
+}

@@ -1,0 +1,197 @@
+package evolution
+
+import (
+	"testing"
+
+	"github.com/dsn2020-algorand/incentives/internal/game"
+	"github.com/dsn2020-algorand/incentives/internal/stake"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig(SchemeFoundation).Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Nodes = 5 },
+		func(c *Config) { c.Dist = nil },
+		func(c *Config) { c.Rounds = 0 },
+		func(c *Config) { c.InitialDefection = 1.5 },
+		func(c *Config) { c.RevisionRate = 0 },
+		func(c *Config) { c.Noise = -0.1 },
+		func(c *Config) { c.LeadersPerRound = 0 },
+		func(c *Config) { c.LeadersPerRound = c.Nodes },
+		func(c *Config) { c.SyncSetFrac = 0 },
+		func(c *Config) { c.SyncThreshold = 0 },
+		func(c *Config) { c.QuorumFrac = 2 },
+		func(c *Config) { c.SafetyMargin = -1 },
+		func(c *Config) { c.Scheme = SchemeKind(9) },
+		func(c *Config) { c.FoundationReward = 0 },
+		func(c *Config) { c.Costs = game.RoleCosts{} },
+	}
+	for i, m := range mutations {
+		cfg := DefaultConfig(SchemeFoundation)
+		m(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestSchemeKindString(t *testing.T) {
+	if SchemeFoundation.String() != "foundation" || SchemeRoleBased.String() != "role-based" ||
+		SchemeKind(9).String() != "unknown" {
+		t.Error("SchemeKind.String broken")
+	}
+}
+
+func TestRunProducesTrajectory(t *testing.T) {
+	cfg := DefaultConfig(SchemeRoleBased)
+	cfg.Rounds = 20
+	cfg.Nodes = 100
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats) != 20 {
+		t.Fatalf("got %d rounds", len(res.Stats))
+	}
+	for _, s := range res.Stats {
+		if s.CoopAll < 0 || s.CoopAll > 1 || s.StratLeaders < 0 || s.StratLeaders > 1 {
+			t.Errorf("round %d fractions out of range: %+v", s.Round, s)
+		}
+		if s.BlockProduced && s.RewardB <= 0 {
+			t.Errorf("round %d produced a block with zero reward", s.Round)
+		}
+		if !s.BlockProduced && s.RewardB != 0 {
+			t.Errorf("round %d paid %v without a block", s.Round, s.RewardB)
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := DefaultConfig(SchemeFoundation)
+	cfg.Rounds = 15
+	cfg.Nodes = 100
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Stats {
+		if a.Stats[i] != b.Stats[i] {
+			t.Fatalf("round %d differs across identical seeds", i)
+		}
+	}
+}
+
+// TestRoleBasedKeepsPaidRolesCooperative is the module's headline claim:
+// while the chain is producing blocks, the role-based premiums keep the
+// leader and committee dispositions fully cooperative, whereas the
+// role-blind Foundation split lets them erode immediately.
+func TestRoleBasedKeepsPaidRolesCooperative(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		roleCfg := DefaultConfig(SchemeRoleBased)
+		roleCfg.Nodes = 200
+		roleCfg.Seed = seed
+		roleRes, err := Run(roleCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		foundCfg := DefaultConfig(SchemeFoundation)
+		foundCfg.Nodes = 200
+		foundCfg.Seed = seed
+		foundRes, err := Run(foundCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		rl, rm := roleRes.PrefixStratCoop()
+		fl, fm := foundRes.PrefixStratCoop()
+		if rl < 0.99 || rm < 0.99 {
+			t.Errorf("seed %d: role-based prefix dispositions (%.3f, %.3f), want ~1",
+				seed, rl, rm)
+		}
+		if fm >= rm {
+			t.Errorf("seed %d: foundation committee disposition %.3f did not erode below role-based %.3f",
+				seed, fm, rm)
+		}
+		_ = fl // leaders erode more slowly; committee is the sharp signal
+	}
+}
+
+// TestCommonsErodeUnderBothSchemes documents the shared fragility: the
+// unpaid "others" dispositions decay to near-zero under both schemes, and
+// the network eventually loses liveness through the synchrony set.
+func TestCommonsErodeUnderBothSchemes(t *testing.T) {
+	for _, scheme := range []SchemeKind{SchemeFoundation, SchemeRoleBased} {
+		cfg := DefaultConfig(scheme)
+		cfg.Nodes = 200
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last := res.Stats[len(res.Stats)-1]
+		if last.StratOthers > 0.3 {
+			t.Errorf("%s: others disposition %v did not erode", scheme, last.StratOthers)
+		}
+		if res.SurvivalRounds() == len(res.Stats) {
+			t.Errorf("%s: network never failed; expected eventual sync-set collapse", scheme)
+		}
+	}
+}
+
+func TestSurvivalAndPrefixHelpers(t *testing.T) {
+	res := &Result{Stats: []RoundStats{
+		{BlockProduced: true, StratLeaders: 1, StratCommittee: 0.5},
+		{BlockProduced: true, StratLeaders: 0.8, StratCommittee: 0.7},
+		{BlockProduced: false},
+		{BlockProduced: true},
+	}}
+	if res.SurvivalRounds() != 2 {
+		t.Errorf("SurvivalRounds = %d, want 2", res.SurvivalRounds())
+	}
+	l, m := res.PrefixStratCoop()
+	if l != 0.9 || m != 0.6 {
+		t.Errorf("PrefixStratCoop = (%v, %v)", l, m)
+	}
+	if res.BlockRate() != 0.75 {
+		t.Errorf("BlockRate = %v", res.BlockRate())
+	}
+}
+
+func TestSurvivalAllProduced(t *testing.T) {
+	res := &Result{Stats: []RoundStats{{BlockProduced: true}, {BlockProduced: true}}}
+	if res.SurvivalRounds() != 2 {
+		t.Error("SurvivalRounds should equal len(Stats) when nothing failed")
+	}
+}
+
+func TestRunWithParetoStakes(t *testing.T) {
+	cfg := DefaultConfig(SchemeRoleBased)
+	cfg.Dist = stake.Pareto{Xm: 5, Alpha: 1.5}
+	cfg.Rounds = 10
+	cfg.Nodes = 100
+	if _, err := Run(cfg); err != nil {
+		t.Fatalf("pareto stakes: %v", err)
+	}
+}
+
+func TestFinalCoopAndRoleCoop(t *testing.T) {
+	cfg := DefaultConfig(SchemeFoundation)
+	cfg.Rounds = 40
+	cfg.Nodes = 100
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := res.FinalCoop(); c < 0 || c > 1 {
+		t.Errorf("FinalCoop = %v", c)
+	}
+	l, m := res.FinalRoleCoop()
+	if l < 0 || l > 1 || m < 0 || m > 1 {
+		t.Errorf("FinalRoleCoop = (%v, %v)", l, m)
+	}
+}

@@ -1,0 +1,222 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Every driver has a scaled-down default
+// configuration suitable for tests and benchmarks plus a Full variant
+// with the paper's parameters, and renders its results as stats tables.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/dsn2020-algorand/incentives/internal/protocol"
+	"github.com/dsn2020-algorand/incentives/internal/sim"
+	"github.com/dsn2020-algorand/incentives/internal/stake"
+	"github.com/dsn2020-algorand/incentives/internal/stats"
+)
+
+// Fig3Config parameterises the defection experiment of Fig. 3: the share
+// of nodes extracting final / tentative / no blocks per round under
+// increasing defection rates.
+type Fig3Config struct {
+	// Nodes is the network size per run.
+	Nodes int
+	// Rounds is the number of simulated rounds per run.
+	Rounds int
+	// Runs is the number of independent simulations averaged per rate.
+	Runs int
+	// DefectionRates are the fractions of selfish nodes to sweep
+	// (paper: 5%..30% in steps of 5%).
+	DefectionRates []float64
+	// Fanout is the gossip fan-out (paper: 5).
+	Fanout int
+	// TrimFrac is the trimmed-mean fraction when averaging runs
+	// (paper: 0.20).
+	TrimFrac float64
+	// Seed drives all randomness.
+	Seed int64
+	// Params overrides the protocol constants (zero value = defaults).
+	Params protocol.Params
+	// StakeDist draws per-node stakes (paper: U{1..50}).
+	StakeDist stake.Distribution
+}
+
+// DefaultFig3Config is a laptop-scale configuration that preserves the
+// figure's shape (collapse ordering across defection rates).
+func DefaultFig3Config() Fig3Config {
+	return Fig3Config{
+		Nodes:          100,
+		Rounds:         30,
+		Runs:           8,
+		DefectionRates: []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30},
+		Fanout:         5,
+		TrimFrac:       0.20,
+		Seed:           1,
+		Params:         protocol.DefaultParams(),
+		StakeDist:      stake.UniformInt{A: 1, B: 50},
+	}
+}
+
+// FullFig3Config matches the paper's 100-run averaging.
+func FullFig3Config() Fig3Config {
+	cfg := DefaultFig3Config()
+	cfg.Runs = 100
+	cfg.Rounds = 50
+	return cfg
+}
+
+// Fig3Series is one panel of Fig. 3: per-round outcome fractions for a
+// given defection rate, averaged over runs with a trimmed mean.
+type Fig3Series struct {
+	Rate      float64
+	Final     []float64
+	Tentative []float64
+	None      []float64
+}
+
+// Fig3Result bundles all panels.
+type Fig3Result struct {
+	Config Fig3Config
+	Series []Fig3Series
+}
+
+// RunFig3 executes the experiment.
+func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
+	if cfg.Nodes < 10 || cfg.Rounds < 1 || cfg.Runs < 1 {
+		return nil, errors.New("experiments: fig3 needs >=10 nodes, >=1 round, >=1 run")
+	}
+	if cfg.StakeDist == nil {
+		cfg.StakeDist = stake.UniformInt{A: 1, B: 50}
+	}
+	result := &Fig3Result{Config: cfg}
+	for _, rate := range cfg.DefectionRates {
+		series, err := runFig3Rate(cfg, rate)
+		if err != nil {
+			return nil, fmt.Errorf("fig3 rate %.0f%%: %w", rate*100, err)
+		}
+		result.Series = append(result.Series, series)
+	}
+	return result, nil
+}
+
+func runFig3Rate(cfg Fig3Config, rate float64) (Fig3Series, error) {
+	// finals[round][run] etc.
+	finals := makeMatrix(cfg.Rounds, cfg.Runs)
+	tentatives := makeMatrix(cfg.Rounds, cfg.Runs)
+	nones := makeMatrix(cfg.Rounds, cfg.Runs)
+
+	for run := 0; run < cfg.Runs; run++ {
+		seed := cfg.Seed + int64(run)*7919 + int64(rate*1e4)
+		rng := sim.NewRNG(seed, "fig3.setup")
+		pop, err := stake.SamplePopulation(cfg.StakeDist, cfg.Nodes, rng)
+		if err != nil {
+			return Fig3Series{}, err
+		}
+		behaviors := make([]protocol.Behavior, cfg.Nodes)
+		for i := range behaviors {
+			behaviors[i] = protocol.Honest
+		}
+		// Random uniform choice of defectors, as in the paper.
+		defectors := int(rate * float64(cfg.Nodes))
+		for _, idx := range rng.Perm(cfg.Nodes)[:defectors] {
+			behaviors[idx] = protocol.Selfish
+		}
+		runner, err := protocol.NewRunner(protocol.Config{
+			Params:    cfg.Params,
+			Stakes:    pop.Stakes,
+			Behaviors: behaviors,
+			Fanout:    cfg.Fanout,
+			Seed:      seed,
+		})
+		if err != nil {
+			return Fig3Series{}, err
+		}
+		for round, report := range runner.RunRounds(cfg.Rounds) {
+			finals[round][run] = report.FinalFrac()
+			tentatives[round][run] = report.TentativeFrac()
+			nones[round][run] = report.NoneFrac()
+		}
+	}
+
+	series := Fig3Series{Rate: rate}
+	for round := 0; round < cfg.Rounds; round++ {
+		f, err := stats.TrimmedMean(finals[round], cfg.TrimFrac)
+		if err != nil {
+			return Fig3Series{}, err
+		}
+		t, _ := stats.TrimmedMean(tentatives[round], cfg.TrimFrac)
+		n, _ := stats.TrimmedMean(nones[round], cfg.TrimFrac)
+		series.Final = append(series.Final, f)
+		series.Tentative = append(series.Tentative, t)
+		series.None = append(series.None, n)
+	}
+	return series, nil
+}
+
+func makeMatrix(rows, cols int) [][]float64 {
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = make([]float64, cols)
+	}
+	return m
+}
+
+// MeanFinal returns the average final-block fraction across all rounds of
+// the series, the headline number used to compare panels.
+func (s Fig3Series) MeanFinal() float64 {
+	m, err := stats.Mean(s.Final)
+	if err != nil {
+		return 0
+	}
+	return m
+}
+
+// MeanNone returns the average no-block fraction across rounds.
+func (s Fig3Series) MeanNone() float64 {
+	m, err := stats.Mean(s.None)
+	if err != nil {
+		return 0
+	}
+	return m
+}
+
+// TailFinal returns the mean final fraction over the last quarter of the
+// rounds, capturing late-simulation collapse.
+func (s Fig3Series) TailFinal() float64 {
+	start := len(s.Final) * 3 / 4
+	m, err := stats.Mean(s.Final[start:])
+	if err != nil {
+		return 0
+	}
+	return m
+}
+
+// Table renders the per-round outcome fractions of every panel.
+func (r *Fig3Result) Table() *stats.Table {
+	t := &stats.Table{}
+	roundCol := make([]float64, r.Config.Rounds)
+	for i := range roundCol {
+		roundCol[i] = float64(i + 1)
+	}
+	t.AddColumn("round", roundCol)
+	for _, s := range r.Series {
+		prefix := fmt.Sprintf("d%02.0f_", s.Rate*100)
+		t.AddColumn(prefix+"final", s.Final)
+		t.AddColumn(prefix+"tentative", s.Tentative)
+		t.AddColumn(prefix+"none", s.None)
+	}
+	return t
+}
+
+// WriteSummary prints one line per panel with headline fractions.
+func (r *Fig3Result) WriteSummary(w io.Writer) error {
+	for _, s := range r.Series {
+		_, err := fmt.Fprintf(w,
+			"defection %4.0f%%: mean final %5.1f%%  tail final %5.1f%%  mean none %5.1f%%\n",
+			s.Rate*100, 100*s.MeanFinal(), 100*s.TailFinal(), 100*s.MeanNone())
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/dsn2020-algorand/incentives/internal/core"
+	"github.com/dsn2020-algorand/incentives/internal/game"
+	"github.com/dsn2020-algorand/incentives/internal/stats"
+)
+
+// Fig5Config parameterises the numerical analysis of Sec. V-A: the
+// minimum feasible reward B_i as a function of the shares (α, β), with
+// s* = (1, 1, 10) and role costs (16, 12, 6, 5) µAlgos.
+type Fig5Config struct {
+	// Inputs are the Theorem 3 inputs; zero value uses the paper's
+	// constants on a 50M-Algo network.
+	Inputs core.Inputs
+	// AlphaMax / BetaMax bound the scanned grid.
+	AlphaMax, BetaMax float64
+	// Steps is the grid resolution per axis.
+	Steps int
+}
+
+// PaperFig5Inputs returns the Sec. V-A constants: SL and SM from the
+// sortition expectations (26 and 13000), a 50M-Algo network, minimum
+// stakes s*_l = s*_m = 1 and s*_k = 10, and the paper's µAlgo cost
+// vector.
+func PaperFig5Inputs() core.Inputs {
+	const totalStake = 50e6
+	committee := core.DefaultCommittee()
+	sl := committee.ExpectedSL()
+	sm := committee.ExpectedSM()
+	return core.Inputs{
+		SL:           sl,
+		SM:           sm,
+		SK:           totalStake - sl - sm,
+		MinLeader:    1,
+		MinCommittee: 1,
+		MinOther:     10,
+		Costs:        game.DefaultRoleCosts(),
+	}
+}
+
+// DefaultFig5Config scans (α, β) in (0, 0.3]² at 1% resolution.
+func DefaultFig5Config() Fig5Config {
+	return Fig5Config{
+		Inputs:   PaperFig5Inputs(),
+		AlphaMax: 0.30,
+		BetaMax:  0.30,
+		Steps:    30,
+	}
+}
+
+// Fig5Point is one grid cell of the surface.
+type Fig5Point struct {
+	Alpha, Beta float64
+	B           float64 // +Inf when infeasible
+}
+
+// Fig5Result is the full surface plus the analytic optimum.
+type Fig5Result struct {
+	Config  Fig5Config
+	Surface []Fig5Point
+	// GridBest is the feasible grid minimum (the paper's reported
+	// (0.02, 0.03) → ≈5.2 Algos).
+	GridBest Fig5Point
+	// Optimal is the closed-form Algorithm 1 optimum.
+	Optimal core.Params
+}
+
+// RunFig5 evaluates the surface and both optimisers.
+func RunFig5(cfg Fig5Config) (*Fig5Result, error) {
+	if cfg.Steps < 2 {
+		return nil, errors.New("experiments: fig5 needs at least 2 grid steps")
+	}
+	if err := cfg.Inputs.Validate(); err != nil {
+		return nil, fmt.Errorf("fig5 inputs: %w", err)
+	}
+	res := &Fig5Result{Config: cfg, GridBest: Fig5Point{B: math.Inf(1)}}
+	for i := 1; i <= cfg.Steps; i++ {
+		alpha := cfg.AlphaMax * float64(i) / float64(cfg.Steps)
+		for j := 1; j <= cfg.Steps; j++ {
+			beta := cfg.BetaMax * float64(j) / float64(cfg.Steps)
+			b := core.BoundB(cfg.Inputs, alpha, beta)
+			pt := Fig5Point{Alpha: alpha, Beta: beta, B: b}
+			res.Surface = append(res.Surface, pt)
+			if b < res.GridBest.B {
+				res.GridBest = pt
+			}
+		}
+	}
+	opt, err := core.Minimize(cfg.Inputs)
+	if err != nil {
+		return nil, fmt.Errorf("fig5 optimum: %w", err)
+	}
+	res.Optimal = opt
+	return res, nil
+}
+
+// Table renders the surface as (alpha, beta, B) triples.
+func (r *Fig5Result) Table() *stats.Table {
+	alphas := make([]float64, len(r.Surface))
+	betas := make([]float64, len(r.Surface))
+	bs := make([]float64, len(r.Surface))
+	for i, p := range r.Surface {
+		alphas[i] = p.Alpha
+		betas[i] = p.Beta
+		bs[i] = p.B
+	}
+	t := &stats.Table{}
+	t.AddColumn("alpha", alphas)
+	t.AddColumn("beta", betas)
+	t.AddColumn("min_B", bs)
+	return t
+}
+
+// WriteSummary prints the grid and analytic optima.
+func (r *Fig5Result) WriteSummary(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"grid optimum:     B=%.4f Algos at (alpha, beta)=(%.3f, %.3f)\n"+
+			"analytic optimum: B=%.4f Algos at (alpha, beta)=(%.5f, %.5f), binding=%s\n",
+		r.GridBest.B, r.GridBest.Alpha, r.GridBest.Beta,
+		r.Optimal.MinB, r.Optimal.Alpha, r.Optimal.Beta, r.Optimal.Binding)
+	return err
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/dsn2020-algorand/incentives/internal/core"
+	"github.com/dsn2020-algorand/incentives/internal/game"
+	"github.com/dsn2020-algorand/incentives/internal/sim"
+	"github.com/dsn2020-algorand/incentives/internal/stake"
+	"github.com/dsn2020-algorand/incentives/internal/stats"
+	"github.com/dsn2020-algorand/incentives/internal/txgen"
+)
+
+// Fig6Config parameterises the reward-distribution experiment of Fig. 6:
+// the distribution of the per-round reward B_i computed by Algorithm 1
+// over repeated simulations, for each stake distribution.
+type Fig6Config struct {
+	// Nodes is the population size (paper: 500k).
+	Nodes int
+	// Runs is the number of independent simulations (paper: 200).
+	Runs int
+	// RoundsPerRun is the number of rounds per simulation (paper: 10),
+	// with the transaction workload applied between rounds.
+	RoundsPerRun int
+	// Distributions are the stake distributions to sweep.
+	Distributions []stake.Distribution
+	// Costs is the role cost model.
+	Costs game.RoleCosts
+	// Options tune Algorithm 1 (committee expectations, s* floors).
+	Options core.Options
+	// Workload is the inter-round transaction generator config.
+	Workload txgen.Config
+	// Seed drives all randomness.
+	Seed int64
+	// HistogramBins controls the rendered distribution resolution.
+	HistogramBins int
+}
+
+// PaperDistributions are the four Fig. 6 panels.
+func PaperDistributions() []stake.Distribution {
+	return []stake.Distribution{
+		stake.Uniform{A: 1, B: 200},
+		stake.Normal{Mu: 100, Sigma: 20},
+		stake.Normal{Mu: 100, Sigma: 10},
+		stake.Normal{Mu: 2000, Sigma: 25},
+	}
+}
+
+// DefaultFig6Config is a laptop-scale configuration (50k nodes, 40 runs)
+// that preserves the panels' ordering and approximate locations.
+func DefaultFig6Config() Fig6Config {
+	return Fig6Config{
+		Nodes:         50_000,
+		Runs:          40,
+		RoundsPerRun:  5,
+		Distributions: PaperDistributions(),
+		Costs:         game.DefaultRoleCosts(),
+		Workload:      txgen.DefaultConfig(),
+		Seed:          1,
+		HistogramBins: 20,
+	}
+}
+
+// FullFig6Config uses the paper's 500k nodes and 200 runs of 10 rounds.
+func FullFig6Config() Fig6Config {
+	cfg := DefaultFig6Config()
+	cfg.Nodes = 500_000
+	cfg.Runs = 200
+	cfg.RoundsPerRun = 10
+	return cfg
+}
+
+// Fig6Panel is one stake distribution's result.
+type Fig6Panel struct {
+	Distribution string
+	// Rewards are every per-round B_i computed across runs and rounds.
+	Rewards []float64
+	Summary stats.Summary
+	// MeanAlpha/MeanBeta/MeanGamma are the average optimal shares.
+	MeanAlpha, MeanBeta, MeanGamma float64
+}
+
+// Fig6Result bundles all panels.
+type Fig6Result struct {
+	Config Fig6Config
+	Panels []Fig6Panel
+}
+
+// RunFig6 executes the experiment.
+func RunFig6(cfg Fig6Config) (*Fig6Result, error) {
+	if cfg.Nodes < 100 || cfg.Runs < 1 || cfg.RoundsPerRun < 1 {
+		return nil, errors.New("experiments: fig6 needs >=100 nodes and >=1 run/round")
+	}
+	if len(cfg.Distributions) == 0 {
+		cfg.Distributions = PaperDistributions()
+	}
+	res := &Fig6Result{Config: cfg}
+	for di, dist := range cfg.Distributions {
+		panel, err := runFig6Panel(cfg, dist, int64(di))
+		if err != nil {
+			return nil, fmt.Errorf("fig6 %s: %w", dist.Name(), err)
+		}
+		res.Panels = append(res.Panels, panel)
+	}
+	return res, nil
+}
+
+func runFig6Panel(cfg Fig6Config, dist stake.Distribution, salt int64) (Fig6Panel, error) {
+	panel := Fig6Panel{Distribution: dist.Name()}
+	var sumA, sumB, sumG float64
+	count := 0
+	for run := 0; run < cfg.Runs; run++ {
+		rng := sim.NewRNG(cfg.Seed+salt*104729+int64(run)*7919, "fig6")
+		pop, err := stake.SamplePopulation(dist, cfg.Nodes, rng)
+		if err != nil {
+			return Fig6Panel{}, err
+		}
+		gen, err := txgen.New(cfg.Workload, rng)
+		if err != nil {
+			return Fig6Panel{}, err
+		}
+		controller := core.NewController(cfg.Costs, cfg.Options)
+		for round := 0; round < cfg.RoundsPerRun; round++ {
+			p, err := controller.Step(pop)
+			if err != nil {
+				return Fig6Panel{}, err
+			}
+			panel.Rewards = append(panel.Rewards, p.B)
+			sumA += p.Alpha
+			sumB += p.Beta
+			sumG += p.Gamma
+			count++
+			txgen.Apply(pop, gen.Round(pop))
+		}
+	}
+	summary, err := stats.Summarize(panel.Rewards)
+	if err != nil {
+		return Fig6Panel{}, err
+	}
+	panel.Summary = summary
+	panel.MeanAlpha = sumA / float64(count)
+	panel.MeanBeta = sumB / float64(count)
+	panel.MeanGamma = sumG / float64(count)
+	return panel, nil
+}
+
+// Histogram renders one panel's reward distribution.
+func (p Fig6Panel) Histogram(bins int) (*stats.Histogram, error) {
+	lo, hi := p.Summary.Min, p.Summary.Max
+	if lo == hi {
+		hi = lo + 1
+	}
+	h, err := stats.NewHistogram(lo, hi, bins)
+	if err != nil {
+		return nil, err
+	}
+	h.ObserveAll(p.Rewards)
+	return h, nil
+}
+
+// Table renders per-panel reward summaries.
+func (r *Fig6Result) Table() *stats.Table {
+	t := &stats.Table{}
+	means := make([]float64, len(r.Panels))
+	medians := make([]float64, len(r.Panels))
+	mins := make([]float64, len(r.Panels))
+	maxs := make([]float64, len(r.Panels))
+	for i, p := range r.Panels {
+		means[i] = p.Summary.Mean
+		medians[i] = p.Summary.Median
+		mins[i] = p.Summary.Min
+		maxs[i] = p.Summary.Max
+	}
+	t.AddColumn("panel", indexColumn(len(r.Panels)))
+	t.AddColumn("mean_B", means)
+	t.AddColumn("median_B", medians)
+	t.AddColumn("min_B", mins)
+	t.AddColumn("max_B", maxs)
+	return t
+}
+
+func indexColumn(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = float64(i + 1)
+	}
+	return out
+}
+
+// WriteSummary prints one line per distribution.
+func (r *Fig6Result) WriteSummary(w io.Writer) error {
+	for _, p := range r.Panels {
+		_, err := fmt.Fprintf(w,
+			"%-14s B_i: mean %8.3f  median %8.3f  [%8.3f, %8.3f]  (alpha %.2e, beta %.2e, gamma %.4f)\n",
+			p.Distribution, p.Summary.Mean, p.Summary.Median,
+			p.Summary.Min, p.Summary.Max, p.MeanAlpha, p.MeanBeta, p.MeanGamma)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/dsn2020-algorand/incentives/internal/core"
+	"github.com/dsn2020-algorand/incentives/internal/game"
+	"github.com/dsn2020-algorand/incentives/internal/rewards"
+	"github.com/dsn2020-algorand/incentives/internal/sim"
+	"github.com/dsn2020-algorand/incentives/internal/stake"
+	"github.com/dsn2020-algorand/incentives/internal/stats"
+)
+
+// Fig7Config parameterises the reward-trajectory comparison of Fig. 7:
+// per-round and accumulated rewards of the adaptive mechanism versus the
+// Foundation schedule across the first 12 reward periods (6M blocks), and
+// the effect of removing small-stake nodes (panel c).
+type Fig7Config struct {
+	// Nodes is the population size.
+	Nodes int
+	// Runs averages the mechanism's B over independent populations.
+	Runs int
+	// Distributions are the panels of Fig. 7(a,b).
+	Distributions []stake.Distribution
+	// RemovalThresholds are the U_w(1,200) cutoffs of Fig. 7(c)
+	// (paper: 3, 5, 7; 0 = no removal baseline).
+	RemovalThresholds []float64
+	// Periods is how many 500k-block reward periods to project (paper: 12).
+	Periods int
+	// Costs and Options configure Algorithm 1.
+	Costs   game.RoleCosts
+	Options core.Options
+	Seed    int64
+}
+
+// DefaultFig7Config is the laptop-scale configuration.
+func DefaultFig7Config() Fig7Config {
+	return Fig7Config{
+		Nodes:             50_000,
+		Runs:              10,
+		Distributions:     PaperDistributions(),
+		RemovalThresholds: []float64{0, 3, 5, 7},
+		Periods:           12,
+		Costs:             game.DefaultRoleCosts(),
+		Seed:              1,
+	}
+}
+
+// FullFig7Config uses the paper's 500k-node populations.
+func FullFig7Config() Fig7Config {
+	cfg := DefaultFig7Config()
+	cfg.Nodes = 500_000
+	cfg.Runs = 50
+	return cfg
+}
+
+// Fig7Trajectory is one scheme's reward path over the projected periods.
+type Fig7Trajectory struct {
+	Label string
+	// PerRound is the per-round reward in each period.
+	PerRound []float64
+	// Accumulated is the cumulative disbursement at each period boundary.
+	Accumulated []float64
+}
+
+// Fig7Result bundles panels (a,b) trajectories and panel (c) removal
+// trajectories.
+type Fig7Result struct {
+	Config     Fig7Config
+	Foundation Fig7Trajectory
+	Ours       []Fig7Trajectory // one per distribution
+	Removal    []Fig7Trajectory // one per threshold, U(1,200) stakes
+}
+
+// RunFig7 executes the experiment.
+func RunFig7(cfg Fig7Config) (*Fig7Result, error) {
+	if cfg.Periods < 1 || cfg.Nodes < 100 || cfg.Runs < 1 {
+		return nil, errors.New("experiments: fig7 needs >=1 period, >=100 nodes, >=1 run")
+	}
+	if len(cfg.Distributions) == 0 {
+		cfg.Distributions = PaperDistributions()
+	}
+	res := &Fig7Result{Config: cfg}
+
+	// Foundation schedule trajectory (Table III).
+	var schedule rewards.Schedule
+	res.Foundation = Fig7Trajectory{Label: "foundation"}
+	acc := 0.0
+	for p := 1; p <= cfg.Periods; p++ {
+		perRound, err := schedule.RoundReward(uint64(p-1)*rewards.BlocksPerPeriod + 1)
+		if err != nil {
+			return nil, err
+		}
+		total, err := schedule.PeriodReward(p)
+		if err != nil {
+			return nil, err
+		}
+		acc += total
+		res.Foundation.PerRound = append(res.Foundation.PerRound, perRound)
+		res.Foundation.Accumulated = append(res.Foundation.Accumulated, acc)
+	}
+
+	// Our mechanism per distribution: the stake distribution is treated as
+	// stationary across periods (the paper's Fig. 7 holds the distribution
+	// fixed), so the per-round B is the run-averaged Algorithm 1 output.
+	for di, dist := range cfg.Distributions {
+		b, err := meanMechanismReward(cfg, dist, 0, int64(di))
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s: %w", dist.Name(), err)
+		}
+		res.Ours = append(res.Ours, flatTrajectory("ours "+dist.Name(), b, cfg.Periods))
+	}
+
+	// Panel (c): removal thresholds on U(1,200).
+	base := stake.Uniform{A: 1, B: 200}
+	for _, w := range cfg.RemovalThresholds {
+		b, err := meanMechanismReward(cfg, base, w, 977)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 removal w=%g: %w", w, err)
+		}
+		label := "U(1,200)"
+		if w > 0 {
+			label = fmt.Sprintf("U%g(1,200)", w)
+		}
+		res.Removal = append(res.Removal, flatTrajectory(label, b, cfg.Periods))
+	}
+	return res, nil
+}
+
+// meanMechanismReward averages Algorithm 1's B over fresh populations,
+// optionally removing stakes below w from the rewarded set.
+func meanMechanismReward(cfg Fig7Config, dist stake.Distribution, w float64, salt int64) (float64, error) {
+	var sum float64
+	for run := 0; run < cfg.Runs; run++ {
+		rng := sim.NewRNG(cfg.Seed+salt*104729+int64(run)*7919, "fig7")
+		pop, err := stake.SamplePopulation(dist, cfg.Nodes, rng)
+		if err != nil {
+			return 0, err
+		}
+		if w > 0 {
+			pop = pop.RemoveBelow(w)
+			if pop.N() == 0 {
+				return 0, fmt.Errorf("experiments: removal threshold %g empties the population", w)
+			}
+		}
+		p, err := core.ComputeParameters(pop, cfg.Costs, cfg.Options)
+		if err != nil {
+			return 0, err
+		}
+		sum += p.B
+	}
+	return sum / float64(cfg.Runs), nil
+}
+
+func flatTrajectory(label string, perRound float64, periods int) Fig7Trajectory {
+	t := Fig7Trajectory{Label: label}
+	acc := 0.0
+	for p := 1; p <= periods; p++ {
+		acc += perRound * rewards.BlocksPerPeriod
+		t.PerRound = append(t.PerRound, perRound)
+		t.Accumulated = append(t.Accumulated, acc)
+	}
+	return t
+}
+
+// Table renders per-period per-round rewards for all trajectories.
+func (r *Fig7Result) Table() *stats.Table {
+	t := &stats.Table{}
+	t.AddColumn("period", indexColumn(r.Config.Periods))
+	t.AddColumn("foundation_perround", r.Foundation.PerRound)
+	t.AddColumn("foundation_accum", r.Foundation.Accumulated)
+	for _, tr := range r.Ours {
+		t.AddColumn(sanitize(tr.Label)+"_perround", tr.PerRound)
+		t.AddColumn(sanitize(tr.Label)+"_accum", tr.Accumulated)
+	}
+	for _, tr := range r.Removal {
+		t.AddColumn(sanitize(tr.Label)+"_accum", tr.Accumulated)
+	}
+	return t
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// WriteSummary prints headline savings numbers.
+func (r *Fig7Result) WriteSummary(w io.Writer) error {
+	last := r.Config.Periods - 1
+	if _, err := fmt.Fprintf(w, "foundation: period-1 per-round %.1f Algos, accumulated after %d periods %.3g Algos\n",
+		r.Foundation.PerRound[0], r.Config.Periods, r.Foundation.Accumulated[last]); err != nil {
+		return err
+	}
+	for _, tr := range r.Ours {
+		saving := 100 * (1 - tr.Accumulated[last]/r.Foundation.Accumulated[last])
+		if _, err := fmt.Fprintf(w, "%-20s per-round %8.3f Algos, accumulated %.3g Algos (%.1f%% below foundation)\n",
+			tr.Label, tr.PerRound[0], tr.Accumulated[last], saving); err != nil {
+			return err
+		}
+	}
+	for _, tr := range r.Removal {
+		if _, err := fmt.Fprintf(w, "removal %-12s per-round %8.3f Algos, accumulated %.3g Algos\n",
+			tr.Label, tr.PerRound[0], tr.Accumulated[last]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

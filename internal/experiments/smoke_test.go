@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+)
+
+func TestSmokeFig5(t *testing.T) {
+	res, err := RunFig5(DefaultFig5Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res.WriteSummary(os.Stderr)
+}
+
+func TestSmokeEquilibrium(t *testing.T) {
+	cfg := DefaultEquilibriumConfig()
+	cfg.Samples = 10
+	res, err := RunEquilibrium(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res.WriteSummary(os.Stderr)
+	if !res.AllHold() {
+		t.Error("analytical claims violated")
+	}
+}
+
+func TestSmokeFig6(t *testing.T) {
+	cfg := DefaultFig6Config()
+	cfg.Nodes = 5000
+	cfg.Runs = 4
+	cfg.RoundsPerRun = 2
+	res, err := RunFig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res.WriteSummary(os.Stderr)
+}
+
+func TestSmokeFig3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol simulation")
+	}
+	cfg := DefaultFig3Config()
+	cfg.Runs = 2
+	cfg.Rounds = 10
+	cfg.DefectionRates = []float64{0.05, 0.15, 0.30}
+	res, err := RunFig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res.WriteSummary(os.Stderr)
+}

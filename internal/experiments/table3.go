@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/dsn2020-algorand/incentives/internal/rewards"
+	"github.com/dsn2020-algorand/incentives/internal/stats"
+)
+
+// Table3Row is one reward period of the Foundation schedule.
+type Table3Row struct {
+	Period           int
+	ProjectedMillion float64
+	PerRound         float64
+}
+
+// Table3Result reproduces Table III: the projected reward of the first 12
+// reward periods and the implied per-round reward.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// RunTable3 evaluates the schedule.
+func RunTable3() (*Table3Result, error) {
+	var schedule rewards.Schedule
+	res := &Table3Result{}
+	for p := 1; p <= schedule.Periods(); p++ {
+		total, err := schedule.PeriodReward(p)
+		if err != nil {
+			return nil, err
+		}
+		firstRound := uint64(p-1)*rewards.BlocksPerPeriod + 1
+		perRound, err := schedule.RoundReward(firstRound)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Table3Row{
+			Period:           p,
+			ProjectedMillion: total / 1e6,
+			PerRound:         perRound,
+		})
+	}
+	return res, nil
+}
+
+// Table renders the schedule.
+func (r *Table3Result) Table() *stats.Table {
+	periods := make([]float64, len(r.Rows))
+	millions := make([]float64, len(r.Rows))
+	perRound := make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		periods[i] = float64(row.Period)
+		millions[i] = row.ProjectedMillion
+		perRound[i] = row.PerRound
+	}
+	t := &stats.Table{}
+	t.AddColumn("period", periods)
+	t.AddColumn("projected_millions", millions)
+	t.AddColumn("per_round_algos", perRound)
+	return t
+}
+
+// WriteSummary prints the schedule rows.
+func (r *Table3Result) WriteSummary(w io.Writer) error {
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "period %2d: %4.0fM Algos projected, %5.1f Algos per round\n",
+			row.Period, row.ProjectedMillion, row.PerRound); err != nil {
+			return err
+		}
+	}
+	return nil
+}

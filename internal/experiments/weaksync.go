@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/dsn2020-algorand/incentives/internal/protocol"
+	"github.com/dsn2020-algorand/incentives/internal/sim"
+	"github.com/dsn2020-algorand/incentives/internal/stake"
+	"github.com/dsn2020-algorand/incentives/internal/stats"
+)
+
+// WeakSyncConfig parameterises the asynchrony-recovery experiment: a
+// deterministic weak-synchrony window is injected mid-simulation to
+// reproduce the tentative-block spike and subsequent recovery the paper
+// highlights in Fig. 3-(c) ("in round #17 the asynchrony of network has
+// caused an increase in the number of nodes that have extracted tentative
+// blocks ... in round #18 network becomes synchronous again").
+type WeakSyncConfig struct {
+	Nodes      int
+	Rounds     int
+	Runs       int
+	Defection  float64
+	WindowFrom uint64
+	WindowTo   uint64
+	Seed       int64
+	Params     protocol.Params
+}
+
+// DefaultWeakSyncConfig injects a 3-round window in the middle of a
+// 24-round run at 10% defection.
+func DefaultWeakSyncConfig() WeakSyncConfig {
+	params := protocol.DefaultParams()
+	params.AsyncProb = 0 // only the deterministic window degrades
+	return WeakSyncConfig{
+		Nodes:      100,
+		Rounds:     24,
+		Runs:       6,
+		Defection:  0.10,
+		WindowFrom: 9,
+		WindowTo:   11,
+		Seed:       1,
+		Params:     params,
+	}
+}
+
+// WeakSyncResult carries the averaged outcome series and the derived
+// spike/recovery metrics.
+type WeakSyncResult struct {
+	Config    WeakSyncConfig
+	Final     []float64
+	Tentative []float64
+	None      []float64
+}
+
+// RunWeakSync executes the experiment.
+func RunWeakSync(cfg WeakSyncConfig) (*WeakSyncResult, error) {
+	if cfg.Nodes < 10 || cfg.Rounds < 4 || cfg.Runs < 1 {
+		return nil, errors.New("experiments: weaksync needs >=10 nodes, >=4 rounds, >=1 run")
+	}
+	if cfg.WindowFrom < 2 || cfg.WindowTo >= uint64(cfg.Rounds) || cfg.WindowFrom > cfg.WindowTo {
+		return nil, errors.New("experiments: window must sit strictly inside the run")
+	}
+	res := &WeakSyncResult{
+		Config:    cfg,
+		Final:     make([]float64, cfg.Rounds),
+		Tentative: make([]float64, cfg.Rounds),
+		None:      make([]float64, cfg.Rounds),
+	}
+	for run := 0; run < cfg.Runs; run++ {
+		seed := cfg.Seed + int64(run)*7919
+		rng := sim.NewRNG(seed, "weaksync.setup")
+		pop, err := stake.SamplePopulation(stake.UniformInt{A: 1, B: 50}, cfg.Nodes, rng)
+		if err != nil {
+			return nil, err
+		}
+		behaviors := make([]protocol.Behavior, cfg.Nodes)
+		for i := range behaviors {
+			behaviors[i] = protocol.Honest
+		}
+		for _, idx := range rng.Perm(cfg.Nodes)[:int(cfg.Defection*float64(cfg.Nodes))] {
+			behaviors[idx] = protocol.Selfish
+		}
+		runner, err := protocol.NewRunner(protocol.Config{
+			Params:    cfg.Params,
+			Stakes:    pop.Stakes,
+			Behaviors: behaviors,
+			Seed:      seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		runner.SetDegradedWindow(cfg.WindowFrom, cfg.WindowTo)
+		for round, report := range runner.RunRounds(cfg.Rounds) {
+			res.Final[round] += report.FinalFrac()
+			res.Tentative[round] += report.TentativeFrac()
+			res.None[round] += report.NoneFrac()
+		}
+	}
+	for i := range res.Final {
+		res.Final[i] /= float64(cfg.Runs)
+		res.Tentative[i] /= float64(cfg.Runs)
+		res.None[i] /= float64(cfg.Runs)
+	}
+	return res, nil
+}
+
+// windowMean averages xs over [from, to] (1-based round indices).
+func windowMean(xs []float64, from, to uint64) float64 {
+	sum, n := 0.0, 0.0
+	for r := from; r <= to && int(r) <= len(xs); r++ {
+		sum += xs[r-1]
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}
+
+// SpikeRatio compares the non-final fraction (tentative + none) inside
+// the degraded window against the healthy rounds before it.
+func (r *WeakSyncResult) SpikeRatio() float64 {
+	before := windowMean(r.Final, 1, r.Config.WindowFrom-1)
+	during := windowMean(r.Final, r.Config.WindowFrom, r.Config.WindowTo)
+	lossBefore := 1 - before
+	lossDuring := 1 - during
+	if lossBefore <= 0 {
+		lossBefore = 1e-9
+	}
+	return lossDuring / lossBefore
+}
+
+// Recovered reports whether the post-window final fraction returns to at
+// least frac of the pre-window level.
+func (r *WeakSyncResult) Recovered(frac float64) bool {
+	before := windowMean(r.Final, 1, r.Config.WindowFrom-1)
+	// Allow a couple of catch-up rounds after the window closes.
+	after := windowMean(r.Final, r.Config.WindowTo+3, uint64(r.Config.Rounds))
+	return after >= frac*before
+}
+
+// Table renders the series.
+func (r *WeakSyncResult) Table() *stats.Table {
+	t := &stats.Table{}
+	t.AddColumn("round", indexColumn(r.Config.Rounds))
+	t.AddColumn("final", r.Final)
+	t.AddColumn("tentative", r.Tentative)
+	t.AddColumn("none", r.None)
+	return t
+}
+
+// WriteSummary prints the spike and recovery metrics.
+func (r *WeakSyncResult) WriteSummary(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"degraded window rounds %d-%d: consensus-loss spike x%.1f, recovered=%v\n",
+		r.Config.WindowFrom, r.Config.WindowTo, r.SpikeRatio(), r.Recovered(0.9))
+	return err
+}

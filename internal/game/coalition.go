@@ -1,0 +1,73 @@
+package game
+
+// CoalitionGain evaluates a joint deviation: every member of the
+// coalition switches to its listed strategy simultaneously. It returns
+// each member's payoff change. A coalition deviation is profitable (in
+// the strong-equilibrium sense) when every member weakly gains and at
+// least one strictly gains.
+func (g *Game) CoalitionGain(rule RewardRule, profile Profile, members []int, to []Strategy) []float64 {
+	if len(members) != len(to) {
+		return nil
+	}
+	base := make([]float64, len(members))
+	basePayoffs := g.Payoffs(rule, profile)
+	for i, m := range members {
+		if m < 0 || m >= len(g.Players) {
+			return nil
+		}
+		base[i] = basePayoffs[m]
+	}
+	deviated := make(Profile, len(profile))
+	copy(deviated, profile)
+	for i, m := range members {
+		deviated[m] = to[i]
+	}
+	devPayoffs := g.Payoffs(rule, deviated)
+	gains := make([]float64, len(members))
+	for i, m := range members {
+		gains[i] = devPayoffs[m] - base[i]
+	}
+	return gains
+}
+
+// CoalitionProfitable reports whether the joint deviation makes every
+// member weakly better off with at least one strict gain.
+func (g *Game) CoalitionProfitable(rule RewardRule, profile Profile, members []int, to []Strategy) bool {
+	gains := g.CoalitionGain(rule, profile, members, to)
+	if gains == nil {
+		return false
+	}
+	strict := false
+	for _, gain := range gains {
+		if gain < -epsGain {
+			return false
+		}
+		if gain > epsGain {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// FindPairCoalition searches all two-player joint defections from the
+// profile and returns the first profitable one, if any. The paper's
+// Theorem 3 certifies only unilateral robustness; this probe measures how
+// far that protection extends — pairs of K-group players can typically
+// free-ride together once neither is individually pivotal.
+func (g *Game) FindPairCoalition(rule RewardRule, profile Profile) ([]int, bool) {
+	to := []Strategy{Defect, Defect}
+	for i := 0; i < len(g.Players); i++ {
+		if profile[i] != Cooperate {
+			continue
+		}
+		for j := i + 1; j < len(g.Players); j++ {
+			if profile[j] != Cooperate {
+				continue
+			}
+			if g.CoalitionProfitable(rule, profile, []int{i, j}, to) {
+				return []int{i, j}, true
+			}
+		}
+	}
+	return nil, false
+}

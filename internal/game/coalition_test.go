@@ -1,0 +1,107 @@
+package game
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCoalitionGainMatchesUnilateral(t *testing.T) {
+	g := tinyGame(100)
+	rule := FoundationRule{}
+	profile := g.AllC()
+	// A singleton coalition must match the unilateral deviation gain.
+	single := g.CoalitionGain(rule, profile, []int{5}, []Strategy{Defect})
+	if single == nil {
+		t.Fatal("nil gains")
+	}
+	base := g.PayoffOf(rule, profile, 5)
+	dev := make(Profile, len(profile))
+	copy(dev, profile)
+	dev[5] = Defect
+	want := g.PayoffOf(rule, dev, 5) - base
+	if math.Abs(single[0]-want) > 1e-15 {
+		t.Errorf("singleton coalition gain %v, want %v", single[0], want)
+	}
+}
+
+func TestCoalitionGainValidation(t *testing.T) {
+	g := tinyGame(100)
+	if g.CoalitionGain(FoundationRule{}, g.AllC(), []int{1}, nil) != nil {
+		t.Error("length mismatch accepted")
+	}
+	if g.CoalitionGain(FoundationRule{}, g.AllC(), []int{99}, []Strategy{Defect}) != nil {
+		t.Error("out-of-range member accepted")
+	}
+}
+
+func TestPairCoalitionBreaksBlock(t *testing.T) {
+	// Two leaders defecting together kill the block; both end at -c_so,
+	// strictly worse than their cooperative payoffs with a large reward —
+	// not profitable.
+	g := tinyGame(1000)
+	if g.CoalitionProfitable(FoundationRule{}, g.AllC(), []int{0, 1}, []Strategy{Defect, Defect}) {
+		t.Error("block-killing coalition reported profitable")
+	}
+}
+
+func TestPairCoalitionFreeRides(t *testing.T) {
+	// Under the Foundation rule at All-C, two non-pivotal players (a
+	// leader plus the non-sync other) can defect together: the block
+	// survives and both save costs.
+	g := tinyGame(100)
+	if !g.CoalitionProfitable(FoundationRule{}, g.AllC(), []int{0, 5}, []Strategy{Defect, Defect}) {
+		t.Error("free-riding pair not detected under foundation rewards")
+	}
+}
+
+func TestFindPairCoalitionFoundation(t *testing.T) {
+	g := tinyGame(100)
+	pair, found := g.FindPairCoalition(FoundationRule{}, g.AllC())
+	if !found {
+		t.Fatal("no profitable pair found at All-C under foundation (Theorem 2 implies one)")
+	}
+	if len(pair) != 2 {
+		t.Errorf("pair = %v", pair)
+	}
+}
+
+// TestTheorem3NotCoalitionProof documents the boundary of the paper's
+// guarantee: Theorem 3 is a (unilateral) Nash equilibrium, and pairs that
+// are jointly non-pivotal can still gain — here two committee members
+// whose combined stake stays above quorum... in the tiny game committee
+// is pivotal, so we use a widened committee.
+func TestTheorem3NotCoalitionProof(t *testing.T) {
+	// Committee of four equal members: any two leave 50% < 68.5%, so
+	// pairs are blocked; singles leave 75% >= 68.5%, so singles are safe
+	// for the block but unprofitable under role-based premiums.
+	g := &Game{
+		Players: []Player{
+			{ID: 0, Role: RoleLeader, Stake: 10},
+			{ID: 1, Role: RoleLeader, Stake: 20},
+			{ID: 2, Role: RoleCommittee, Stake: 10},
+			{ID: 3, Role: RoleCommittee, Stake: 10},
+			{ID: 4, Role: RoleCommittee, Stake: 10},
+			{ID: 5, Role: RoleCommittee, Stake: 10},
+			{ID: 6, Role: RoleOther, Stake: 10, InSyncSet: true},
+			{ID: 7, Role: RoleOther, Stake: 110},
+		},
+		Costs:      paperCosts(),
+		QuorumFrac: 0.685,
+	}
+	bound := lemma2Bound(g, 0.2, 0.3)
+	g.B = bound * 1.01
+	rule := RoleBasedRule{Alpha: 0.2, Beta: 0.3}
+	profile := g.Theorem3Profile()
+
+	// Sanity: it is a unilateral NE.
+	if ok, devs := g.IsNash(rule, profile); !ok {
+		t.Fatalf("profile not NE at B above bound: %v", devs[0])
+	}
+	// Pairs of committee members jointly defecting would break quorum
+	// (50% < 68.5%), so even coalitions cannot profit here — the premium
+	// design extends to pairs whenever the quorum margin is below half
+	// the committee.
+	if _, found := g.FindPairCoalition(rule, profile); found {
+		t.Error("profitable pair exists under role-based at B*; quorum margin analysis wrong")
+	}
+}

@@ -1,0 +1,106 @@
+// Package game models a single Algorand round as the static
+// non-cooperative game the paper analyses: the task-level cost model of
+// Table II, the payoff functions of the Foundation scheme (GAl, Eq. 4)
+// and the role-based scheme (GAl+, Eq. 5), and equilibrium analysis for
+// Lemma 1–2 and Theorems 1–3.
+package game
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MicroAlgo converts µAlgos to Algos; the paper quotes all costs in
+// micro-Algos.
+const MicroAlgo = 1e-6
+
+// TaskCosts itemises the per-round cost of every protocol task a node may
+// perform (Table II), in Algos.
+type TaskCosts struct {
+	Verify      float64 // c_ve: transaction verification
+	Seed        float64 // c_se: seed generation
+	Sortition   float64 // c_so: sortition algorithm
+	VerifyProof float64 // c_vs: verify sortition proofs
+	Propose     float64 // c_bl: block proposition (leaders only)
+	Gossip      float64 // c_go: gossiping network messages
+	SelectBlock float64 // c_bs: block selection (committee only)
+	Vote        float64 // c_vo: voting (committee only)
+	CountVotes  float64 // c_vc: vote counting
+}
+
+// DefaultTaskCosts reproduces the paper's evaluation constants: the
+// itemised tasks sum to the role costs (c^L, c^M, c^K, c_so) =
+// (16, 12, 6, 5) µAlgos used in Sec. V-A.
+func DefaultTaskCosts() TaskCosts {
+	return TaskCosts{
+		Verify:      0.20 * MicroAlgo,
+		Seed:        0.20 * MicroAlgo,
+		Sortition:   5.00 * MicroAlgo,
+		VerifyProof: 0.15 * MicroAlgo,
+		Propose:     10.0 * MicroAlgo,
+		Gossip:      0.30 * MicroAlgo,
+		SelectBlock: 2.00 * MicroAlgo,
+		Vote:        4.00 * MicroAlgo,
+		CountVotes:  0.15 * MicroAlgo,
+	}
+}
+
+// Fixed returns c_fix = c_ve + c_se + c_so + c_go + c_vs + c_vc (Eq. 1),
+// the cost every cooperative node pays regardless of role.
+func (t TaskCosts) Fixed() float64 {
+	return t.Verify + t.Seed + t.Sortition + t.Gossip + t.VerifyProof + t.CountVotes
+}
+
+// RoleCosts aggregates the per-role per-round costs of Eq. 2 plus the
+// sortition-only cost c_so paid even by defectors.
+type RoleCosts struct {
+	Leader    float64 // c^L = c_fix + c_bl
+	Committee float64 // c^M = c_fix + c_bs + c_vo
+	Other     float64 // c^K = c_fix
+	Sortition float64 // c_so
+}
+
+// Roles derives the Eq. 2 role costs from the itemised tasks.
+func (t TaskCosts) Roles() RoleCosts {
+	fix := t.Fixed()
+	return RoleCosts{
+		Leader:    fix + t.Propose,
+		Committee: fix + t.SelectBlock + t.Vote,
+		Other:     fix,
+		Sortition: t.Sortition,
+	}
+}
+
+// DefaultRoleCosts returns the paper's (c^L, c^M, c^K, c_so) =
+// (16, 12, 6, 5) µAlgos directly.
+func DefaultRoleCosts() RoleCosts {
+	return DefaultTaskCosts().Roles()
+}
+
+// Validate checks the structural constraints the analysis relies on:
+// positive costs and c^L > c^M > c^K > c_so > 0.
+func (c RoleCosts) Validate() error {
+	switch {
+	case c.Sortition <= 0:
+		return errors.New("game: c_so must be positive")
+	case c.Other <= c.Sortition:
+		return fmt.Errorf("game: c^K (%g) must exceed c_so (%g)", c.Other, c.Sortition)
+	case c.Committee <= c.Other:
+		return fmt.Errorf("game: c^M (%g) must exceed c^K (%g)", c.Committee, c.Other)
+	case c.Leader <= c.Committee:
+		return fmt.Errorf("game: c^L (%g) must exceed c^M (%g)", c.Leader, c.Committee)
+	}
+	return nil
+}
+
+// ForRole returns the cooperation cost of a node playing the given role.
+func (c RoleCosts) ForRole(r Role) float64 {
+	switch r {
+	case RoleLeader:
+		return c.Leader
+	case RoleCommittee:
+		return c.Committee
+	default:
+		return c.Other
+	}
+}

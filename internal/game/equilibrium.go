@@ -1,0 +1,120 @@
+package game
+
+import "fmt"
+
+// Deviation records a profitable unilateral strategy change.
+type Deviation struct {
+	Player int
+	From   Strategy
+	To     Strategy
+	Gain   float64
+}
+
+// String implements fmt.Stringer.
+func (d Deviation) String() string {
+	return fmt.Sprintf("player %d: %s -> %s gains %.9g", d.Player, d.From, d.To, d.Gain)
+}
+
+// epsGain is the numerical tolerance for "strictly profitable": gains
+// below it are treated as ties (no incentive to move).
+const epsGain = 1e-12
+
+// IsNash reports whether profile is a Nash equilibrium of the game under
+// the reward rule: no player can strictly increase its payoff by a
+// unilateral strategy change. The full strategy set {C, D, O} is searched.
+func (g *Game) IsNash(rule RewardRule, profile Profile) (bool, []Deviation) {
+	devs := g.Deviations(rule, profile, 0)
+	return len(devs) == 0, devs
+}
+
+// Deviations returns the profitable unilateral deviations from profile,
+// up to limit entries (0 = unlimited).
+func (g *Game) Deviations(rule RewardRule, profile Profile, limit int) []Deviation {
+	var devs []Deviation
+	scratch := make(Profile, len(profile))
+	copy(scratch, profile)
+	for i := range g.Players {
+		base := g.PayoffOf(rule, scratch, i)
+		for _, alt := range []Strategy{Cooperate, Defect, Offline} {
+			if alt == profile[i] {
+				continue
+			}
+			scratch[i] = alt
+			gain := g.PayoffOf(rule, scratch, i) - base
+			scratch[i] = profile[i]
+			if gain > epsGain {
+				devs = append(devs, Deviation{Player: i, From: profile[i], To: alt, Gain: gain})
+				if limit > 0 && len(devs) >= limit {
+					return devs
+				}
+			}
+		}
+	}
+	return devs
+}
+
+// BestResponse returns player i's best strategy against the rest of the
+// profile, with ties broken in favour of the current strategy (so an
+// indifferent player does not churn).
+func (g *Game) BestResponse(rule RewardRule, profile Profile, i int) (Strategy, float64) {
+	scratch := make(Profile, len(profile))
+	copy(scratch, profile)
+	best := profile[i]
+	bestPayoff := g.PayoffOf(rule, scratch, i)
+	for _, alt := range []Strategy{Cooperate, Defect, Offline} {
+		if alt == profile[i] {
+			continue
+		}
+		scratch[i] = alt
+		if u := g.PayoffOf(rule, scratch, i); u > bestPayoff+epsGain {
+			best, bestPayoff = alt, u
+		}
+		scratch[i] = profile[i]
+	}
+	return best, bestPayoff
+}
+
+// BestResponseDynamics iterates best responses from the starting profile
+// until a fixed point (a pure NE) or maxSweeps full passes. It returns the
+// final profile and whether it converged to an equilibrium. The paper's
+// prediction is that GAl converges to All-D while GAl+ with a sufficient
+// B converges to the Theorem 3 cooperative profile.
+func (g *Game) BestResponseDynamics(rule RewardRule, start Profile, maxSweeps int) (Profile, bool) {
+	profile := make(Profile, len(start))
+	copy(profile, start)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		changed := false
+		for i := range g.Players {
+			if br, _ := g.BestResponse(rule, profile, i); br != profile[i] {
+				profile[i] = br
+				changed = true
+			}
+		}
+		if !changed {
+			ok, _ := g.IsNash(rule, profile)
+			return profile, ok
+		}
+	}
+	ok, _ := g.IsNash(rule, profile)
+	return profile, ok
+}
+
+// DominatedOffline verifies Lemma 1 on this game: for every player and
+// every opponent profile tested (the candidate profile plus its single
+// flips), playing D yields at least the O payoff plus margin. It returns
+// the first counterexample found, or nil.
+func (g *Game) DominatedOffline(rule RewardRule, profile Profile) *Deviation {
+	scratch := make(Profile, len(profile))
+	copy(scratch, profile)
+	for i := range g.Players {
+		scratch[i] = Offline
+		offU := g.PayoffOf(rule, scratch, i)
+		scratch[i] = Defect
+		defU := g.PayoffOf(rule, scratch, i)
+		scratch[i] = profile[i]
+		if offU > defU+epsGain {
+			return &Deviation{Player: i, From: Defect, To: Offline, Gain: offU - defU}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package game
+
+import (
+	"math"
+	"testing"
+)
+
+// TestTheorem1AllDIsNash reproduces Theorem 1: under the Foundation rule,
+// All-D is a Nash equilibrium — no unilateral cooperator can produce a
+// block alone, so deviating only adds cost.
+func TestTheorem1AllDIsNash(t *testing.T) {
+	for _, b := range []float64{0, 5, 20, 1000} {
+		g := tinyGame(b)
+		if ok, devs := g.IsNash(FoundationRule{}, g.AllD()); !ok {
+			t.Errorf("B=%v: All-D not NE: %v", b, devs[0])
+		}
+	}
+}
+
+// TestTheorem2AllCNotNash reproduces Theorem 2: under the Foundation rule
+// All-C is never a Nash equilibrium — defectors keep their reward and
+// save the cost difference.
+func TestTheorem2AllCNotNash(t *testing.T) {
+	for _, b := range []float64{0.1, 5, 20, 1000} {
+		g := tinyGame(b)
+		ok, devs := g.IsNash(FoundationRule{}, g.AllC())
+		if ok {
+			t.Fatalf("B=%v: All-C unexpectedly NE under foundation rewards", b)
+		}
+		// The deviation must be towards D, not O (Lemma 1).
+		for _, d := range devs {
+			if d.To == Offline {
+				t.Errorf("B=%v: profitable deviation to Offline contradicts Lemma 1: %v", b, d)
+			}
+		}
+	}
+}
+
+// TestTheorem2DeviationGain checks the exact gain of a defecting
+// non-pivotal node under the Foundation rule: it saves its role cost minus
+// c_so while keeping the same reward.
+func TestTheorem2DeviationGain(t *testing.T) {
+	g := tinyGame(100)
+	profile := g.AllC()
+	base := g.PayoffOf(FoundationRule{}, profile, 5) // plain online node, not pivotal
+	profile[5] = Defect
+	dev := g.PayoffOf(FoundationRule{}, profile, 5)
+	wantGain := g.Costs.Other - g.Costs.Sortition
+	if math.Abs((dev-base)-wantGain) > 1e-12 {
+		t.Errorf("defection gain = %v, want c^K - c_so = %v", dev-base, wantGain)
+	}
+}
+
+// TestLemma1OfflineDominated: O never strictly beats D.
+func TestLemma1OfflineDominated(t *testing.T) {
+	g := tinyGame(50)
+	for _, rule := range []RewardRule{FoundationRule{}, RoleBasedRule{Alpha: 0.2, Beta: 0.3}} {
+		for _, profile := range []Profile{g.AllC(), g.AllD(), g.Theorem3Profile()} {
+			if dev := g.DominatedOffline(rule, profile); dev != nil {
+				t.Errorf("%s: lemma 1 violated: %v", rule.Name(), dev)
+			}
+		}
+	}
+}
+
+// lemma2Bound computes the Lemma 2 reward bound for the tiny game with
+// shares (alpha, beta).
+func lemma2Bound(g *Game, alpha, beta float64) float64 {
+	tt := g.Totals()
+	gamma := 1 - alpha - beta
+	bl := (g.Costs.Leader - g.Costs.Sortition) /
+		((alpha/tt.SL - gamma/(tt.SK+tt.MinL)) * tt.MinL)
+	bm := (g.Costs.Committee - g.Costs.Sortition) /
+		((beta/tt.SM - gamma/(tt.SK+tt.MinM)) * tt.MinM)
+	bk := (g.Costs.Other - g.Costs.Sortition) * tt.SK / (tt.MinKSync * gamma)
+	return math.Max(bl, math.Max(bm, bk))
+}
+
+// TestTheorem3CooperativeNash: with B above the Theorem 3 bound, the
+// cooperative profile is a NE of GAl+; below the bound it is not.
+func TestTheorem3CooperativeNash(t *testing.T) {
+	alpha, beta := 0.2, 0.3
+	g := tinyGame(0)
+	bound := lemma2Bound(g, alpha, beta)
+	rule := RoleBasedRule{Alpha: alpha, Beta: beta}
+	profile := g.Theorem3Profile()
+
+	g.B = bound * 1.0001
+	if ok, devs := g.IsNash(rule, profile); !ok {
+		t.Errorf("B just above bound: not NE: %v", devs[0])
+	}
+
+	g.B = bound * 0.50
+	if ok, _ := g.IsNash(rule, profile); ok {
+		t.Error("B at half the bound: cooperation should break")
+	}
+}
+
+// TestTheorem3SyncSetPivotal: the sync-set member's incentive condition is
+// exactly the third bound of Theorem 3.
+func TestTheorem3SyncSetPivotal(t *testing.T) {
+	alpha, beta := 0.2, 0.3
+	g := tinyGame(0)
+	tt := g.Totals()
+	bk := (g.Costs.Other - g.Costs.Sortition) * tt.SK / (tt.MinKSync * (1 - alpha - beta))
+	rule := RoleBasedRule{Alpha: alpha, Beta: beta}
+	profile := g.Theorem3Profile()
+
+	g.B = bk * 1.001
+	base := g.PayoffOf(rule, profile, 4)
+	profile[4] = Defect
+	dev := g.PayoffOf(rule, profile, 4)
+	profile[4] = Cooperate
+	if dev >= base {
+		t.Errorf("sync-set member should prefer C above the bound: C=%v D=%v", base, dev)
+	}
+
+	g.B = bk * 0.98
+	base = g.PayoffOf(rule, profile, 4)
+	profile[4] = Defect
+	dev = g.PayoffOf(rule, profile, 4)
+	if dev <= base {
+		t.Errorf("sync-set member should prefer D below the bound: C=%v D=%v", base, dev)
+	}
+}
+
+func TestBestResponse(t *testing.T) {
+	g := tinyGame(100)
+	// Under foundation rewards at All-C, every NON-PIVOTAL node's best
+	// response is D. Players 3 (holds 80% of committee stake, quorum
+	// breaks without it) and 4 (sync-set member) are pivotal: their
+	// defection kills the block and their reward, so they stay C.
+	wantDefect := []int{0, 1, 2, 5}
+	for _, i := range wantDefect {
+		br, _ := g.BestResponse(FoundationRule{}, g.AllC(), i)
+		if br != Defect {
+			t.Errorf("player %d best response = %v, want D", i, br)
+		}
+	}
+	for _, i := range []int{3, 4} {
+		br, _ := g.BestResponse(FoundationRule{}, g.AllC(), i)
+		if br != Cooperate {
+			t.Errorf("pivotal player %d best response = %v, want C", i, br)
+		}
+	}
+}
+
+func TestBestResponseDynamicsLeaveAllC(t *testing.T) {
+	// Sequential best responses from All-C must converge to a NE that is
+	// not All-C (Theorem 2); only pivotal players may remain cooperative.
+	g := tinyGame(100)
+	final, isNE := g.BestResponseDynamics(FoundationRule{}, g.AllC(), 20)
+	if !isNE {
+		t.Fatal("dynamics did not converge to a NE")
+	}
+	defections := 0
+	for _, s := range final {
+		if s == Defect {
+			defections++
+		}
+	}
+	if defections == 0 {
+		t.Error("no player defected from All-C under foundation rewards")
+	}
+}
+
+func TestBestResponseDynamicsFromAllDStayAllD(t *testing.T) {
+	// All-D is absorbing (Theorem 1): dynamics started there never move.
+	g := tinyGame(100)
+	final, isNE := g.BestResponseDynamics(FoundationRule{}, g.AllD(), 20)
+	if !isNE {
+		t.Fatal("All-D not recognised as NE")
+	}
+	for i, s := range final {
+		if s != Defect {
+			t.Errorf("player %d left All-D to %v", i, s)
+		}
+	}
+}
+
+func TestBestResponseDynamicsStayCooperative(t *testing.T) {
+	alpha, beta := 0.2, 0.3
+	g := tinyGame(0)
+	g.B = lemma2Bound(g, alpha, beta) * 1.01
+	rule := RoleBasedRule{Alpha: alpha, Beta: beta}
+	start := g.Theorem3Profile()
+	final, isNE := g.BestResponseDynamics(rule, start, 20)
+	if !isNE {
+		t.Fatal("dynamics left the cooperative profile without converging")
+	}
+	for i, s := range final {
+		if s != start[i] {
+			t.Errorf("player %d moved from %v to %v", i, start[i], s)
+		}
+	}
+}
+
+func TestDeviationsLimit(t *testing.T) {
+	g := tinyGame(100)
+	devs := g.Deviations(FoundationRule{}, g.AllC(), 2)
+	if len(devs) != 2 {
+		t.Errorf("limit ignored: got %d deviations", len(devs))
+	}
+}
+
+func TestDeviationString(t *testing.T) {
+	d := Deviation{Player: 3, From: Cooperate, To: Defect, Gain: 0.5}
+	if d.String() != "player 3: C -> D gains 0.5" {
+		t.Errorf("String = %q", d.String())
+	}
+}

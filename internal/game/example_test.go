@@ -1,0 +1,52 @@
+package game_test
+
+import (
+	"fmt"
+
+	"github.com/dsn2020-algorand/incentives/internal/game"
+)
+
+// ExampleGame_IsNash reproduces Theorems 1 and 2 on a six-player round:
+// under the Foundation's stake-proportional rewards, all-defection is a
+// Nash equilibrium and all-cooperation is not.
+func ExampleGame_IsNash() {
+	g := &game.Game{
+		Players: []game.Player{
+			{ID: 0, Role: game.RoleLeader, Stake: 10},
+			{ID: 1, Role: game.RoleLeader, Stake: 20},
+			{ID: 2, Role: game.RoleCommittee, Stake: 10},
+			{ID: 3, Role: game.RoleCommittee, Stake: 40},
+			{ID: 4, Role: game.RoleOther, Stake: 10, InSyncSet: true},
+			{ID: 5, Role: game.RoleOther, Stake: 110},
+		},
+		Costs:      game.DefaultRoleCosts(),
+		B:          20, // period-1 Foundation reward
+		QuorumFrac: 0.685,
+	}
+	rule := game.FoundationRule{}
+
+	allD, _ := g.IsNash(rule, g.AllD())
+	allC, devs := g.IsNash(rule, g.AllC())
+	fmt.Println("All-D is NE:", allD)
+	fmt.Println("All-C is NE:", allC)
+	fmt.Println("example deviation:", devs[0].From.String(), "->", devs[0].To.String())
+	// Output:
+	// All-D is NE: true
+	// All-C is NE: false
+	// example deviation: C -> D
+}
+
+// ExampleTaskCosts_Roles derives the paper's per-role costs (Eq. 2) from
+// the itemised Table II tasks.
+func ExampleTaskCosts_Roles() {
+	roles := game.DefaultTaskCosts().Roles()
+	fmt.Printf("c^L  = %.0f microAlgos\n", roles.Leader/game.MicroAlgo)
+	fmt.Printf("c^M  = %.0f microAlgos\n", roles.Committee/game.MicroAlgo)
+	fmt.Printf("c^K  = %.0f microAlgos\n", roles.Other/game.MicroAlgo)
+	fmt.Printf("c_so = %.0f microAlgos\n", roles.Sortition/game.MicroAlgo)
+	// Output:
+	// c^L  = 16 microAlgos
+	// c^M  = 12 microAlgos
+	// c^K  = 6 microAlgos
+	// c_so = 5 microAlgos
+}

@@ -1,0 +1,207 @@
+package game
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Role is a node's assignment in the round being analysed.
+type Role uint8
+
+// The three role classes of the paper: L, M and K.
+const (
+	RoleLeader Role = iota + 1
+	RoleCommittee
+	RoleOther
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleLeader:
+		return "leader"
+	case RoleCommittee:
+		return "committee"
+	case RoleOther:
+		return "other"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// Strategy is a player's action in GAl / GAl+.
+type Strategy uint8
+
+// The strategy set S = {C, D, O}.
+const (
+	Cooperate Strategy = iota + 1
+	Defect
+	Offline
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case Cooperate:
+		return "C"
+	case Defect:
+		return "D"
+	case Offline:
+		return "O"
+	default:
+		return "?"
+	}
+}
+
+// Player is one node in the round game.
+type Player struct {
+	ID    int
+	Role  Role
+	Stake float64
+	// InSyncSet marks membership of the Algorand strong-synchrony set Y
+	// (Definition 4); only meaningful for RoleOther players.
+	InSyncSet bool
+}
+
+// Game is one round of GAl or GAl+ — the choice between the two is made
+// by the RewardRule attached at evaluation time.
+type Game struct {
+	Players []Player
+	Costs   RoleCosts
+	// B is the per-round reward B_i disbursed when a block is produced.
+	B float64
+	// QuorumFrac is the fraction of committee stake that must cooperate
+	// for the round to produce a block (the BA* vote threshold).
+	QuorumFrac float64
+}
+
+// Validate checks the game is well formed: at least one player per role
+// class referenced by the theorems and positive stakes.
+func (g *Game) Validate() error {
+	if len(g.Players) == 0 {
+		return errors.New("game: no players")
+	}
+	if g.B < 0 {
+		return errors.New("game: negative reward")
+	}
+	if g.QuorumFrac <= 0 || g.QuorumFrac > 1 {
+		return errors.New("game: quorum fraction must be in (0, 1]")
+	}
+	for _, p := range g.Players {
+		if p.Stake <= 0 {
+			return fmt.Errorf("game: player %d has non-positive stake", p.ID)
+		}
+	}
+	return nil
+}
+
+// Totals aggregates stakes per role for a given strategy profile view.
+type Totals struct {
+	SL, SM, SK, SN float64
+	NL, NM, NK     int
+	MinL, MinM     float64
+	MinKSync       float64 // min stake of sync-set members in K
+}
+
+// Totals computes the role-stake aggregates S_L, S_M, S_K, S_N and the
+// minimum role stakes s*_l, s*_m, s*_k used by Lemma 2 and Theorem 3.
+func (g *Game) Totals() Totals {
+	var t Totals
+	for _, p := range g.Players {
+		t.SN += p.Stake
+		switch p.Role {
+		case RoleLeader:
+			t.SL += p.Stake
+			t.NL++
+			if t.MinL == 0 || p.Stake < t.MinL {
+				t.MinL = p.Stake
+			}
+		case RoleCommittee:
+			t.SM += p.Stake
+			t.NM++
+			if t.MinM == 0 || p.Stake < t.MinM {
+				t.MinM = p.Stake
+			}
+		default:
+			t.SK += p.Stake
+			t.NK++
+			if p.InSyncSet && (t.MinKSync == 0 || p.Stake < t.MinKSync) {
+				t.MinKSync = p.Stake
+			}
+		}
+	}
+	return t
+}
+
+// Profile maps each player index to a strategy.
+type Profile []Strategy
+
+// AllC returns the all-cooperate profile for g.
+func (g *Game) AllC() Profile { return uniformProfile(len(g.Players), Cooperate) }
+
+// AllD returns the all-defect profile for g.
+func (g *Game) AllD() Profile { return uniformProfile(len(g.Players), Defect) }
+
+func uniformProfile(n int, s Strategy) Profile {
+	p := make(Profile, n)
+	for i := range p {
+		p[i] = s
+	}
+	return p
+}
+
+// Theorem3Profile returns the paper's cooperative equilibrium candidate:
+// leaders and committee cooperate, sync-set members of K cooperate, all
+// remaining K players defect.
+func (g *Game) Theorem3Profile() Profile {
+	p := make(Profile, len(g.Players))
+	for i, pl := range g.Players {
+		switch {
+		case pl.Role == RoleLeader || pl.Role == RoleCommittee:
+			p[i] = Cooperate
+		case pl.InSyncSet:
+			p[i] = Cooperate
+		default:
+			p[i] = Defect
+		}
+	}
+	return p
+}
+
+// BlockProduced evaluates the round-success predicate for a profile: at
+// least one leader cooperates, the cooperating committee stake reaches the
+// quorum fraction, and every strong-synchrony-set member cooperates
+// (Definition 2: losing a sync-set member breaks strong synchrony, so no
+// final block emerges).
+func (g *Game) BlockProduced(profile Profile) bool {
+	if len(profile) != len(g.Players) {
+		return false
+	}
+	leaderC := false
+	committeeC, committeeTotal := 0.0, 0.0
+	for i, pl := range g.Players {
+		coop := profile[i] == Cooperate
+		switch pl.Role {
+		case RoleLeader:
+			if coop {
+				leaderC = true
+			}
+		case RoleCommittee:
+			committeeTotal += pl.Stake
+			if coop {
+				committeeC += pl.Stake
+			}
+		default:
+			if pl.InSyncSet && !coop {
+				return false
+			}
+		}
+	}
+	if !leaderC {
+		return false
+	}
+	if committeeTotal == 0 {
+		return false
+	}
+	return committeeC >= g.QuorumFrac*committeeTotal
+}

@@ -1,0 +1,207 @@
+package game
+
+import (
+	"math"
+	"testing"
+)
+
+// paperCosts returns the evaluation cost vector in Algos.
+func paperCosts() RoleCosts { return DefaultRoleCosts() }
+
+func TestDefaultCostsMatchPaper(t *testing.T) {
+	c := paperCosts()
+	tol := 1e-12
+	if math.Abs(c.Leader-16e-6) > tol {
+		t.Errorf("c^L = %v, want 16 µAlgos", c.Leader)
+	}
+	if math.Abs(c.Committee-12e-6) > tol {
+		t.Errorf("c^M = %v, want 12 µAlgos", c.Committee)
+	}
+	if math.Abs(c.Other-6e-6) > tol {
+		t.Errorf("c^K = %v, want 6 µAlgos", c.Other)
+	}
+	if math.Abs(c.Sortition-5e-6) > tol {
+		t.Errorf("c_so = %v, want 5 µAlgos", c.Sortition)
+	}
+}
+
+func TestFixedCostIdentity(t *testing.T) {
+	// Eq. 1: c_fix = c_ve + c_se + c_so + c_go + c_vs + c_vc, and the
+	// "others" role cost is exactly c_fix (Eq. 2).
+	tc := DefaultTaskCosts()
+	want := tc.Verify + tc.Seed + tc.Sortition + tc.Gossip + tc.VerifyProof + tc.CountVotes
+	if math.Abs(tc.Fixed()-want) > 1e-18 {
+		t.Errorf("Fixed() = %v, want %v", tc.Fixed(), want)
+	}
+	rc := tc.Roles()
+	if rc.Other != tc.Fixed() {
+		t.Errorf("c^K = %v, want c_fix = %v", rc.Other, tc.Fixed())
+	}
+	if rc.Leader != tc.Fixed()+tc.Propose {
+		t.Errorf("c^L = %v, want c_fix + c_bl", rc.Leader)
+	}
+	if rc.Committee != tc.Fixed()+tc.SelectBlock+tc.Vote {
+		t.Errorf("c^M = %v, want c_fix + c_bs + c_vo", rc.Committee)
+	}
+}
+
+func TestRoleCostsValidate(t *testing.T) {
+	good := paperCosts()
+	if err := good.Validate(); err != nil {
+		t.Errorf("paper costs invalid: %v", err)
+	}
+	bad := []RoleCosts{
+		{Leader: 16, Committee: 12, Other: 6, Sortition: 0},
+		{Leader: 16, Committee: 12, Other: 4, Sortition: 5},
+		{Leader: 16, Committee: 5, Other: 6, Sortition: 5},
+		{Leader: 10, Committee: 12, Other: 6, Sortition: 5},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad costs %d validated", i)
+		}
+	}
+}
+
+func TestForRole(t *testing.T) {
+	c := RoleCosts{Leader: 4, Committee: 3, Other: 2, Sortition: 1}
+	if c.ForRole(RoleLeader) != 4 || c.ForRole(RoleCommittee) != 3 || c.ForRole(RoleOther) != 2 {
+		t.Error("ForRole mapping broken")
+	}
+}
+
+// tinyGame builds the minimal game of the theorems: 2 leaders, 2 committee
+// members, 2 others (one in the sync set), with easy round numbers.
+func tinyGame(b float64) *Game {
+	return &Game{
+		Players: []Player{
+			{ID: 0, Role: RoleLeader, Stake: 10},
+			{ID: 1, Role: RoleLeader, Stake: 20},
+			{ID: 2, Role: RoleCommittee, Stake: 10},
+			{ID: 3, Role: RoleCommittee, Stake: 40},
+			{ID: 4, Role: RoleOther, Stake: 10, InSyncSet: true},
+			{ID: 5, Role: RoleOther, Stake: 110},
+		},
+		Costs:      paperCosts(),
+		B:          b,
+		QuorumFrac: 0.685,
+	}
+}
+
+func TestGameValidate(t *testing.T) {
+	g := tinyGame(1)
+	if err := g.Validate(); err != nil {
+		t.Errorf("valid game rejected: %v", err)
+	}
+	g.B = -1
+	if err := g.Validate(); err == nil {
+		t.Error("negative reward accepted")
+	}
+	g = tinyGame(1)
+	g.QuorumFrac = 0
+	if err := g.Validate(); err == nil {
+		t.Error("zero quorum accepted")
+	}
+	g = tinyGame(1)
+	g.Players[0].Stake = 0
+	if err := g.Validate(); err == nil {
+		t.Error("zero stake accepted")
+	}
+	if err := (&Game{QuorumFrac: 0.5}).Validate(); err == nil {
+		t.Error("empty game accepted")
+	}
+}
+
+func TestTotals(t *testing.T) {
+	g := tinyGame(1)
+	tt := g.Totals()
+	if tt.SL != 30 || tt.SM != 50 || tt.SK != 120 || tt.SN != 200 {
+		t.Errorf("totals = %+v", tt)
+	}
+	if tt.MinL != 10 || tt.MinM != 10 || tt.MinKSync != 10 {
+		t.Errorf("minimums = %+v", tt)
+	}
+	if tt.NL != 2 || tt.NM != 2 || tt.NK != 2 {
+		t.Errorf("counts = %+v", tt)
+	}
+}
+
+func TestBlockProducedAllC(t *testing.T) {
+	g := tinyGame(1)
+	if !g.BlockProduced(g.AllC()) {
+		t.Error("All-C should produce a block")
+	}
+	if g.BlockProduced(g.AllD()) {
+		t.Error("All-D should not produce a block")
+	}
+}
+
+func TestBlockProducedNeedsLeader(t *testing.T) {
+	g := tinyGame(1)
+	p := g.AllC()
+	p[0], p[1] = Defect, Defect // both leaders out
+	if g.BlockProduced(p) {
+		t.Error("block produced without any leader")
+	}
+	p[1] = Cooperate // one leader is enough
+	if !g.BlockProduced(p) {
+		t.Error("one cooperating leader should suffice")
+	}
+}
+
+func TestBlockProducedNeedsCommitteeQuorum(t *testing.T) {
+	g := tinyGame(1)
+	p := g.AllC()
+	p[3] = Defect // 40 of 50 committee stake defects -> 20% < 68.5%
+	if g.BlockProduced(p) {
+		t.Error("block produced without committee quorum")
+	}
+	p[3], p[2] = Cooperate, Defect // 80% >= 68.5%
+	if !g.BlockProduced(p) {
+		t.Error("80% committee stake should reach quorum")
+	}
+}
+
+func TestBlockProducedNeedsSyncSet(t *testing.T) {
+	g := tinyGame(1)
+	p := g.AllC()
+	p[4] = Defect // the sync-set member
+	if g.BlockProduced(p) {
+		t.Error("block produced after a sync-set member defected")
+	}
+	p[4], p[5] = Cooperate, Defect // non-sync-set K node defecting is fine
+	if !g.BlockProduced(p) {
+		t.Error("non-sync-set defection should not break the block")
+	}
+}
+
+func TestBlockProducedLengthMismatch(t *testing.T) {
+	g := tinyGame(1)
+	if g.BlockProduced(Profile{Cooperate}) {
+		t.Error("short profile accepted")
+	}
+}
+
+func TestTheorem3Profile(t *testing.T) {
+	g := tinyGame(1)
+	p := g.Theorem3Profile()
+	want := Profile{Cooperate, Cooperate, Cooperate, Cooperate, Cooperate, Defect}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Errorf("profile[%d] = %v, want %v", i, p[i], want[i])
+		}
+	}
+	if !g.BlockProduced(p) {
+		t.Error("theorem-3 profile should produce a block")
+	}
+}
+
+func TestStrategyAndRoleStrings(t *testing.T) {
+	if Cooperate.String() != "C" || Defect.String() != "D" || Offline.String() != "O" || Strategy(9).String() != "?" {
+		t.Error("Strategy.String broken")
+	}
+	if RoleLeader.String() != "leader" || RoleCommittee.String() != "committee" ||
+		RoleOther.String() != "other" || Role(9).String() != "role(9)" {
+		t.Error("Role.String broken")
+	}
+}

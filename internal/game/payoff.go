@@ -1,0 +1,146 @@
+package game
+
+// RewardRule maps a strategy profile to per-player rewards. The two
+// implementations are the Foundation's stake-proportional split (Eq. 3,
+// game GAl) and the paper's role-based split (Eq. 5, game GAl+).
+//
+// Neither scheme punishes defectors: a defecting node stays online and
+// still collects whatever its effective group is owed — the root of the
+// free-rider problem Theorem 2 formalises.
+type RewardRule interface {
+	// Name identifies the rule in experiment output.
+	Name() string
+	// Payout returns each player's reward, zero everywhere when no block
+	// was produced this round.
+	Payout(g *Game, profile Profile, produced bool) []float64
+}
+
+// FoundationRule is the Algorand Foundation proposal: the round reward B
+// is split among all online nodes proportionally to stake, irrespective
+// of role (r^L = r^M = r^K = B / S_N).
+type FoundationRule struct{}
+
+var _ RewardRule = FoundationRule{}
+
+// Name implements RewardRule.
+func (FoundationRule) Name() string { return "foundation" }
+
+// Payout implements RewardRule.
+func (FoundationRule) Payout(g *Game, profile Profile, produced bool) []float64 {
+	out := make([]float64, len(g.Players))
+	if !produced {
+		return out
+	}
+	online := 0.0
+	for i, p := range g.Players {
+		if profile[i] != Offline {
+			online += p.Stake
+		}
+	}
+	if online == 0 {
+		return out
+	}
+	rate := g.B / online
+	for i, p := range g.Players {
+		if profile[i] != Offline {
+			out[i] = rate * p.Stake
+		}
+	}
+	return out
+}
+
+// RoleBasedRule is the paper's mechanism: αB to the cooperating leaders,
+// βB to the cooperating committee members, γB = (1−α−β)B to the remaining
+// online nodes, each pool split proportionally to stake within its group.
+// A defecting leader or committee member ignores its role and is treated
+// as an ordinary online node, exactly as in the Lemma 2 deviation payoffs
+// (it earns from the γ pool, whose stake base grows by its own stake).
+type RoleBasedRule struct {
+	Alpha, Beta float64
+}
+
+var _ RewardRule = RoleBasedRule{}
+
+// Name implements RewardRule.
+func (r RoleBasedRule) Name() string { return "role-based" }
+
+// Gamma returns 1 − α − β.
+func (r RoleBasedRule) Gamma() float64 { return 1 - r.Alpha - r.Beta }
+
+// Payout implements RewardRule.
+func (r RoleBasedRule) Payout(g *Game, profile Profile, produced bool) []float64 {
+	out := make([]float64, len(g.Players))
+	if !produced {
+		return out
+	}
+	var sl, sm, sk float64
+	for i, p := range g.Players {
+		switch effectiveRole(p, profile[i]) {
+		case RoleLeader:
+			sl += p.Stake
+		case RoleCommittee:
+			sm += p.Stake
+		case RoleOther:
+			sk += p.Stake
+		}
+	}
+	for i, p := range g.Players {
+		switch effectiveRole(p, profile[i]) {
+		case RoleLeader:
+			if sl > 0 {
+				out[i] = r.Alpha * g.B * p.Stake / sl
+			}
+		case RoleCommittee:
+			if sm > 0 {
+				out[i] = r.Beta * g.B * p.Stake / sm
+			}
+		case RoleOther:
+			if sk > 0 {
+				out[i] = r.Gamma() * g.B * p.Stake / sk
+			}
+		}
+	}
+	return out
+}
+
+// effectiveRole is the group a player is paid in: its assigned role when
+// cooperating, the "others" pool when defecting, nothing when offline.
+func effectiveRole(p Player, s Strategy) Role {
+	switch s {
+	case Cooperate:
+		return p.Role
+	case Defect:
+		return RoleOther
+	default:
+		return 0 // offline: excluded from every pool
+	}
+}
+
+// StrategyCost is what the strategy costs a player of the given role:
+// cooperation costs the full role cost; defection and offline still pay
+// the sortition cost c_so needed to join the network.
+func (g *Game) StrategyCost(p Player, s Strategy) float64 {
+	if s == Cooperate {
+		return g.Costs.ForRole(p.Role)
+	}
+	return g.Costs.Sortition
+}
+
+// Payoffs evaluates every player's utility under the profile and rule:
+// reward (if a block is produced) minus the strategy's cost.
+func (g *Game) Payoffs(rule RewardRule, profile Profile) []float64 {
+	produced := g.BlockProduced(profile)
+	rewards := rule.Payout(g, profile, produced)
+	out := make([]float64, len(g.Players))
+	for i, p := range g.Players {
+		out[i] = rewards[i] - g.StrategyCost(p, profile[i])
+	}
+	return out
+}
+
+// PayoffOf evaluates a single player's utility under the profile.
+func (g *Game) PayoffOf(rule RewardRule, profile Profile, i int) float64 {
+	produced := g.BlockProduced(profile)
+	rewards := rule.Payout(g, profile, produced)
+	return rewards[i] - g.StrategyCost(g.Players[i], profile[i])
+}

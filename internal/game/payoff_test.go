@@ -1,0 +1,188 @@
+package game
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFoundationPayoutProportional(t *testing.T) {
+	g := tinyGame(200) // B = S_N so the rate is exactly 1 Algo per stake
+	out := FoundationRule{}.Payout(g, g.AllC(), true)
+	for i, p := range g.Players {
+		if math.Abs(out[i]-p.Stake) > 1e-9 {
+			t.Errorf("player %d payout %v, want %v", i, out[i], p.Stake)
+		}
+	}
+}
+
+func TestFoundationPayoutNoBlock(t *testing.T) {
+	g := tinyGame(200)
+	out := FoundationRule{}.Payout(g, g.AllC(), false)
+	for i, v := range out {
+		if v != 0 {
+			t.Errorf("player %d paid %v without a block", i, v)
+		}
+	}
+}
+
+func TestFoundationPaysDefectorsButNotOffline(t *testing.T) {
+	g := tinyGame(200)
+	profile := g.AllC()
+	profile[5] = Defect
+	profile[4] = Offline
+	out := FoundationRule{}.Payout(g, profile, true)
+	if out[4] != 0 {
+		t.Error("offline player received a reward")
+	}
+	if out[5] <= 0 {
+		t.Error("defector was not paid by the foundation rule (no punishment exists)")
+	}
+	// Remaining online stake is 190; player 5 holds 110 of it.
+	want := 200.0 * 110 / 190
+	if math.Abs(out[5]-want) > 1e-9 {
+		t.Errorf("defector payout %v, want %v", out[5], want)
+	}
+}
+
+func TestRoleBasedPayoutSplits(t *testing.T) {
+	g := tinyGame(100)
+	rule := RoleBasedRule{Alpha: 0.2, Beta: 0.3}
+	out := rule.Payout(g, g.AllC(), true)
+	// Leaders share 20: stakes 10,20 of SL=30.
+	if math.Abs(out[0]-20.0/3) > 1e-9 || math.Abs(out[1]-40.0/3) > 1e-9 {
+		t.Errorf("leader payouts %v, %v", out[0], out[1])
+	}
+	// Committee shares 30: stakes 10,40 of SM=50.
+	if math.Abs(out[2]-6) > 1e-9 || math.Abs(out[3]-24) > 1e-9 {
+		t.Errorf("committee payouts %v, %v", out[2], out[3])
+	}
+	// Others share 50: stakes 10,110 of SK=120.
+	if math.Abs(out[4]-50.0*10/120) > 1e-9 || math.Abs(out[5]-50.0*110/120) > 1e-9 {
+		t.Errorf("other payouts %v, %v", out[4], out[5])
+	}
+}
+
+func TestRoleBasedDefectingLeaderJoinsOthersPool(t *testing.T) {
+	// The Lemma 2 deviation payoff: a defecting leader earns
+	// γB·s/(SK + s_l) instead of αB·s/SL.
+	g := tinyGame(100)
+	rule := RoleBasedRule{Alpha: 0.2, Beta: 0.3}
+	profile := g.AllC()
+	profile[0] = Defect
+	out := rule.Payout(g, profile, g.BlockProduced(profile))
+	gamma := 0.5
+	want := gamma * 100 * 10 / (120 + 10)
+	if math.Abs(out[0]-want) > 1e-9 {
+		t.Errorf("defecting leader payout %v, want %v", out[0], want)
+	}
+	// The remaining leader now owns the whole α pool.
+	if math.Abs(out[1]-0.2*100) > 1e-9 {
+		t.Errorf("remaining leader payout %v, want 20", out[1])
+	}
+}
+
+func TestRoleBasedGamma(t *testing.T) {
+	r := RoleBasedRule{Alpha: 0.02, Beta: 0.03}
+	if math.Abs(r.Gamma()-0.95) > 1e-12 {
+		t.Errorf("Gamma = %v", r.Gamma())
+	}
+}
+
+func TestStrategyCost(t *testing.T) {
+	g := tinyGame(1)
+	leader := g.Players[0]
+	if g.StrategyCost(leader, Cooperate) != g.Costs.Leader {
+		t.Error("cooperating leader must pay c^L")
+	}
+	if g.StrategyCost(leader, Defect) != g.Costs.Sortition {
+		t.Error("defector must pay c_so")
+	}
+	if g.StrategyCost(leader, Offline) != g.Costs.Sortition {
+		t.Error("offline must pay c_so")
+	}
+}
+
+func TestPayoffsAllD(t *testing.T) {
+	// Theorem 1's base case: under All-D everyone earns exactly -c_so.
+	g := tinyGame(100)
+	for _, rule := range []RewardRule{FoundationRule{}, RoleBasedRule{Alpha: 0.2, Beta: 0.3}} {
+		payoffs := g.Payoffs(rule, g.AllD())
+		for i, u := range payoffs {
+			if math.Abs(u-(-g.Costs.Sortition)) > 1e-15 {
+				t.Errorf("%s: player %d payoff %v, want -c_so", rule.Name(), i, u)
+			}
+		}
+	}
+}
+
+func TestPayoffOfMatchesPayoffs(t *testing.T) {
+	g := tinyGame(100)
+	rule := RoleBasedRule{Alpha: 0.1, Beta: 0.2}
+	profile := g.Theorem3Profile()
+	all := g.Payoffs(rule, profile)
+	for i := range g.Players {
+		if one := g.PayoffOf(rule, profile, i); math.Abs(one-all[i]) > 1e-15 {
+			t.Errorf("PayoffOf(%d) = %v, Payoffs[%d] = %v", i, one, i, all[i])
+		}
+	}
+}
+
+// Property: both reward rules conserve value — payouts sum to B whenever a
+// block is produced and at least one player is eligible.
+func TestPayoutConservationProperty(t *testing.T) {
+	f := func(stakesRaw []uint16, aRaw, bRaw uint8) bool {
+		if len(stakesRaw) < 6 {
+			return true
+		}
+		g := tinyGame(0)
+		for i := range g.Players {
+			g.Players[i].Stake = float64(stakesRaw[i]%1000) + 1
+		}
+		g.B = 37.5
+		alpha := 0.01 + float64(aRaw%40)/100
+		beta := 0.01 + float64(bRaw%40)/100
+		rules := []RewardRule{FoundationRule{}, RoleBasedRule{Alpha: alpha, Beta: beta}}
+		profile := g.Theorem3Profile()
+		for _, rule := range rules {
+			out := rule.Payout(g, profile, true)
+			sum := 0.0
+			for _, v := range out {
+				sum += v
+			}
+			if math.Abs(sum-g.B) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: foundation payouts are monotone in stake.
+func TestFoundationMonotoneProperty(t *testing.T) {
+	f := func(s1, s2 uint16) bool {
+		g := tinyGame(100)
+		g.Players[4].Stake = float64(s1%1000) + 1
+		g.Players[5].Stake = float64(s2%1000) + 1
+		out := FoundationRule{}.Payout(g, g.AllC(), true)
+		if g.Players[4].Stake <= g.Players[5].Stake {
+			return out[4] <= out[5]+1e-12
+		}
+		return out[5] <= out[4]+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRuleNames(t *testing.T) {
+	if (FoundationRule{}).Name() != "foundation" {
+		t.Error("foundation name")
+	}
+	if (RoleBasedRule{}).Name() != "role-based" {
+		t.Error("role-based name")
+	}
+}

@@ -1,0 +1,325 @@
+// Package ledger implements the blockchain substrate: accounts with
+// stakes, signed transactions, blocks, the hash chain, and the per-round
+// random seed Q_r that feeds cryptographic sortition.
+package ledger
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/dsn2020-algorand/incentives/internal/vrf"
+)
+
+// Hash is a 32-byte SHA-256 digest used for blocks and seeds.
+type Hash [32]byte
+
+// IsZero reports whether h is the zero hash.
+func (h Hash) IsZero() bool { return h == Hash{} }
+
+// String renders the first 8 bytes in hex, enough for logs.
+func (h Hash) String() string { return fmt.Sprintf("%x", h[:8]) }
+
+// Account is one Algorand participant: a keypair plus a stake balance
+// denominated in Algos.
+type Account struct {
+	// ID is the account's index in the ledger; it doubles as the node ID
+	// in the network simulator.
+	ID int
+	// Keys is the sortition identity.
+	Keys vrf.KeyPair
+	// Stake is the balance in Algos.
+	Stake float64
+}
+
+// Transaction transfers Amount Algos between two accounts and pays Fee
+// Algos into the transaction-fee pool. Signatures are modelled by
+// construction inside the trusted simulator; validity is a balance check.
+type Transaction struct {
+	From   int
+	To     int
+	Amount float64
+	Fee    float64
+	Nonce  uint64
+}
+
+// Hash returns the digest identifying the transaction.
+func (t Transaction) Hash() Hash {
+	var buf [8 * 5]byte
+	binary.BigEndian.PutUint64(buf[0:], uint64(int64(t.From)))
+	binary.BigEndian.PutUint64(buf[8:], uint64(int64(t.To)))
+	binary.BigEndian.PutUint64(buf[16:], math.Float64bits(t.Amount))
+	binary.BigEndian.PutUint64(buf[24:], math.Float64bits(t.Fee))
+	binary.BigEndian.PutUint64(buf[32:], t.Nonce)
+	return sha256.Sum256(buf[:])
+}
+
+// Fees sums the fees carried by a block's transactions.
+func (b Block) Fees() float64 {
+	total := 0.0
+	for _, tx := range b.Txns {
+		total += tx.Fee
+	}
+	return total
+}
+
+// Block is either a payload block assembled by a proposer or the empty
+// block that BA* falls back to when no proposal gains quorum.
+type Block struct {
+	Round    uint64
+	Prev     Hash
+	Seed     Hash
+	Proposer int // -1 for the empty block
+	Txns     []Transaction
+	Empty    bool
+}
+
+// EmptyBlock constructs the round's default empty block, which is fully
+// determined by the previous block so every node derives the same one.
+func EmptyBlock(round uint64, prev, seed Hash) Block {
+	return Block{Round: round, Prev: prev, Seed: seed, Proposer: -1, Empty: true}
+}
+
+// Hash returns the block digest.
+func (b Block) Hash() Hash {
+	h := sha256.New()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], b.Round)
+	h.Write(buf[:])
+	h.Write(b.Prev[:])
+	h.Write(b.Seed[:])
+	binary.BigEndian.PutUint64(buf[:], uint64(int64(b.Proposer)))
+	h.Write(buf[:])
+	if b.Empty {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	for _, tx := range b.Txns {
+		th := tx.Hash()
+		h.Write(th[:])
+	}
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Errors returned by ledger operations.
+var (
+	ErrBadRound        = errors.New("ledger: block round does not extend the chain")
+	ErrBadPrev         = errors.New("ledger: block prev hash does not match chain tip")
+	ErrUnknownAccount  = errors.New("ledger: unknown account")
+	ErrInsufficientBal = errors.New("ledger: insufficient balance")
+	ErrBadAmount       = errors.New("ledger: non-positive transaction amount")
+)
+
+// Ledger is one node's view of the chain plus the account table. The
+// simulator shares a single genesis account table across nodes and lets
+// each node maintain its own chain replica.
+type Ledger struct {
+	accounts []Account
+	blocks   []Block
+	seed     Hash
+	fees     float64
+}
+
+// FeesCollected returns the cumulative transaction fees deducted by
+// applied blocks, the amount owed to the transaction-fee pool.
+func (l *Ledger) FeesCollected() float64 { return l.fees }
+
+// Genesis creates a ledger with n accounts whose stakes are given and
+// whose keys derive from rng. The genesis seed Q_0 derives from the seed
+// material of rng too, so two ledgers built with identical streams agree.
+func Genesis(stakes []float64, rng *rand.Rand) *Ledger {
+	accounts := make([]Account, len(stakes))
+	for i, s := range stakes {
+		accounts[i] = Account{ID: i, Keys: vrf.GenerateKey(rng), Stake: s}
+	}
+	var seed Hash
+	for i := 0; i < len(seed); i += 8 {
+		binary.LittleEndian.PutUint64(seed[i:], rng.Uint64())
+	}
+	return &Ledger{accounts: accounts, seed: seed}
+}
+
+// CloneView returns an independent replica sharing the same genesis state.
+// Each node in the network simulator holds its own view.
+func (l *Ledger) CloneView() *Ledger {
+	accounts := make([]Account, len(l.accounts))
+	copy(accounts, l.accounts)
+	blocks := make([]Block, len(l.blocks))
+	copy(blocks, l.blocks)
+	return &Ledger{accounts: accounts, blocks: blocks, seed: l.seed, fees: l.fees}
+}
+
+// NumAccounts returns the number of accounts.
+func (l *Ledger) NumAccounts() int { return len(l.accounts) }
+
+// Account returns account id, or an error when out of range.
+func (l *Ledger) Account(id int) (Account, error) {
+	if id < 0 || id >= len(l.accounts) {
+		return Account{}, ErrUnknownAccount
+	}
+	return l.accounts[id], nil
+}
+
+// Stake returns the balance of account id (0 when unknown).
+func (l *Ledger) Stake(id int) float64 {
+	if id < 0 || id >= len(l.accounts) {
+		return 0
+	}
+	return l.accounts[id].Stake
+}
+
+// TotalStake returns S_N, the total stake across accounts.
+func (l *Ledger) TotalStake() float64 {
+	sum := 0.0
+	for _, a := range l.accounts {
+		sum += a.Stake
+	}
+	return sum
+}
+
+// Credit adds amount Algos to account id; used by reward disbursement.
+func (l *Ledger) Credit(id int, amount float64) error {
+	if id < 0 || id >= len(l.accounts) {
+		return ErrUnknownAccount
+	}
+	if amount < 0 {
+		return ErrBadAmount
+	}
+	l.accounts[id].Stake += amount
+	return nil
+}
+
+// Round returns the next round to be agreed on (1 + number of blocks).
+func (l *Ledger) Round() uint64 { return uint64(len(l.blocks)) + 1 }
+
+// Tip returns the hash of the last agreed block, or the zero hash at
+// genesis.
+func (l *Ledger) Tip() Hash {
+	if len(l.blocks) == 0 {
+		return Hash{}
+	}
+	return l.blocks[len(l.blocks)-1].Hash()
+}
+
+// Seed returns Q_{r-1}, the sortition seed for the upcoming round.
+func (l *Ledger) Seed() Hash { return l.seed }
+
+// NextSeed derives Q_r from Q_{r-1} and the round number, as the paper's
+// seed-generation task does ("a random number generated by VRF from the
+// last seed value and the current round number").
+func NextSeed(prev Hash, round uint64) Hash {
+	h := sha256.New()
+	h.Write(prev[:])
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], round)
+	h.Write(buf[:])
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// ValidateTx checks a transaction against current balances. The sender
+// must cover both the transferred amount and the fee.
+func (l *Ledger) ValidateTx(tx Transaction) error {
+	if tx.Amount <= 0 || tx.Fee < 0 {
+		return ErrBadAmount
+	}
+	if tx.From < 0 || tx.From >= len(l.accounts) || tx.To < 0 || tx.To >= len(l.accounts) {
+		return ErrUnknownAccount
+	}
+	if l.accounts[tx.From].Stake < tx.Amount+tx.Fee {
+		return ErrInsufficientBal
+	}
+	return nil
+}
+
+// ValidateBlock checks that b extends this ledger's chain.
+func (l *Ledger) ValidateBlock(b Block) error {
+	if b.Round != l.Round() {
+		return ErrBadRound
+	}
+	if b.Prev != l.Tip() {
+		return ErrBadPrev
+	}
+	if b.Empty {
+		return nil
+	}
+	for _, tx := range b.Txns {
+		if err := l.ValidateTx(tx); err != nil {
+			return fmt.Errorf("round %d tx: %w", b.Round, err)
+		}
+	}
+	return nil
+}
+
+// Append validates and commits block b: transactions are applied to
+// balances and the sortition seed advances.
+func (l *Ledger) Append(b Block) error {
+	if err := l.ValidateBlock(b); err != nil {
+		return err
+	}
+	if !b.Empty {
+		for _, tx := range b.Txns {
+			// Re-validate sequentially: earlier transactions in the block may
+			// have drained the sender.
+			if err := l.ValidateTx(tx); err != nil {
+				continue // invalid-at-apply transactions are skipped, not fatal
+			}
+			l.accounts[tx.From].Stake -= tx.Amount + tx.Fee
+			l.accounts[tx.To].Stake += tx.Amount
+			l.fees += tx.Fee
+		}
+	}
+	l.blocks = append(l.blocks, b)
+	l.seed = NextSeed(l.seed, b.Round)
+	return nil
+}
+
+// BlockAt returns the agreed block for round r (1-based).
+func (l *Ledger) BlockAt(r uint64) (Block, bool) {
+	if r < 1 || r > uint64(len(l.blocks)) {
+		return Block{}, false
+	}
+	return l.blocks[r-1], true
+}
+
+// Len returns the number of committed blocks.
+func (l *Ledger) Len() int { return len(l.blocks) }
+
+// Stakes returns a copy of all balances, indexed by account ID.
+func (l *Ledger) Stakes() []float64 {
+	out := make([]float64, len(l.accounts))
+	for i, a := range l.accounts {
+		out[i] = a.Stake
+	}
+	return out
+}
+
+// ErrChainBroken reports a hash-chain integrity violation.
+var ErrChainBroken = errors.New("ledger: hash chain broken")
+
+// VerifyChain re-validates the committed chain's structure: rounds are
+// consecutive from 1 and every block's Prev equals the previous block's
+// hash. It is the integrity audit nodes would run after a catch-up.
+func (l *Ledger) VerifyChain() error {
+	prev := Hash{}
+	for i, b := range l.blocks {
+		if b.Round != uint64(i)+1 {
+			return fmt.Errorf("%w: block %d has round %d", ErrChainBroken, i, b.Round)
+		}
+		if b.Prev != prev {
+			return fmt.Errorf("%w: block %d prev mismatch", ErrChainBroken, i)
+		}
+		prev = b.Hash()
+	}
+	if len(l.blocks) > 0 && l.Tip() != prev {
+		return fmt.Errorf("%w: tip mismatch", ErrChainBroken)
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package ledger
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestVerifyChainEmpty(t *testing.T) {
+	l := testLedger()
+	if err := l.VerifyChain(); err != nil {
+		t.Errorf("empty chain invalid: %v", err)
+	}
+}
+
+func TestVerifyChainAfterAppends(t *testing.T) {
+	l := testLedger()
+	for r := uint64(1); r <= 5; r++ {
+		if err := l.Append(EmptyBlock(r, l.Tip(), NextSeed(l.Seed(), r))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.VerifyChain(); err != nil {
+		t.Errorf("healthy chain invalid: %v", err)
+	}
+}
+
+func TestVerifyChainDetectsTampering(t *testing.T) {
+	l := testLedger()
+	for r := uint64(1); r <= 3; r++ {
+		if err := l.Append(EmptyBlock(r, l.Tip(), NextSeed(l.Seed(), r))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tamper with an interior block.
+	l.blocks[1].Proposer = 42
+	if err := l.VerifyChain(); !errors.Is(err, ErrChainBroken) {
+		t.Errorf("tampered chain err = %v, want ErrChainBroken", err)
+	}
+}
+
+func TestVerifyChainDetectsRoundGap(t *testing.T) {
+	l := testLedger()
+	if err := l.Append(EmptyBlock(1, l.Tip(), NextSeed(l.Seed(), 1))); err != nil {
+		t.Fatal(err)
+	}
+	l.blocks[0].Round = 7
+	if err := l.VerifyChain(); !errors.Is(err, ErrChainBroken) {
+		t.Errorf("gapped chain err = %v, want ErrChainBroken", err)
+	}
+}
+
+func TestFeesCollected(t *testing.T) {
+	l := testLedger(50, 10, 10)
+	block := Block{
+		Round: 1, Prev: l.Tip(), Seed: NextSeed(l.Seed(), 1), Proposer: 0,
+		Txns: []Transaction{
+			{From: 0, To: 1, Amount: 5, Fee: 0.25, Nonce: 1},
+			{From: 0, To: 2, Amount: 5, Fee: 0.75, Nonce: 2},
+		},
+	}
+	if err := l.Append(block); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.FeesCollected(); got != 1.0 {
+		t.Errorf("FeesCollected = %v, want 1", got)
+	}
+	// Sender paid amount + fee; receivers got only the amounts; the fee
+	// left circulation (it is owed to the fee pool).
+	if got := l.Stake(0); got != 50-5-0.25-5-0.75 {
+		t.Errorf("sender balance = %v", got)
+	}
+	if got := l.TotalStake(); got != 70-1 {
+		t.Errorf("total stake = %v, want fees removed", got)
+	}
+	if got := block.Fees(); got != 1.0 {
+		t.Errorf("Block.Fees = %v, want 1", got)
+	}
+}
+
+func TestValidateTxRequiresFeeCoverage(t *testing.T) {
+	l := testLedger(10, 10, 10)
+	if err := l.ValidateTx(Transaction{From: 0, To: 1, Amount: 9.5, Fee: 1}); !errors.Is(err, ErrInsufficientBal) {
+		t.Errorf("err = %v, want ErrInsufficientBal", err)
+	}
+	if err := l.ValidateTx(Transaction{From: 0, To: 1, Amount: 5, Fee: -1}); !errors.Is(err, ErrBadAmount) {
+		t.Errorf("negative fee err = %v, want ErrBadAmount", err)
+	}
+}

@@ -1,0 +1,312 @@
+// Package network simulates Algorand's peer-to-peer gossip layer on top
+// of the discrete-event engine: a random k-peer topology (the paper's
+// simulations gossip to 5 random peers), per-hop message delays, relay
+// with de-duplication, per-node relay policies (defectors stay online but
+// refuse to forward), and offline nodes.
+package network
+
+import (
+	"errors"
+	"math/rand"
+	"time"
+
+	"github.com/dsn2020-algorand/incentives/internal/sim"
+)
+
+// Kind tags the four Algorand message types.
+type Kind uint8
+
+// Message kinds defined by the Algorand communication protocol.
+const (
+	KindTransaction Kind = iota + 1
+	KindVote
+	KindProposal
+	KindCredential
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindTransaction:
+		return "transaction"
+	case KindVote:
+		return "vote"
+	case KindProposal:
+		return "proposal"
+	case KindCredential:
+		return "credential"
+	default:
+		return "unknown"
+	}
+}
+
+// Message is one gossiped payload. ID must uniquely identify the message
+// for de-duplication; Payload is interpreted by the protocol layer.
+type Message struct {
+	ID      [32]byte
+	Kind    Kind
+	Origin  int
+	Payload any
+}
+
+// Handler receives messages delivered to a node.
+type Handler func(node int, msg Message)
+
+// DelayModel samples per-hop propagation delays.
+type DelayModel interface {
+	// Sample draws one hop delay.
+	Sample(rng *rand.Rand) time.Duration
+}
+
+// UniformDelay samples uniformly from [Min, Max].
+type UniformDelay struct {
+	Min, Max time.Duration
+}
+
+var _ DelayModel = UniformDelay{}
+
+// Sample implements DelayModel.
+func (d UniformDelay) Sample(rng *rand.Rand) time.Duration {
+	if d.Max <= d.Min {
+		return d.Min
+	}
+	return d.Min + time.Duration(rng.Int63n(int64(d.Max-d.Min)))
+}
+
+// HeavyTailDelay is a uniform base delay with a probability SlowProb of a
+// SlowFactor-times slower hop, modelling congested links. The tail is what
+// makes a small fraction of honest nodes occasionally miss step timeouts,
+// as observed in the paper's simulations.
+type HeavyTailDelay struct {
+	Base       UniformDelay
+	SlowProb   float64
+	SlowFactor float64
+}
+
+var _ DelayModel = HeavyTailDelay{}
+
+// Sample implements DelayModel.
+func (d HeavyTailDelay) Sample(rng *rand.Rand) time.Duration {
+	base := d.Base.Sample(rng)
+	if d.SlowProb > 0 && rng.Float64() < d.SlowProb {
+		return time.Duration(float64(base) * d.SlowFactor)
+	}
+	return base
+}
+
+// Config parameterises a Network.
+type Config struct {
+	// N is the number of nodes.
+	N int
+	// Fanout is the number of random peers each node pushes to (paper: 5).
+	Fanout int
+	// Delay models per-hop latency.
+	Delay DelayModel
+	// LossProb is the per-hop probability that a push is dropped,
+	// modelling queue overflow and per-link timeouts. Losses are sampled
+	// independently per (message, link), so reachability per message is a
+	// percolation process whose branching factor shrinks as defectors stop
+	// relaying — the coupling through which defection degrades synchrony.
+	LossProb float64
+}
+
+// Stats counts network activity for the cost model and for debugging.
+type Stats struct {
+	Sent           uint64 // messages pushed onto links
+	Delivered      uint64 // first-time deliveries to a node
+	Duplicate      uint64 // suppressed duplicate deliveries
+	DroppedOffline uint64 // deliveries to offline nodes
+	DroppedLoss    uint64 // pushes lost to per-hop loss
+}
+
+// Network is the simulated gossip fabric. It is single-threaded on top of
+// the sim engine.
+type Network struct {
+	cfg      Config
+	engine   *sim.Engine
+	rng      *rand.Rand
+	peers    [][]int
+	handler  Handler
+	relay    []bool
+	online   []bool
+	seen     []map[[32]byte]struct{}
+	factor   float64
+	stats    Stats
+	observer func(node int)
+}
+
+// SetRelayObserver installs a callback invoked each time a node relays a
+// message to its peers; the protocol layer uses it to count gossiping
+// work (cost c_go).
+func (n *Network) SetRelayObserver(fn func(node int)) {
+	n.observer = fn
+}
+
+// ErrBadConfig flags an invalid network configuration.
+var ErrBadConfig = errors.New("network: invalid config")
+
+// New builds a network with a fresh random topology: each node chooses
+// Fanout distinct outbound peers (never itself). Gossip is push-based
+// along these outbound edges, matching the paper's "each node sends the
+// messages to 5 other nodes that are randomly selected".
+func New(cfg Config, engine *sim.Engine, handler Handler) (*Network, error) {
+	if cfg.N < 2 || cfg.Fanout < 1 || cfg.Delay == nil || engine == nil || handler == nil {
+		return nil, ErrBadConfig
+	}
+	if cfg.LossProb < 0 || cfg.LossProb >= 1 {
+		return nil, ErrBadConfig
+	}
+	if cfg.Fanout >= cfg.N {
+		cfg.Fanout = cfg.N - 1
+	}
+	rng := engine.RNG("network.topology")
+	n := &Network{
+		cfg:     cfg,
+		engine:  engine,
+		rng:     engine.RNG("network.delays"),
+		peers:   buildTopology(cfg.N, cfg.Fanout, rng),
+		handler: handler,
+		relay:   make([]bool, cfg.N),
+		online:  make([]bool, cfg.N),
+		seen:    make([]map[[32]byte]struct{}, cfg.N),
+		factor:  1,
+	}
+	for i := 0; i < cfg.N; i++ {
+		n.relay[i] = true
+		n.online[i] = true
+		n.seen[i] = make(map[[32]byte]struct{})
+	}
+	return n, nil
+}
+
+func buildTopology(n, fanout int, rng *rand.Rand) [][]int {
+	peers := make([][]int, n)
+	for i := range peers {
+		chosen := make(map[int]struct{}, fanout)
+		for len(chosen) < fanout {
+			p := rng.Intn(n)
+			if p == i {
+				continue
+			}
+			chosen[p] = struct{}{}
+		}
+		list := make([]int, 0, fanout)
+		for p := range chosen {
+			list = append(list, p)
+		}
+		// Deterministic order: map iteration is random, so sort by index.
+		for a := 1; a < len(list); a++ {
+			for b := a; b > 0 && list[b] < list[b-1]; b-- {
+				list[b], list[b-1] = list[b-1], list[b]
+			}
+		}
+		peers[i] = list
+	}
+	return peers
+}
+
+// Peers returns node i's outbound peer list (read-only view).
+func (n *Network) Peers(i int) []int {
+	if i < 0 || i >= len(n.peers) {
+		return nil
+	}
+	return n.peers[i]
+}
+
+// SetRelay controls whether node i forwards gossip. Defecting nodes stay
+// online (they keep receiving) but stop relaying — gossiping is one of the
+// tasks with cost c_go that a defector refuses to pay.
+func (n *Network) SetRelay(i int, relays bool) {
+	if i >= 0 && i < len(n.relay) {
+		n.relay[i] = relays
+	}
+}
+
+// SetOnline controls whether node i participates at all. Offline (faulty)
+// nodes neither receive nor forward.
+func (n *Network) SetOnline(i int, online bool) {
+	if i >= 0 && i < len(n.online) {
+		n.online[i] = online
+	}
+}
+
+// Online reports node i's availability.
+func (n *Network) Online(i int) bool {
+	return i >= 0 && i < len(n.online) && n.online[i]
+}
+
+// SetDelayFactor scales all sampled delays; the protocol layer uses it to
+// inject weak-synchrony periods (factor >> 1) and recovery (factor 1).
+func (n *Network) SetDelayFactor(f float64) {
+	if f > 0 {
+		n.factor = f
+	}
+}
+
+// DelayFactor returns the current delay multiplier.
+func (n *Network) DelayFactor() float64 { return n.factor }
+
+// Stats returns a copy of the activity counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// ResetSeen clears all de-duplication state; the round driver calls it
+// between rounds to bound memory.
+func (n *Network) ResetSeen() {
+	for i := range n.seen {
+		n.seen[i] = make(map[[32]byte]struct{})
+	}
+}
+
+// Gossip injects msg at node origin and propagates it through the network.
+// The origin "delivers" to itself immediately (it knows its own message)
+// and pushes to its peers if it relays.
+func (n *Network) Gossip(origin int, msg Message) {
+	if origin < 0 || origin >= n.cfg.N || !n.online[origin] {
+		return
+	}
+	if _, dup := n.seen[origin][msg.ID]; dup {
+		return
+	}
+	n.seen[origin][msg.ID] = struct{}{}
+	n.stats.Delivered++
+	n.handler(origin, msg)
+	if n.relay[origin] {
+		n.push(origin, msg)
+	}
+}
+
+// push schedules delivery of msg to each of node i's peers.
+func (n *Network) push(from int, msg Message) {
+	if n.observer != nil {
+		n.observer(from)
+	}
+	for _, peer := range n.peers[from] {
+		peer := peer
+		if n.cfg.LossProb > 0 && n.rng.Float64() < n.cfg.LossProb {
+			n.stats.DroppedLoss++
+			continue
+		}
+		delay := time.Duration(float64(n.cfg.Delay.Sample(n.rng)) * n.factor)
+		n.stats.Sent++
+		n.engine.Schedule(delay, func() {
+			n.deliver(peer, msg)
+		})
+	}
+}
+
+func (n *Network) deliver(node int, msg Message) {
+	if !n.online[node] {
+		n.stats.DroppedOffline++
+		return
+	}
+	if _, dup := n.seen[node][msg.ID]; dup {
+		n.stats.Duplicate++
+		return
+	}
+	n.seen[node][msg.ID] = struct{}{}
+	n.stats.Delivered++
+	n.handler(node, msg)
+	if n.relay[node] {
+		n.push(node, msg)
+	}
+}

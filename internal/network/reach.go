@@ -1,0 +1,73 @@
+package network
+
+import "math"
+
+// ReachAnalysis predicts gossip coverage analytically, letting tests and
+// experiments cross-check the simulated percolation against theory: a
+// push epidemic over a k-out digraph where only a fraction of nodes relay
+// and each push survives per-hop loss independently.
+type ReachAnalysis struct {
+	// Fanout is the out-degree k.
+	Fanout int
+	// RelayFrac is the fraction of nodes that forward messages.
+	RelayFrac float64
+	// LossProb is the per-hop Bernoulli loss.
+	LossProb float64
+}
+
+// BranchingFactor returns the epidemic's effective branching factor
+// R0 = k · relay · (1 − loss): the expected number of onward infections
+// per relaying node.
+func (a ReachAnalysis) BranchingFactor() float64 {
+	return float64(a.Fanout) * a.RelayFrac * (1 - a.LossProb)
+}
+
+// ExpectedCoverage solves the standard epidemic fixed point
+// c = 1 − exp(−R0·c) for the asymptotic fraction of nodes reached by a
+// message that does not die out early. Below the percolation threshold
+// (R0 <= 1) coverage collapses to zero.
+func (a ReachAnalysis) ExpectedCoverage() float64 {
+	r0 := a.BranchingFactor()
+	if r0 <= 1 {
+		return 0
+	}
+	c := 0.5
+	for i := 0; i < 100; i++ {
+		next := 1 - math.Exp(-r0*c)
+		if math.Abs(next-c) < 1e-12 {
+			return next
+		}
+		c = next
+	}
+	return c
+}
+
+// StaticReach runs a breadth-first search over the realised topology
+// counting the nodes reachable from origin when pushes never fail
+// (structural reachability — the upper bound on gossip coverage). Nodes
+// that do not relay still receive but do not forward.
+func (n *Network) StaticReach(origin int) int {
+	if origin < 0 || origin >= n.cfg.N || !n.online[origin] {
+		return 0
+	}
+	visited := make([]bool, n.cfg.N)
+	queue := []int{origin}
+	visited[origin] = true
+	count := 1
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur != origin && !n.relay[cur] {
+			continue // receives but does not forward
+		}
+		for _, peer := range n.peers[cur] {
+			if visited[peer] || !n.online[peer] {
+				continue
+			}
+			visited[peer] = true
+			count++
+			queue = append(queue, peer)
+		}
+	}
+	return count
+}

@@ -1,0 +1,151 @@
+package protocol
+
+import (
+	"testing"
+)
+
+// TestHonestStakeAssumptionHolds verifies the paper's adversary model
+// boundary from the constructive side: when honest users hold well above
+// the threshold h > 2/3 of stake, malicious nodes cannot stop consensus.
+func TestHonestStakeAssumptionHolds(t *testing.T) {
+	const n = 60
+	stakes := make([]float64, n)
+	behaviors := make([]Behavior, n)
+	for i := range stakes {
+		stakes[i] = 10
+		behaviors[i] = Honest
+	}
+	// 10% of stake malicious: comfortably inside the h > 2/3 assumption.
+	for i := 0; i < 6; i++ {
+		behaviors[i] = Malicious
+	}
+	r, err := NewRunner(Config{
+		Params:    DefaultParams(),
+		Stakes:    stakes,
+		Behaviors: behaviors,
+		Seed:      41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decided := 0
+	for _, rep := range r.RunRounds(6) {
+		if rep.Decided {
+			decided++
+		}
+	}
+	if decided < 4 {
+		t.Errorf("only %d/6 rounds decided with 10%% malicious stake", decided)
+	}
+}
+
+// TestMaliciousMajorityBreaksLiveness verifies the boundary from the
+// destructive side: an adversary holding ~45% of stake (violating
+// h > 2/3) prevents final consensus — the BA* quorum of 68.5% of expected
+// committee stake cannot be met by 55% honest participation.
+func TestMaliciousMajorityBreaksLiveness(t *testing.T) {
+	const n = 60
+	stakes := make([]float64, n)
+	behaviors := make([]Behavior, n)
+	for i := range stakes {
+		stakes[i] = 10
+		behaviors[i] = Honest
+	}
+	for i := 0; i < 27; i++ { // 45% of nodes and stake
+		behaviors[i] = Malicious
+	}
+	r, err := NewRunner(Config{
+		Params:    DefaultParams(),
+		Stakes:    stakes,
+		Behaviors: behaviors,
+		Seed:      43,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	finals := 0
+	for _, rep := range r.RunRounds(5) {
+		finals += rep.FinalCount
+	}
+	// Malicious voters split their votes, so honest nodes should almost
+	// never observe a final quorum.
+	if float64(finals) > 0.15*5*n {
+		t.Errorf("final consensus survived a 45%% malicious adversary: %d final outcomes", finals)
+	}
+}
+
+// TestRichDefectorsAmplifyDamage reproduces the paper's observation that
+// "defection of these rich nodes can amplify the network synchrony
+// problem": at equal node counts, defectors holding the richest accounts
+// hurt liveness more than defectors holding the poorest.
+func TestRichDefectorsAmplifyDamage(t *testing.T) {
+	const n = 80
+	const defectors = 12
+	stakes := make([]float64, n)
+	for i := range stakes {
+		stakes[i] = float64(1 + i) // increasing stakes 1..80
+	}
+
+	run := func(rich bool) float64 {
+		behaviors := make([]Behavior, n)
+		for i := range behaviors {
+			behaviors[i] = Honest
+		}
+		if rich {
+			for i := n - defectors; i < n; i++ {
+				behaviors[i] = Selfish
+			}
+		} else {
+			for i := 0; i < defectors; i++ {
+				behaviors[i] = Selfish
+			}
+		}
+		r, err := NewRunner(Config{
+			Params:    DefaultParams(),
+			Stakes:    stakes,
+			Behaviors: behaviors,
+			Seed:      47,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, rep := range r.RunRounds(6) {
+			sum += rep.FinalFrac()
+		}
+		return sum / 6
+	}
+
+	poorFinal := run(false)
+	richFinal := run(true)
+	if richFinal >= poorFinal {
+		t.Errorf("rich defectors (final %.2f) should hurt more than poor ones (final %.2f)",
+			richFinal, poorFinal)
+	}
+}
+
+// TestSafetyNoConflictingFinalBlocks checks BA*'s safety goal: within a
+// round, no two honest nodes finalise different non-empty blocks.
+func TestSafetyNoConflictingFinalBlocks(t *testing.T) {
+	behaviors := behaviorsOf(60, Honest)
+	for i := 0; i < 9; i++ {
+		behaviors[i*6] = Malicious // 15% adversary, inside the h bound
+	}
+	r := newTestRunner(t, 60, behaviors, 53)
+	for _, rep := range r.RunRounds(6) {
+		var finalHash *[32]byte
+		for id, outcome := range rep.Outcomes {
+			if outcome != OutcomeFinal || behaviors[id] != Honest {
+				continue
+			}
+			h := [32]byte(r.nodes[id].outcomeHash)
+			if finalHash == nil {
+				finalHash = &h
+				continue
+			}
+			if *finalHash != h {
+				t.Fatalf("round %d: honest nodes finalised different blocks", rep.Round)
+			}
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package protocol
+
+import "github.com/dsn2020-algorand/incentives/internal/game"
+
+// TaskCounts tallies how many times one node performed each Table II task
+// during a simulation. The counters let experiments price a run with the
+// game-theoretic cost model and compare realised per-role costs against
+// the Eq. 1–2 aggregates.
+type TaskCounts struct {
+	Verify      uint64 // c_ve: transactions validated
+	Seed        uint64 // c_se: seed derivations
+	Sortition   uint64 // c_so: sortition draws
+	VerifyProof uint64 // c_vs: sortition proofs verified
+	Propose     uint64 // c_bl: blocks assembled and proposed
+	Gossip      uint64 // c_go: messages relayed
+	SelectBlock uint64 // c_bs: proposal selections
+	Vote        uint64 // c_vo: votes cast
+	CountVotes  uint64 // c_vc: vote messages tallied
+}
+
+// Add accumulates other into c.
+func (c *TaskCounts) Add(other TaskCounts) {
+	c.Verify += other.Verify
+	c.Seed += other.Seed
+	c.Sortition += other.Sortition
+	c.VerifyProof += other.VerifyProof
+	c.Propose += other.Propose
+	c.Gossip += other.Gossip
+	c.SelectBlock += other.SelectBlock
+	c.Vote += other.Vote
+	c.CountVotes += other.CountVotes
+}
+
+// Cost prices the counted tasks with a per-task cost vector, yielding the
+// node's total expenditure in Algos. Per-round task costs in the paper
+// are per-occurrence of the round's duty, so the counters are priced
+// directly.
+func (c TaskCounts) Cost(costs game.TaskCosts) float64 {
+	return float64(c.Verify)*costs.Verify +
+		float64(c.Seed)*costs.Seed +
+		float64(c.Sortition)*costs.Sortition +
+		float64(c.VerifyProof)*costs.VerifyProof +
+		float64(c.Propose)*costs.Propose +
+		float64(c.Gossip)*costs.Gossip +
+		float64(c.SelectBlock)*costs.SelectBlock +
+		float64(c.Vote)*costs.Vote +
+		float64(c.CountVotes)*costs.CountVotes
+}
+
+// costMeter records per-node task counts for a Runner.
+type costMeter struct {
+	counts []TaskCounts
+}
+
+func newCostMeter(n int) *costMeter {
+	return &costMeter{counts: make([]TaskCounts, n)}
+}
+
+func (m *costMeter) of(id int) *TaskCounts {
+	return &m.counts[id]
+}
+
+// Snapshot returns a copy of all per-node counters.
+func (m *costMeter) Snapshot() []TaskCounts {
+	out := make([]TaskCounts, len(m.counts))
+	copy(out, m.counts)
+	return out
+}

@@ -1,0 +1,101 @@
+package protocol
+
+import (
+	"testing"
+
+	"github.com/dsn2020-algorand/incentives/internal/game"
+)
+
+func TestTaskCountsAddAndCost(t *testing.T) {
+	a := TaskCounts{Verify: 1, Sortition: 2, Vote: 3}
+	b := TaskCounts{Verify: 10, Gossip: 5, Propose: 1}
+	a.Add(b)
+	if a.Verify != 11 || a.Gossip != 5 || a.Vote != 3 || a.Propose != 1 {
+		t.Errorf("Add result %+v", a)
+	}
+	costs := game.TaskCosts{Verify: 2, Sortition: 3, Vote: 5, Gossip: 7, Propose: 11}
+	want := 11.0*2 + 2*3 + 3*5 + 5*7 + 1*11
+	if got := a.Cost(costs); got != want {
+		t.Errorf("Cost = %v, want %v", got, want)
+	}
+}
+
+func TestRunnerTaskAccounting(t *testing.T) {
+	behaviors := behaviorsOf(50, Honest)
+	behaviors[5] = Selfish
+	behaviors[6] = Faulty
+	r := newTestRunner(t, 50, behaviors, 23)
+	r.SubmitTransaction(1, 2, 1)
+	rounds := 4
+	r.RunRounds(rounds)
+
+	counts := r.TaskCounts()
+	if len(counts) != 50 {
+		t.Fatalf("got counters for %d nodes", len(counts))
+	}
+
+	var honest, selfish, faulty TaskCounts
+	for i, c := range counts {
+		switch behaviors[i] {
+		case Selfish:
+			selfish.Add(c)
+		case Faulty:
+			faulty.Add(c)
+		default:
+			honest.Add(c)
+		}
+	}
+
+	// Faulty nodes are offline: no work at all.
+	if faulty != (TaskCounts{}) {
+		t.Errorf("faulty node performed work: %+v", faulty)
+	}
+	// Selfish nodes pay only sortition (to stay joined) — no seeds, no
+	// votes, no proposals, no relaying, no verification.
+	if selfish.Sortition != uint64(rounds) {
+		t.Errorf("selfish sortition count = %d, want %d", selfish.Sortition, rounds)
+	}
+	if selfish.Seed != 0 || selfish.Vote != 0 || selfish.Propose != 0 ||
+		selfish.Gossip != 0 || selfish.VerifyProof != 0 || selfish.CountVotes != 0 {
+		t.Errorf("selfish node performed protocol tasks: %+v", selfish)
+	}
+	// Honest nodes do everything: seeds every round, sortition every
+	// round, votes, relays and proof verifications.
+	if honest.Seed == 0 || honest.Sortition == 0 || honest.Vote == 0 ||
+		honest.Gossip == 0 || honest.VerifyProof == 0 || honest.CountVotes == 0 ||
+		honest.SelectBlock == 0 {
+		t.Errorf("honest pool missing task classes: %+v", honest)
+	}
+	// Someone proposed in 4 rounds with near-certainty (tau_proposer=26).
+	if honest.Propose == 0 {
+		t.Error("no proposals counted")
+	}
+
+	// Pricing the counters with the paper's cost vector yields positive,
+	// role-consistent expenditure: honest >> selfish.
+	costs := game.DefaultTaskCosts()
+	if honest.Cost(costs) <= selfish.Cost(costs) {
+		t.Error("honest work priced below selfish work")
+	}
+	wantSelfish := float64(rounds) * costs.Sortition
+	if got := selfish.Cost(costs); got != wantSelfish {
+		t.Errorf("selfish cost = %v, want %v (rounds x c_so)", got, wantSelfish)
+	}
+}
+
+func TestSetDegradedWindowStallsRounds(t *testing.T) {
+	r := newTestRunner(t, 60, behaviorsOf(60, Honest), 29)
+	r.SetDegradedWindow(2, 3)
+	reports := r.RunRounds(5)
+	if !reports[1].Degraded || !reports[2].Degraded {
+		t.Error("forced window not marked degraded")
+	}
+	// Degraded rounds mostly fail; the surrounding rounds should fare
+	// better on average.
+	degradedFinal := reports[1].FinalFrac() + reports[2].FinalFrac()
+	healthyFinal := reports[0].FinalFrac() + reports[4].FinalFrac()
+	if degradedFinal >= healthyFinal {
+		t.Errorf("degraded rounds finalised as much as healthy ones: %v >= %v",
+			degradedFinal, healthyFinal)
+	}
+}

@@ -1,0 +1,49 @@
+package protocol
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+
+	"github.com/dsn2020-algorand/incentives/internal/ledger"
+	"github.com/dsn2020-algorand/incentives/internal/sortition"
+)
+
+// proposalPayload is the gossiped block proposal: the block itself plus
+// the sortition credential proving the sender's proposer role.
+type proposalPayload struct {
+	Block      ledger.Block
+	BlockHash  ledger.Hash
+	Credential sortition.Result
+	Proposer   int
+}
+
+func proposalID(round uint64, proposer int) [32]byte {
+	var buf [17]byte
+	buf[0] = byte('P')
+	binary.BigEndian.PutUint64(buf[1:], round)
+	binary.BigEndian.PutUint64(buf[9:], uint64(int64(proposer)))
+	return sha256.Sum256(buf[:])
+}
+
+// votePayload is a signed committee vote for a block hash at a given
+// (round, step), carrying the sortition proof of committee membership.
+type votePayload struct {
+	Round      uint64
+	Step       uint64
+	Final      bool
+	Value      ledger.Hash
+	Voter      int
+	Credential sortition.Result
+}
+
+func voteID(round, step uint64, final bool, voter int) [32]byte {
+	var buf [26]byte
+	buf[0] = byte('V')
+	if final {
+		buf[1] = 1
+	}
+	binary.BigEndian.PutUint64(buf[2:], round)
+	binary.BigEndian.PutUint64(buf[10:], step)
+	binary.BigEndian.PutUint64(buf[18:], uint64(int64(voter)))
+	return sha256.Sum256(buf[:])
+}

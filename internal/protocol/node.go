@@ -1,0 +1,126 @@
+package protocol
+
+import (
+	"github.com/dsn2020-algorand/incentives/internal/ledger"
+	"github.com/dsn2020-algorand/incentives/internal/sortition"
+)
+
+// stepTally accumulates weighted votes for one (round, step).
+type stepTally struct {
+	weights map[ledger.Hash]float64
+	voters  map[int]struct{}
+}
+
+func newStepTally() *stepTally {
+	return &stepTally{
+		weights: make(map[ledger.Hash]float64),
+		voters:  make(map[int]struct{}),
+	}
+}
+
+// add records a vote of the given weight, once per voter.
+func (t *stepTally) add(voter int, value ledger.Hash, weight float64) {
+	if _, dup := t.voters[voter]; dup {
+		return
+	}
+	t.voters[voter] = struct{}{}
+	t.weights[value] += weight
+}
+
+// leader returns the value with the largest weight and that weight.
+func (t *stepTally) leader() (ledger.Hash, float64) {
+	var best ledger.Hash
+	bestW := -1.0
+	for v, w := range t.weights {
+		if w > bestW || (w == bestW && hashLess(v, best)) {
+			best, bestW = v, w
+		}
+	}
+	if bestW < 0 {
+		return ledger.Hash{}, 0
+	}
+	return best, bestW
+}
+
+// weightFor returns the accumulated weight for value.
+func (t *stepTally) weightFor(value ledger.Hash) float64 {
+	return t.weights[value]
+}
+
+func hashLess(a, b ledger.Hash) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// node is one simulated participant's protocol state for the current
+// round. Long-lived state (the ledger replica, behaviour) persists across
+// rounds; per-round state is reset by beginRound.
+type node struct {
+	id       int
+	behavior Behavior
+	ledger   *ledger.Ledger
+	synced   bool
+
+	// Per-round state.
+	round        uint64
+	bestPriority sortition.Priority
+	bestProposal *proposalPayload
+	blocks       map[ledger.Hash]ledger.Block
+	tallies      map[uint64]*stepTally
+	finalTally   *stepTally
+	value        ledger.Hash // current BinaryBA* value
+	decided      bool
+	decidedHash  ledger.Hash
+	decidedStep  uint64
+	outcome      Outcome
+	outcomeHash  ledger.Hash
+}
+
+func (nd *node) beginRound(round uint64) {
+	nd.round = round
+	nd.bestPriority = sortition.Priority{}
+	nd.bestProposal = nil
+	nd.blocks = make(map[ledger.Hash]ledger.Block)
+	nd.tallies = make(map[uint64]*stepTally)
+	nd.finalTally = newStepTally()
+	nd.value = ledger.Hash{}
+	nd.decided = false
+	nd.decidedHash = ledger.Hash{}
+	nd.decidedStep = 0
+	nd.outcome = OutcomeNone
+	nd.outcomeHash = ledger.Hash{}
+}
+
+func (nd *node) tally(step uint64) *stepTally {
+	t, ok := nd.tallies[step]
+	if !ok {
+		t = newStepTally()
+		nd.tallies[step] = t
+	}
+	return t
+}
+
+// observeProposal records a proposal if it beats the current best
+// priority; the block body is retained so the node can commit it on
+// consensus.
+func (nd *node) observeProposal(p *proposalPayload) {
+	nd.blocks[p.BlockHash] = p.Block
+	if nd.bestProposal == nil || nd.bestPriority.Less(p.Credential.Priority) {
+		nd.bestProposal = p
+		nd.bestPriority = p.Credential.Priority
+	}
+}
+
+// observeVote records a verified committee vote.
+func (nd *node) observeVote(v *votePayload) {
+	weight := float64(v.Credential.SubUsers)
+	if v.Final {
+		nd.finalTally.add(v.Voter, v.Value, weight)
+		return
+	}
+	nd.tally(v.Step).add(v.Voter, v.Value, weight)
+}

@@ -1,0 +1,805 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/dsn2020-algorand/incentives/internal/ledger"
+	"github.com/dsn2020-algorand/incentives/internal/network"
+	"github.com/dsn2020-algorand/incentives/internal/sim"
+	"github.com/dsn2020-algorand/incentives/internal/sortition"
+	"github.com/dsn2020-algorand/incentives/internal/vrf"
+)
+
+// RoleStake identifies one participant of a round together with its stake
+// and sortition weight (selected sub-users).
+type RoleStake struct {
+	ID     int
+	Stake  float64
+	Weight float64
+}
+
+// RoundRoles lists who actually played which role in a round; the reward
+// hook receives it to disburse per-round incentives.
+type RoundRoles struct {
+	Round     uint64
+	Leaders   []RoleStake
+	Committee []RoleStake
+	Others    []RoleStake
+}
+
+// RoundReport summarises one simulated round: the per-node outcomes that
+// Fig. 3 plots plus bookkeeping about the canonical chain.
+type RoundReport struct {
+	Round          uint64
+	Outcomes       []Outcome
+	FinalCount     int
+	TentativeCount int
+	NoneCount      int
+	CanonicalHash  ledger.Hash
+	CanonicalEmpty bool
+	Decided        bool // some node decided this round
+	Degraded       bool // weak-synchrony round
+	Desynced       int  // nodes behind the canonical chain after catch-up
+}
+
+// FinalFrac returns the fraction of nodes that extracted a final block.
+func (r RoundReport) FinalFrac() float64 {
+	return float64(r.FinalCount) / float64(len(r.Outcomes))
+}
+
+// TentativeFrac returns the fraction of nodes with a tentative block.
+func (r RoundReport) TentativeFrac() float64 {
+	return float64(r.TentativeCount) / float64(len(r.Outcomes))
+}
+
+// NoneFrac returns the fraction of nodes that extracted no block.
+func (r RoundReport) NoneFrac() float64 {
+	return float64(r.NoneCount) / float64(len(r.Outcomes))
+}
+
+// RewardHook is invoked after every round with the realised roles.
+type RewardHook func(roles RoundRoles, report RoundReport)
+
+// Config assembles a protocol simulation.
+type Config struct {
+	Params    Params
+	Stakes    []float64
+	Behaviors []Behavior
+	Fanout    int
+	Delay     network.DelayModel
+	// LossProb is the per-hop gossip loss probability; negative selects
+	// the default (DefaultLossProb).
+	LossProb float64
+	Seed     int64
+	Reward   RewardHook
+}
+
+// DefaultLossProb is the effective per-hop gossip loss used when
+// Config.LossProb is zero. It folds queueing and per-link timeouts into a
+// single Bernoulli drop; 0.20 calibrates the simulator so that a 5%
+// defection rate leaves roughly 7% of nodes without a block, the
+// operating point the paper reports for Fig. 3-(a).
+const DefaultLossProb = 0.20
+
+// Runner drives the BA* protocol for a population of simulated nodes.
+type Runner struct {
+	params                   Params
+	engine                   *sim.Engine
+	net                      *network.Network
+	canonical                *ledger.Ledger
+	nodes                    []*node
+	keys                     []vrf.KeyPair
+	rng                      *rand.Rand
+	reward                   RewardHook
+	pending                  []ledger.Transaction
+	nonce                    uint64
+	meter                    *costMeter
+	degradedFrom, degradedTo uint64 // forced weak-synchrony window
+
+	// Per-round scratch state.
+	roundStakes []float64
+	roundTotal  float64
+	roundSeed   ledger.Hash
+	tauStepAbs  float64
+	tauFinalAbs float64
+	degraded    bool
+	proposers   map[int]float64 // node -> sub-user weight this round
+	voters      map[int]float64
+}
+
+// NewRunner validates cfg and builds the simulation.
+func NewRunner(cfg Config) (*Runner, error) {
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Stakes) < 2 {
+		return nil, errors.New("protocol: need at least two nodes")
+	}
+	if len(cfg.Behaviors) != len(cfg.Stakes) {
+		return nil, errors.New("protocol: behaviors and stakes length mismatch")
+	}
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = 5
+	}
+	if cfg.Delay == nil {
+		cfg.Delay = HeavyTailDefault()
+	}
+
+	engine := sim.NewEngine(cfg.Seed)
+	canonical := ledger.Genesis(cfg.Stakes, engine.RNG("ledger.genesis"))
+
+	r := &Runner{
+		params:    cfg.Params,
+		engine:    engine,
+		canonical: canonical,
+		rng:       engine.RNG("runner"),
+		reward:    cfg.Reward,
+		nodes:     make([]*node, len(cfg.Stakes)),
+		keys:      make([]vrf.KeyPair, len(cfg.Stakes)),
+		meter:     newCostMeter(len(cfg.Stakes)),
+	}
+	for i := range r.nodes {
+		acct, err := canonical.Account(i)
+		if err != nil {
+			return nil, fmt.Errorf("protocol: genesis account %d: %w", i, err)
+		}
+		r.keys[i] = acct.Keys
+		r.nodes[i] = &node{
+			id:       i,
+			behavior: cfg.Behaviors[i],
+			ledger:   canonical.CloneView(),
+			synced:   true,
+		}
+	}
+
+	loss := cfg.LossProb
+	if loss == 0 {
+		loss = DefaultLossProb
+	}
+	if loss < 0 {
+		loss = 0
+	}
+	net, err := network.New(network.Config{
+		N:        len(cfg.Stakes),
+		Fanout:   cfg.Fanout,
+		Delay:    cfg.Delay,
+		LossProb: loss,
+	}, engine, r.handleMessage)
+	if err != nil {
+		return nil, err
+	}
+	r.net = net
+	net.SetRelayObserver(func(nodeID int) {
+		r.meter.of(nodeID).Gossip++
+	})
+	for i, nd := range r.nodes {
+		switch nd.behavior {
+		case Selfish:
+			net.SetRelay(i, false) // defectors refuse the gossiping task
+		case Faulty:
+			net.SetOnline(i, false)
+		}
+	}
+	return r, nil
+}
+
+// HeavyTailDefault is the default per-hop delay model: 20–200 ms with a 4%
+// chance of an 8x slower link.
+func HeavyTailDefault() network.DelayModel {
+	return network.HeavyTailDelay{
+		Base:       network.UniformDelay{Min: 20 * time.Millisecond, Max: 200 * time.Millisecond},
+		SlowProb:   0.04,
+		SlowFactor: 8,
+	}
+}
+
+// Canonical exposes the authoritative chain (what the synced quorum
+// agreed on); experiments read stakes and blocks from it.
+func (r *Runner) Canonical() *ledger.Ledger { return r.canonical }
+
+// Network exposes the gossip fabric, e.g. for stats.
+func (r *Runner) Network() *network.Network { return r.net }
+
+// SubmitTransaction queues a fee-less transfer for inclusion by future
+// proposers.
+func (r *Runner) SubmitTransaction(from, to int, amount float64) {
+	r.SubmitTransactionFee(from, to, amount, 0)
+}
+
+// SubmitTransactionFee queues a transfer paying the given fee. Fees are
+// deducted from senders when the block commits and accumulate in the
+// canonical ledger's fee account (see FeesCollected), from where the
+// Foundation's transaction-fee pool is funded.
+func (r *Runner) SubmitTransactionFee(from, to int, amount, fee float64) {
+	r.nonce++
+	r.pending = append(r.pending, ledger.Transaction{
+		From: from, To: to, Amount: amount, Fee: fee, Nonce: r.nonce,
+	})
+}
+
+// FeesCollected returns the cumulative transaction fees committed on the
+// canonical chain.
+func (r *Runner) FeesCollected() float64 { return r.canonical.FeesCollected() }
+
+// TaskCounts returns a copy of every node's Table II task counters,
+// letting callers price a simulation with game.TaskCosts.
+func (r *Runner) TaskCounts() []TaskCounts { return r.meter.Snapshot() }
+
+// SetDegradedWindow forces weak synchrony (the AsyncFactor delay
+// inflation) for every round in [from, to], on top of the random
+// AsyncProb rounds. Experiments use it to reproduce the paper's
+// asynchrony-then-recovery spikes deterministically.
+func (r *Runner) SetDegradedWindow(from, to uint64) {
+	r.degradedFrom, r.degradedTo = from, to
+}
+
+// RunRounds simulates n consecutive rounds and returns their reports.
+func (r *Runner) RunRounds(n int) []RoundReport {
+	reports := make([]RoundReport, 0, n)
+	for i := 0; i < n; i++ {
+		reports = append(reports, r.runRound())
+	}
+	return reports
+}
+
+const finalVoteStep = 1 << 20 // sortition step id reserved for final votes
+
+func (r *Runner) runRound() RoundReport {
+	round := r.canonical.Round()
+	r.roundStakes = r.canonical.Stakes()
+	r.roundTotal = r.canonical.TotalStake()
+	r.roundSeed = r.canonical.Seed()
+	r.tauStepAbs = resolveTau(r.params.TauStep, r.roundTotal)
+	r.tauFinalAbs = resolveTau(r.params.TauFinal, r.roundTotal)
+	r.degraded = r.rng.Float64() < r.params.AsyncProb
+	if r.degradedFrom > 0 && round >= r.degradedFrom && round <= r.degradedTo {
+		r.degraded = true
+	}
+	if r.degraded {
+		r.net.SetDelayFactor(r.params.AsyncFactor)
+	} else {
+		r.net.SetDelayFactor(1)
+	}
+	r.net.ResetSeen()
+	r.proposers = make(map[int]float64)
+	r.voters = make(map[int]float64)
+
+	for _, nd := range r.nodes {
+		nd.synced = nd.ledger.Round() == round && nd.ledger.Tip() == r.canonical.Tip()
+		nd.beginRound(round)
+		// Every online node derives the round seed; even defectors run
+		// sortition to join the network ("paying cost c_so").
+		if r.net.Online(nd.id) && nd.behavior != Faulty {
+			meter := r.meter.of(nd.id)
+			meter.Sortition++
+			if nd.behavior != Selfish {
+				meter.Seed++
+			}
+		}
+	}
+
+	start := r.engine.Now()
+	r.engine.ScheduleAt(start, func() { r.proposePhase(round) })
+	stepAt := func(s int) time.Duration {
+		return start + r.params.ProposalTimeout + time.Duration(s-1)*r.params.StepTimeout
+	}
+	r.engine.ScheduleAt(stepAt(1), func() { r.reductionStep1(round) })
+	r.engine.ScheduleAt(stepAt(2), func() { r.reductionStep2(round) })
+	lastStep := 2 + r.params.MaxBinarySteps
+	for s := 3; s <= lastStep; s++ {
+		s := s
+		r.engine.ScheduleAt(stepAt(s), func() { r.binaryStep(round, uint64(s)) })
+	}
+	// Drain all gossip; late messages land in tallies but were not counted.
+	_ = r.engine.Run(0)
+
+	report := r.finalizeRound(round, lastStep)
+	r.catchUp()
+	report.Desynced = r.countDesynced()
+	if r.reward != nil {
+		r.reward(r.collectRoles(round), report)
+	}
+	return report
+}
+
+func resolveTau(tau, total float64) float64 {
+	if tau <= 1 {
+		return tau * total
+	}
+	return tau
+}
+
+// participates reports whether node nd performs protocol tasks this round.
+func (r *Runner) participates(nd *node) bool {
+	if !r.net.Online(nd.id) || !nd.synced {
+		return false
+	}
+	return nd.behavior == Honest || nd.behavior == Malicious
+}
+
+func (r *Runner) sortitionParams(role sortition.Role, round, step uint64, tau float64) sortition.Params {
+	return sortition.Params{
+		Seed:       [32]byte(r.roundSeed),
+		Role:       role,
+		Round:      round,
+		Step:       step,
+		Tau:        tau,
+		TotalStake: r.roundTotal,
+	}
+}
+
+// --- Phase actions -------------------------------------------------------
+
+func (r *Runner) proposePhase(round uint64) {
+	for _, nd := range r.nodes {
+		if !r.participates(nd) {
+			continue
+		}
+		p := r.sortitionParams(sortition.RoleProposer, round, 0, r.params.TauProposer)
+		res, err := sortition.Select(r.keys[nd.id].Private, r.roundStakes[nd.id], p)
+		if err != nil || !res.Selected() {
+			continue
+		}
+		r.proposers[nd.id] = float64(res.SubUsers)
+		r.meter.of(nd.id).Propose++
+		block := r.assembleBlock(nd, round)
+		payload := &proposalPayload{
+			Block:      block,
+			BlockHash:  block.Hash(),
+			Credential: res,
+			Proposer:   nd.id,
+		}
+		r.net.Gossip(nd.id, network.Message{
+			ID:      proposalID(round, nd.id),
+			Kind:    network.KindProposal,
+			Origin:  nd.id,
+			Payload: payload,
+		})
+	}
+}
+
+// assembleBlock packs pending valid transactions into a proposal. A
+// malicious proposer produces a structurally valid but empty-payload block
+// with a perturbed seed lineage, modelling an adversarial proposal.
+func (r *Runner) assembleBlock(nd *node, round uint64) ledger.Block {
+	block := ledger.Block{
+		Round:    round,
+		Prev:     nd.ledger.Tip(),
+		Seed:     ledger.NextSeed(nd.ledger.Seed(), round),
+		Proposer: nd.id,
+	}
+	if nd.behavior == Malicious {
+		return block // valid-but-empty adversarial payload
+	}
+	count := 0
+	for _, tx := range r.pending {
+		if count >= r.params.MaxTxPerBlock {
+			break
+		}
+		r.meter.of(nd.id).Verify++
+		if nd.ledger.ValidateTx(tx) == nil {
+			block.Txns = append(block.Txns, tx)
+			count++
+		}
+	}
+	return block
+}
+
+func (r *Runner) reductionStep1(round uint64) {
+	for _, nd := range r.nodes {
+		if !r.participates(nd) {
+			continue
+		}
+		value := nd.emptyHash()
+		if nd.bestProposal != nil {
+			value = nd.bestProposal.BlockHash
+		}
+		r.meter.of(nd.id).SelectBlock++
+		r.castVote(nd, round, 1, false, value)
+	}
+}
+
+func (r *Runner) reductionStep2(round uint64) {
+	quorum := r.params.ThresholdStep * r.tauStepAbs
+	for _, nd := range r.nodes {
+		if !r.participates(nd) {
+			continue
+		}
+		value := nd.emptyHash()
+		if leader, w := nd.tally(1).leader(); w >= quorum && leader != nd.emptyHash() {
+			value = leader
+		}
+		r.castVote(nd, round, 2, false, value)
+	}
+}
+
+// binaryStep first evaluates the previous step's tally and then, if the
+// node has not yet decided, casts the next BinaryBA* vote.
+func (r *Runner) binaryStep(round, step uint64) {
+	quorum := r.params.ThresholdStep * r.tauStepAbs
+	for _, nd := range r.nodes {
+		if !r.participates(nd) || nd.decided {
+			continue
+		}
+		prev := nd.tally(step - 1)
+		empty := nd.emptyHash()
+		if step == 3 {
+			// Entering BinaryBA*: adopt the reduction output.
+			nd.value = empty
+			if leader, w := prev.leader(); w >= quorum && leader != empty {
+				nd.value = leader
+			}
+		} else {
+			r.evaluateBinaryTally(nd, prev, quorum, step-1)
+			if nd.decided {
+				continue
+			}
+		}
+		r.castVote(nd, round, step, false, nd.value)
+	}
+}
+
+// evaluateBinaryTally applies the BinaryBA* decision rule to one tally.
+func (r *Runner) evaluateBinaryTally(nd *node, t *stepTally, quorum float64, step uint64) {
+	empty := nd.emptyHash()
+	var bestNonEmpty ledger.Hash
+	bestW := 0.0
+	for v, w := range t.weights {
+		if v == empty {
+			continue
+		}
+		if w > bestW || (w == bestW && hashLess(v, bestNonEmpty)) {
+			bestNonEmpty, bestW = v, w
+		}
+	}
+	switch {
+	case bestW >= quorum:
+		nd.decided = true
+		nd.decidedHash = bestNonEmpty
+		nd.decidedStep = step
+		if step == 3 {
+			// Completed in the first BinaryBA* step: vote in the final
+			// committee so the network can declare the block FINAL.
+			r.castFinalVote(nd, nd.round, bestNonEmpty)
+		}
+	case t.weightFor(empty) >= quorum:
+		nd.decided = true
+		nd.decidedHash = empty
+		nd.decidedStep = step
+	}
+}
+
+func (r *Runner) castVote(nd *node, round, step uint64, final bool, value ledger.Hash) {
+	tau := r.tauStepAbs
+	role := sortition.RoleCommittee
+	sortStep := step
+	if final {
+		tau = r.tauFinalAbs
+		role = sortition.RoleFinal
+		sortStep = finalVoteStep
+	}
+	p := r.sortitionParams(role, round, sortStep, tau)
+	res, err := sortition.Select(r.keys[nd.id].Private, r.roundStakes[nd.id], p)
+	if err != nil || !res.Selected() {
+		return
+	}
+	r.voters[nd.id] = r.voters[nd.id] + float64(res.SubUsers)
+	r.meter.of(nd.id).Vote++
+	if nd.behavior == Malicious {
+		value = r.maliciousValue(nd)
+	}
+	payload := &votePayload{
+		Round:      round,
+		Step:       step,
+		Final:      final,
+		Value:      value,
+		Voter:      nd.id,
+		Credential: res,
+	}
+	r.net.Gossip(nd.id, network.Message{
+		ID:      voteID(round, step, final, nd.id),
+		Kind:    network.KindVote,
+		Origin:  nd.id,
+		Payload: payload,
+	})
+}
+
+func (r *Runner) castFinalVote(nd *node, round uint64, value ledger.Hash) {
+	r.castVote(nd, round, finalVoteStep, true, value)
+}
+
+// maliciousValue picks an arbitrary vote value: a random observed block
+// hash or the empty hash, chosen adversarially at random.
+func (r *Runner) maliciousValue(nd *node) ledger.Hash {
+	if len(nd.blocks) > 0 && r.rng.Float64() < 0.5 {
+		for h := range nd.blocks {
+			return h
+		}
+	}
+	return nd.emptyHash()
+}
+
+// --- Message handling ----------------------------------------------------
+
+func (r *Runner) handleMessage(nodeID int, msg network.Message) {
+	nd := r.nodes[nodeID]
+	if nd.behavior == Selfish || nd.behavior == Faulty {
+		// Defectors skip verification, block selection and vote counting;
+		// faulty nodes are offline anyway.
+		return
+	}
+	switch payload := msg.Payload.(type) {
+	case *proposalPayload:
+		r.handleProposal(nd, payload)
+	case *votePayload:
+		r.handleVote(nd, payload)
+	}
+}
+
+func (r *Runner) handleProposal(nd *node, p *proposalPayload) {
+	if p.Block.Round != nd.round {
+		return
+	}
+	r.meter.of(nd.id).VerifyProof++
+	params := r.sortitionParams(sortition.RoleProposer, nd.round, 0, r.params.TauProposer)
+	if !sortition.Verify(r.keys[p.Proposer].Public, r.roundStakes[p.Proposer], params, p.Credential) {
+		return
+	}
+	if p.Block.Hash() != p.BlockHash {
+		return
+	}
+	if nd.synced && nd.ledger.ValidateBlock(p.Block) != nil {
+		return
+	}
+	nd.observeProposal(p)
+}
+
+func (r *Runner) handleVote(nd *node, v *votePayload) {
+	if v.Round != nd.round {
+		return
+	}
+	tau := r.tauStepAbs
+	role := sortition.RoleCommittee
+	sortStep := v.Step
+	if v.Final {
+		tau = r.tauFinalAbs
+		role = sortition.RoleFinal
+		sortStep = finalVoteStep
+	}
+	meter := r.meter.of(nd.id)
+	meter.VerifyProof++
+	params := r.sortitionParams(role, v.Round, sortStep, tau)
+	if !sortition.Verify(r.keys[v.Voter].Public, r.roundStakes[v.Voter], params, v.Credential) {
+		return
+	}
+	meter.CountVotes++
+	nd.observeVote(v)
+}
+
+// --- Round finalisation --------------------------------------------------
+
+func (r *Runner) finalizeRound(round uint64, lastStep int) RoundReport {
+	report := RoundReport{
+		Round:    round,
+		Outcomes: make([]Outcome, len(r.nodes)),
+		Degraded: r.degraded,
+	}
+	finalQuorum := r.params.ThresholdFinal * r.tauFinalAbs
+	quorum := r.params.ThresholdStep * r.tauStepAbs
+
+	// Give undecided nodes one last look at the final step's tally.
+	for _, nd := range r.nodes {
+		if r.participates(nd) && !nd.decided {
+			r.evaluateBinaryTally(nd, nd.tally(uint64(lastStep)), quorum, uint64(lastStep))
+		}
+	}
+
+	decisions := make(map[ledger.Hash]int)
+	for _, nd := range r.nodes {
+		outcome := OutcomeNone
+		var hash ledger.Hash
+		if r.participates(nd) && nd.decided {
+			hash = nd.decidedHash
+			switch {
+			case hash == nd.emptyHash():
+				outcome = OutcomeTentative
+			case nd.finalTally.weightFor(hash) >= finalQuorum:
+				outcome = OutcomeFinal
+			default:
+				outcome = OutcomeTentative
+			}
+			if _, has := nd.blocks[hash]; !has && hash != nd.emptyHash() {
+				// Knows the winning hash but never received the block body.
+				outcome = OutcomeNone
+			}
+		}
+		nd.outcome = outcome
+		nd.outcomeHash = hash
+		report.Outcomes[nd.id] = outcome
+		switch outcome {
+		case OutcomeFinal:
+			report.FinalCount++
+			decisions[hash]++
+		case OutcomeTentative:
+			report.TentativeCount++
+			decisions[hash]++
+		default:
+			report.NoneCount++
+		}
+	}
+
+	canonicalBlock, decided := r.pickCanonical(round, decisions)
+	report.Decided = decided
+	if decided {
+		// Only advance the canonical chain when some node actually reached
+		// agreement; otherwise BA* stalls and the round is retried, which is
+		// Algorand's liveness behaviour under lost synchrony.
+		report.CanonicalEmpty = canonicalBlock.Empty
+		report.CanonicalHash = canonicalBlock.Hash()
+		if err := r.canonical.Append(canonicalBlock); err == nil && !canonicalBlock.Empty {
+			r.removePending(canonicalBlock.Txns)
+		}
+	}
+
+	// Nodes commit what they decided; divergent or missing commits leave
+	// the node desynchronised until catch-up.
+	for _, nd := range r.nodes {
+		if nd.outcome == OutcomeNone {
+			continue
+		}
+		block, ok := r.blockFor(nd, nd.outcomeHash)
+		if !ok {
+			continue
+		}
+		_ = nd.ledger.Append(block)
+	}
+	return report
+}
+
+// pickCanonical selects the network-wide agreed block: the plurality
+// decision among nodes, falling back to the empty block when nobody
+// decided anything.
+func (r *Runner) pickCanonical(round uint64, decisions map[ledger.Hash]int) (ledger.Block, bool) {
+	empty := ledger.EmptyBlock(round, r.canonical.Tip(), ledger.NextSeed(r.canonical.Seed(), round))
+	var bestHash ledger.Hash
+	bestCount := 0
+	for h, c := range decisions {
+		if c > bestCount || (c == bestCount && hashLess(h, bestHash)) {
+			bestHash, bestCount = h, c
+		}
+	}
+	if bestCount == 0 {
+		return empty, false
+	}
+	if bestHash == empty.Hash() {
+		return empty, true
+	}
+	for _, nd := range r.nodes {
+		if b, ok := nd.blocks[bestHash]; ok {
+			return b, true
+		}
+	}
+	return empty, false
+}
+
+func (r *Runner) blockFor(nd *node, hash ledger.Hash) (ledger.Block, bool) {
+	if hash == nd.emptyHash() {
+		return ledger.EmptyBlock(nd.round, nd.ledger.Tip(), ledger.NextSeed(nd.ledger.Seed(), nd.round)), true
+	}
+	b, ok := nd.blocks[hash]
+	return b, ok
+}
+
+func (r *Runner) removePending(committed []ledger.Transaction) {
+	if len(committed) == 0 {
+		return
+	}
+	drop := make(map[uint64]struct{}, len(committed))
+	for _, tx := range committed {
+		drop[tx.Nonce] = struct{}{}
+	}
+	kept := r.pending[:0]
+	for _, tx := range r.pending {
+		if _, gone := drop[tx.Nonce]; !gone {
+			kept = append(kept, tx)
+		}
+	}
+	r.pending = kept
+}
+
+// catchUp lets lagging nodes resynchronise from healthy peers. Selfish
+// nodes free-ride: they passively accept the chain they heard about.
+// Honest nodes succeed with CatchUpProb when some outbound peer is synced
+// and online; degraded rounds make recovery five times less likely,
+// modelling the paper's weak-synchrony periods.
+func (r *Runner) catchUp() {
+	prob := r.params.CatchUpProb
+	if r.degraded {
+		prob *= 0.2
+	}
+	for _, nd := range r.nodes {
+		behind := nd.ledger.Round() != r.canonical.Round() || nd.ledger.Tip() != r.canonical.Tip()
+		if !behind {
+			continue
+		}
+		if nd.behavior == Selfish {
+			nd.ledger = r.canonical.CloneView()
+			continue
+		}
+		if !r.net.Online(nd.id) {
+			continue
+		}
+		if r.rng.Float64() >= prob {
+			continue
+		}
+		for _, peer := range r.net.Peers(nd.id) {
+			p := r.nodes[peer]
+			// Only honest, synced, online peers serve catch-up data;
+			// defectors free-ride but do not help others recover.
+			if p.behavior != Honest || !r.net.Online(peer) {
+				continue
+			}
+			if p.ledger.Round() == r.canonical.Round() && p.ledger.Tip() == r.canonical.Tip() {
+				nd.ledger = r.canonical.CloneView()
+				break
+			}
+		}
+	}
+}
+
+func (r *Runner) countDesynced() int {
+	n := 0
+	for _, nd := range r.nodes {
+		if nd.ledger.Round() != r.canonical.Round() || nd.ledger.Tip() != r.canonical.Tip() {
+			n++
+		}
+	}
+	return n
+}
+
+// collectRoles reports who filled each role this round; nodes that neither
+// proposed nor voted are "others" (set K in the paper).
+func (r *Runner) collectRoles(round uint64) RoundRoles {
+	roles := RoundRoles{Round: round}
+	taken := make(map[int]struct{})
+	for id, w := range r.proposers {
+		roles.Leaders = append(roles.Leaders, RoleStake{ID: id, Stake: r.roundStakes[id], Weight: w})
+		taken[id] = struct{}{}
+	}
+	for id, w := range r.voters {
+		if _, isLeader := taken[id]; isLeader {
+			continue
+		}
+		roles.Committee = append(roles.Committee, RoleStake{ID: id, Stake: r.roundStakes[id], Weight: w})
+		taken[id] = struct{}{}
+	}
+	for _, nd := range r.nodes {
+		if _, ok := taken[nd.id]; ok {
+			continue
+		}
+		if r.net.Online(nd.id) {
+			roles.Others = append(roles.Others, RoleStake{ID: nd.id, Stake: r.roundStakes[nd.id], Weight: 0})
+		}
+	}
+	sortRoleStakes(roles.Leaders)
+	sortRoleStakes(roles.Committee)
+	sortRoleStakes(roles.Others)
+	return roles
+}
+
+func sortRoleStakes(rs []RoleStake) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j].ID < rs[j-1].ID; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}
+
+// emptyHash is the node's hash of this round's empty block, derived from
+// its own chain view so that synced nodes agree on it.
+func (nd *node) emptyHash() ledger.Hash {
+	return ledger.EmptyBlock(nd.round, nd.ledger.Tip(), ledger.NextSeed(nd.ledger.Seed(), nd.round)).Hash()
+}

@@ -1,0 +1,70 @@
+package rewards
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Source models the Foundation's funding plan end to end: each round,
+// R_i Algos from the Table III schedule are dripped into the Foundation
+// pool (until the 1.75B ceiling), and B_i ≤ R_i is withdrawn for
+// disbursement. Transaction fees accumulate in the fee pool, which — per
+// the paper's future-work plan — takes over funding once the Foundation
+// pool is exhausted.
+type Source struct {
+	schedule   Schedule
+	foundation *Pool
+	fees       *Pool
+}
+
+// NewSource creates a funding source with fresh pools.
+func NewSource() *Source {
+	return &Source{
+		foundation: NewFoundationPool(),
+		fees:       NewTransactionFeePool(),
+	}
+}
+
+// FoundationBalance returns the Foundation pool's available Algos.
+func (s *Source) FoundationBalance() float64 { return s.foundation.Balance() }
+
+// FeeBalance returns the fee pool's available Algos.
+func (s *Source) FeeBalance() float64 { return s.fees.Balance() }
+
+// DepositFees adds collected transaction fees to the fee pool.
+func (s *Source) DepositFees(amount float64) error {
+	_, err := s.fees.Deposit(amount)
+	return err
+}
+
+// ErrExhausted signals that neither pool can fund the requested reward.
+var ErrExhausted = errors.New("rewards: all reward pools exhausted")
+
+// Withdraw funds the round's reward b: the scheduled R_i is first dripped
+// into the Foundation pool, then b is drawn from the Foundation pool
+// while it lasts and from the fee pool afterwards. It returns the pool
+// that paid ("foundation" or "transaction-fee").
+func (s *Source) Withdraw(round uint64, b float64) (string, error) {
+	if b < 0 {
+		return "", fmt.Errorf("rewards: negative reward %g", b)
+	}
+	ri, err := s.schedule.RoundReward(round)
+	if err != nil {
+		return "", err
+	}
+	if _, err := s.foundation.Deposit(ri); err != nil && !errors.Is(err, ErrCeilingReached) {
+		return "", err
+	}
+	if b > ri {
+		return "", fmt.Errorf("rewards: B_i = %g exceeds the scheduled R_i = %g", b, ri)
+	}
+	if err := s.foundation.Withdraw(b); err == nil {
+		return s.foundation.Name(), nil
+	}
+	// Foundation pool exhausted: fall back to accumulated fees, the
+	// paper's planned second phase.
+	if err := s.fees.Withdraw(b); err == nil {
+		return s.fees.Name(), nil
+	}
+	return "", ErrExhausted
+}

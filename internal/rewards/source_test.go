@@ -1,0 +1,101 @@
+package rewards
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestSourceFundsFromFoundationFirst(t *testing.T) {
+	s := NewSource()
+	from, err := s.Withdraw(1, 5.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != "foundation" {
+		t.Errorf("funded from %q, want foundation", from)
+	}
+	// Round 1 dripped 20 Algos; 5.2 withdrawn.
+	if math.Abs(s.FoundationBalance()-14.8) > 1e-9 {
+		t.Errorf("foundation balance = %v, want 14.8", s.FoundationBalance())
+	}
+}
+
+func TestSourceRejectsRewardAboveSchedule(t *testing.T) {
+	s := NewSource()
+	if _, err := s.Withdraw(1, 25); err == nil {
+		t.Error("B_i above R_i accepted")
+	}
+	if _, err := s.Withdraw(1, -1); err == nil {
+		t.Error("negative reward accepted")
+	}
+}
+
+func TestSourceAccumulatesUnspent(t *testing.T) {
+	// Spending less than the drip accumulates savings — the mechanism's
+	// selling point ("save more Algos for future use").
+	s := NewSource()
+	for round := uint64(1); round <= 10; round++ {
+		if _, err := s.Withdraw(round, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := 10.0*20 - 10*5
+	if math.Abs(s.FoundationBalance()-want) > 1e-9 {
+		t.Errorf("foundation balance = %v, want %v", s.FoundationBalance(), want)
+	}
+}
+
+func TestSourceFallsBackToFees(t *testing.T) {
+	s := NewSource()
+	// Drain the foundation pool exactly: withdraw the full drip each round.
+	for round := uint64(1); round <= 3; round++ {
+		if _, err := s.Withdraw(round, 20); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.FoundationBalance() != 0 {
+		t.Fatalf("foundation balance = %v", s.FoundationBalance())
+	}
+	// Without fees, asking for more than the remaining drip-plus-balance
+	// fails... but the drip keeps arriving, so exhaust via oversized ask is
+	// rejected by schedule. Instead simulate post-ceiling: deposit to the
+	// ceiling, drain, then rely on fees.
+	if err := s.DepositFees(100); err != nil {
+		t.Fatal(err)
+	}
+	// Force the foundation pool to its ceiling so the drip stops.
+	for {
+		if _, err := s.foundation.Deposit(1e9); err != nil {
+			break
+		}
+	}
+	if err := s.foundation.Withdraw(s.foundation.Balance()); err != nil {
+		t.Fatal(err)
+	}
+	from, err := s.Withdraw(4, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if from != "transaction-fee" {
+		t.Errorf("funded from %q, want transaction-fee", from)
+	}
+	if math.Abs(s.FeeBalance()-80) > 1e-9 {
+		t.Errorf("fee balance = %v, want 80", s.FeeBalance())
+	}
+}
+
+func TestSourceExhausted(t *testing.T) {
+	s := NewSource()
+	for {
+		if _, err := s.foundation.Deposit(1e9); err != nil {
+			break
+		}
+	}
+	if err := s.foundation.Withdraw(s.foundation.Balance()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Withdraw(5, 20); !errors.Is(err, ErrExhausted) {
+		t.Errorf("err = %v, want ErrExhausted", err)
+	}
+}

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	e.Schedule(30*time.Millisecond, func() { order = append(order, 3) })
+	e.Schedule(10*time.Millisecond, func() { order = append(order, 1) })
+	e.Schedule(20*time.Millisecond, func() { order = append(order, 2) })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("execution order = %v", order)
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Errorf("Now = %v, want 30ms", e.Now())
+	}
+}
+
+func TestFIFOTieBreaking(t *testing.T) {
+	e := NewEngine(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(time.Millisecond, func() { order = append(order, i) })
+	}
+	_ = e.Run(0)
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("tie order[%d] = %d, want %d", i, got, i)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var hits []time.Duration
+	e.Schedule(time.Second, func() {
+		hits = append(hits, e.Now())
+		e.Schedule(time.Second, func() {
+			hits = append(hits, e.Now())
+		})
+	})
+	_ = e.Run(0)
+	if len(hits) != 2 || hits[0] != time.Second || hits[1] != 2*time.Second {
+		t.Errorf("hits = %v", hits)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.Schedule(time.Second, func() { ran++ })
+	e.Schedule(3*time.Second, func() { ran++ })
+	if err := e.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Errorf("ran %d events before the deadline, want 1", ran)
+	}
+	if e.Now() != 2*time.Second {
+		t.Errorf("Now = %v, want 2s", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	ran := 0
+	e.Schedule(time.Millisecond, func() { ran++; e.Stop() })
+	e.Schedule(2*time.Millisecond, func() { ran++ })
+	if err := e.Run(0); err != ErrStopped {
+		t.Errorf("Run error = %v, want ErrStopped", err)
+	}
+	if ran != 1 {
+		t.Errorf("ran = %d, want 1", ran)
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine(1)
+	ran := false
+	e.Schedule(-time.Second, func() { ran = true })
+	_ = e.Run(0)
+	if !ran || e.Now() != 0 {
+		t.Errorf("negative delay: ran=%v now=%v", ran, e.Now())
+	}
+}
+
+func TestScheduleAtPastClamped(t *testing.T) {
+	e := NewEngine(1)
+	var at time.Duration
+	e.Schedule(time.Second, func() {
+		e.ScheduleAt(0, func() { at = e.Now() })
+	})
+	_ = e.Run(0)
+	if at != time.Second {
+		t.Errorf("past event executed at %v, want 1s", at)
+	}
+}
+
+func TestNilActionIgnored(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(time.Second, nil)
+	if e.Pending() != 0 {
+		t.Error("nil action was enqueued")
+	}
+}
+
+func TestStepCounting(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 5; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	_ = e.Run(0)
+	if e.Steps() != 5 {
+		t.Errorf("Steps = %d, want 5", e.Steps())
+	}
+	if e.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(7, "stream")
+	b := NewRNG(7, "stream")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same (seed,label) produced different streams")
+		}
+	}
+}
+
+func TestRNGLabelIndependence(t *testing.T) {
+	a := NewRNG(7, "alpha")
+	b := NewRNG(7, "beta")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("distinct labels collided %d/64 times", same)
+	}
+}
+
+func TestEngineRNGMatchesNewRNG(t *testing.T) {
+	e := NewEngine(99)
+	a := e.RNG("x")
+	b := NewRNG(99, "x")
+	if a.Uint64() != b.Uint64() {
+		t.Error("Engine.RNG disagrees with NewRNG")
+	}
+}

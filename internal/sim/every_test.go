@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEveryRunsUntilPredicateFails(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	e.Every(time.Second, func() bool { return fired < 3 }, func() { fired++ })
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 3 {
+		t.Errorf("fired %d times, want 3", fired)
+	}
+	if e.Now() != 4*time.Second {
+		// Three executions at 1s,2s,3s plus the final (declined) check at 4s.
+		t.Errorf("clock at %v, want 4s", e.Now())
+	}
+}
+
+func TestEveryInvalidArgsIgnored(t *testing.T) {
+	e := NewEngine(1)
+	e.Every(0, func() bool { return true }, func() {})
+	e.Every(time.Second, nil, func() {})
+	e.Every(time.Second, func() bool { return true }, nil)
+	if e.Pending() != 0 {
+		t.Error("invalid Every calls enqueued events")
+	}
+}
+
+func TestEveryInterleavesWithOtherEvents(t *testing.T) {
+	e := NewEngine(1)
+	var order []string
+	ticks := 0
+	e.Every(2*time.Second, func() bool { return ticks < 2 }, func() {
+		ticks++
+		order = append(order, "tick")
+	})
+	e.Schedule(3*time.Second, func() { order = append(order, "once") })
+	_ = e.Run(0)
+	want := []string{"tick", "once", "tick"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package sortition
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBernoulliDefectsVsBinomial(t *testing.T) {
+	// The whole-node lottery over-selects stake under heterogeneity
+	// ((τ/W)·Σs² > τ) and selects it in whole-account lumps; the binomial
+	// sub-user scheme hits τ exactly with per-unit granularity.
+	const (
+		nodes  = 200
+		tau    = 80.0
+		rounds = 150
+	)
+	stakes := make([]float64, nodes)
+	total := 0.0
+	sumSq := 0.0
+	for i := range stakes {
+		stakes[i] = float64(1 + i%100) // heterogeneous, max 100
+		total += stakes[i]
+		sumSq += stakes[i] * stakes[i]
+	}
+
+	run := func(selector func(i int, p Params) float64) (mean, varOut float64) {
+		sum, sq := 0.0, 0.0
+		for r := 0; r < rounds; r++ {
+			p := testParams(tau, total)
+			p.Round = uint64(r)
+			roundStake := 0.0
+			for i := 0; i < nodes; i++ {
+				roundStake += selector(i, p)
+			}
+			sum += roundStake
+			sq += roundStake * roundStake
+		}
+		mean = sum / rounds
+		varOut = sq/rounds - mean*mean
+		return mean, varOut
+	}
+
+	binMean, binVar := run(func(i int, p Params) float64 {
+		res, err := Select(testKey(int64(i)).Private, stakes[i], p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.SubUsers)
+	})
+	berMean, berVar := run(func(i int, p Params) float64 {
+		res, err := SelectBernoulli(testKey(int64(i)).Private, stakes[i], p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.SubUsers)
+	})
+
+	if math.Abs(binMean-tau) > 12 {
+		t.Errorf("binomial mean selected stake = %v, want ~%v", binMean, tau)
+	}
+	// Defect (i): over-selection — expected (τ/W)·Σs².
+	wantBer := tau / total * sumSq
+	if math.Abs(berMean-wantBer) > 0.2*wantBer {
+		t.Errorf("bernoulli mean selected stake = %v, want ~%v", berMean, wantBer)
+	}
+	if berMean < 2*binMean {
+		t.Errorf("whole-node lottery should over-select: %v vs %v", berMean, binMean)
+	}
+	_ = berVar
+
+	// Defect (ii): lumpy variance. For a fair comparison, rescale the
+	// whole-node τ so both schemes select the same expected stake, then
+	// compare relative variances (CV^2): the per-account lottery's
+	// committee stake fluctuates far more.
+	tauAdj := tau * total / sumSq
+	berAdjMean, berAdjVar := run(func(i int, p Params) float64 {
+		p.Tau = tauAdj
+		res, err := SelectBernoulli(testKey(int64(i)).Private, stakes[i], p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(res.SubUsers)
+	})
+	if math.Abs(berAdjMean-tau) > 0.35*tau {
+		t.Errorf("adjusted bernoulli mean = %v, want ~%v", berAdjMean, tau)
+	}
+	binCV2 := binVar / (binMean * binMean)
+	berCV2 := berAdjVar / (berAdjMean * berAdjMean)
+	if berCV2 < 5*binCV2 {
+		t.Errorf("bernoulli CV^2 %v not >> binomial CV^2 %v", berCV2, binCV2)
+	}
+}
+
+func TestBernoulliVerifyRoundTrip(t *testing.T) {
+	p := testParams(800, 1000)
+	for seed := int64(0); seed < 30; seed++ {
+		kp := testKey(seed)
+		res, err := SelectBernoulli(kp.Private, 20, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !VerifyBernoulli(kp.Public, 20, p, res) {
+			t.Fatalf("own bernoulli selection rejected (seed %d)", seed)
+		}
+	}
+}
+
+func TestBernoulliVerifyRejectsTampering(t *testing.T) {
+	p := testParams(900, 1000) // near-certain selection
+	kp := testKey(2)
+	res, err := SelectBernoulli(kp.Private, 100, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Selected() {
+		t.Fatal("expected selection at tau=900")
+	}
+	bad := res
+	bad.SubUsers++
+	if VerifyBernoulli(kp.Public, 100, p, bad) {
+		t.Error("inflated bernoulli claim accepted")
+	}
+	if VerifyBernoulli(testKey(3).Public, 100, p, res) {
+		t.Error("foreign bernoulli proof accepted")
+	}
+}
+
+func TestBernoulliInvalidParams(t *testing.T) {
+	kp := testKey(1)
+	if _, err := SelectBernoulli(kp.Private, 10, testParams(0, 100)); err != ErrInvalidParams {
+		t.Errorf("tau=0 err = %v", err)
+	}
+	if _, err := SelectBernoulli(kp.Private, -1, testParams(10, 100)); err != ErrInvalidParams {
+		t.Errorf("stake<0 err = %v", err)
+	}
+}
+
+func TestBernoulliProbabilityClamp(t *testing.T) {
+	// stake*tau/W > 1: always selected.
+	p := testParams(500, 1000)
+	for seed := int64(0); seed < 20; seed++ {
+		res, err := SelectBernoulli(testKey(seed).Private, 900, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Selected() {
+			t.Fatal("clamped probability should always select")
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package sortition_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/dsn2020-algorand/incentives/internal/sortition"
+	"github.com/dsn2020-algorand/incentives/internal/vrf"
+)
+
+// ExampleSelect runs the committee lottery for one account and verifies
+// the resulting proof as a peer would.
+func ExampleSelect() {
+	key := vrf.GenerateKey(rand.New(rand.NewSource(7)))
+	params := sortition.Params{
+		Seed:       [32]byte{1, 2, 3},
+		Role:       sortition.RoleCommittee,
+		Round:      42,
+		Step:       1,
+		Tau:        600,  // expected committee stake
+		TotalStake: 1000, // network stake
+	}
+	res, err := sortition.Select(key.Private, 50, params)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("selected:", res.Selected())
+	fmt.Println("verified:", sortition.Verify(key.Public, 50, params, res))
+	fmt.Println("claiming more stake verifies:", sortition.Verify(key.Public, 500, params, res))
+	// Output:
+	// selected: true
+	// verified: true
+	// claiming more stake verifies: false
+}

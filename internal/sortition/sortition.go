@@ -1,0 +1,190 @@
+// Package sortition implements Algorand's cryptographic sortition: a
+// private, non-interactive lottery in which each account learns — and can
+// prove — how many of its stake units ("sub-users") were selected for a
+// role in the current round and step. Selection is binomial: with total
+// stake W, account stake w and expected committee size τ, each of the w
+// sub-units is independently selected with probability p = τ/W, so the
+// expected total selected stake across the network is exactly τ.
+package sortition
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"github.com/dsn2020-algorand/incentives/internal/vrf"
+)
+
+// Role distinguishes the sortition contexts of a round. Hashing the role
+// into the VRF message gives each step an independent lottery.
+type Role uint8
+
+// Roles used by the BA* protocol.
+const (
+	RoleProposer Role = iota + 1
+	RoleCommittee
+	RoleFinal
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case RoleProposer:
+		return "proposer"
+	case RoleCommittee:
+		return "committee"
+	case RoleFinal:
+		return "final"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// Params configures one sortition lottery.
+type Params struct {
+	// Seed is Q_{r-1}, the public per-round seed from the ledger.
+	Seed [32]byte
+	// Role is the protocol context being drawn for.
+	Role Role
+	// Round is the ledger round number.
+	Round uint64
+	// Step is the BA* step within the round (0 for block proposal).
+	Step uint64
+	// Tau is the expected committee size in stake units (τ).
+	Tau float64
+	// TotalStake is the online stake W of the whole network, in the same
+	// units as the account stake passed to Select.
+	TotalStake float64
+}
+
+func (p Params) message() []byte {
+	msg := make([]byte, 0, len(p.Seed)+1+8+8)
+	msg = append(msg, p.Seed[:]...)
+	msg = append(msg, byte(p.Role))
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], p.Round)
+	msg = append(msg, buf[:]...)
+	binary.BigEndian.PutUint64(buf[:], p.Step)
+	msg = append(msg, buf[:]...)
+	return msg
+}
+
+// Result is the outcome of one account's lottery, carrying the proof that
+// peers verify.
+type Result struct {
+	// SubUsers is j, the number of selected stake units (0 = not selected).
+	SubUsers int
+	// Output is the VRF output the selection was derived from.
+	Output vrf.Output
+	// Proof allows third parties to verify Output.
+	Proof vrf.Proof
+	// Priority orders competing proposals; only meaningful when
+	// SubUsers > 0. Higher wins.
+	Priority Priority
+}
+
+// Selected reports whether the account won at least one sub-user slot.
+func (r Result) Selected() bool { return r.SubUsers > 0 }
+
+// Priority is the comparable priority of a selected account, derived from
+// the VRF output and the winning sub-user index as in the Algorand paper
+// (the proposer with the highest priority wins block selection).
+type Priority [32]byte
+
+// Less reports whether p orders strictly below q (q has higher priority).
+func (p Priority) Less(q Priority) bool {
+	for i := range p {
+		if p[i] != q[i] {
+			return p[i] < q[i]
+		}
+	}
+	return false
+}
+
+// IsZero reports whether p is the zero priority (no selection).
+func (p Priority) IsZero() bool { return p == Priority{} }
+
+// ErrInvalidParams flags non-positive τ, stake or total stake.
+var ErrInvalidParams = errors.New("sortition: invalid parameters")
+
+// Select runs the lottery for an account holding `stake` units using its
+// private key. Stake is truncated to whole units, as sub-user selection is
+// defined on integer stake.
+func Select(key vrf.PrivateKey, stake float64, p Params) (Result, error) {
+	if p.Tau <= 0 || p.TotalStake <= 0 {
+		return Result{}, ErrInvalidParams
+	}
+	if stake < 0 {
+		return Result{}, ErrInvalidParams
+	}
+	out, proof := key.Evaluate(p.message())
+	j := subUsers(out.Uniform(), int(stake), p.Tau/p.TotalStake)
+	res := Result{SubUsers: j, Output: out, Proof: proof}
+	if j > 0 {
+		res.Priority = bestPriority(out, j)
+	}
+	return res, nil
+}
+
+// Verify checks a peer's claimed sortition result: the VRF proof must be
+// valid and the claimed sub-user count and priority must be the ones the
+// output implies.
+func Verify(pub vrf.PublicKey, stake float64, p Params, res Result) bool {
+	if p.Tau <= 0 || p.TotalStake <= 0 || stake < 0 {
+		return false
+	}
+	if !pub.Verify(p.message(), res.Output, res.Proof) {
+		return false
+	}
+	j := subUsers(res.Output.Uniform(), int(stake), p.Tau/p.TotalStake)
+	if j != res.SubUsers {
+		return false
+	}
+	if j == 0 {
+		return res.Priority.IsZero()
+	}
+	return res.Priority == bestPriority(res.Output, j)
+}
+
+// subUsers inverts the binomial CDF: it returns the unique j with
+// CDF(j-1) <= u < CDF(j) for Binomial(w, prob). The iterative pmf update
+// pmf(k+1) = pmf(k) * (w-k)/(k+1) * prob/(1-prob) keeps it O(j).
+func subUsers(u float64, w int, prob float64) int {
+	if w <= 0 || prob <= 0 {
+		return 0
+	}
+	if prob >= 1 {
+		return w
+	}
+	// pmf(0) = (1-prob)^w computed in log space to survive large w.
+	logPmf := float64(w) * math.Log1p(-prob)
+	pmf := math.Exp(logPmf)
+	cdf := pmf
+	ratio := prob / (1 - prob)
+	for j := 0; j < w; j++ {
+		if u < cdf {
+			return j
+		}
+		pmf *= ratio * float64(w-j) / float64(j+1)
+		cdf += pmf
+	}
+	return w
+}
+
+// bestPriority hashes (output, i) for each winning sub-user index i and
+// keeps the maximum, matching Algorand's proposal-priority rule.
+func bestPriority(out vrf.Output, j int) Priority {
+	var best Priority
+	var buf [vrf.OutputLen + 8]byte
+	copy(buf[:], out[:])
+	for i := 0; i < j; i++ {
+		binary.BigEndian.PutUint64(buf[vrf.OutputLen:], uint64(i))
+		h := Priority(sha256.Sum256(buf[:]))
+		if best.Less(h) {
+			best = h
+		}
+	}
+	return best
+}

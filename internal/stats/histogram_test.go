@@ -1,0 +1,113 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("expected error for zero bins")
+	}
+	if _, err := NewHistogram(5, 5, 4); err == nil {
+		t.Error("expected error for empty range")
+	}
+	if _, err := NewHistogram(10, 5, 4); err == nil {
+		t.Error("expected error for inverted range")
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.ObserveAll([]float64{0, 1.9, 2, 5, 9.9})
+	wantCounts := []int{2, 1, 1, 0, 1}
+	for i, want := range wantCounts {
+		if h.Counts[i] != want {
+			t.Errorf("bin %d = %d, want %d", i, h.Counts[i], want)
+		}
+	}
+	if h.Total() != 5 {
+		t.Errorf("Total = %d, want 5", h.Total())
+	}
+}
+
+func TestHistogramClamping(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 2)
+	h.Observe(-5)  // below range -> first bin
+	h.Observe(100) // above range -> last bin
+	h.Observe(math.NaN())
+	if h.Counts[0] != 1 || h.Counts[1] != 1 {
+		t.Errorf("counts = %v, want [1 1]", h.Counts)
+	}
+	if h.Total() != 2 {
+		t.Errorf("Total = %d, want 2 (NaN ignored)", h.Total())
+	}
+}
+
+func TestHistogramBinCenter(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 5)
+	if got := h.BinCenter(0); got != 1 {
+		t.Errorf("BinCenter(0) = %v, want 1", got)
+	}
+	if got := h.BinCenter(4); got != 9 {
+		t.Errorf("BinCenter(4) = %v, want 9", got)
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 5)
+	if _, err := h.Mode(); err != ErrEmpty {
+		t.Errorf("Mode() on empty error = %v, want ErrEmpty", err)
+	}
+	h.ObserveAll([]float64{3, 3.5, 3.9, 7})
+	mode, err := h.Mode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != 3 { // bin [2,4) center
+		t.Errorf("Mode = %v, want 3", mode)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h, _ := NewHistogram(0, 4, 2)
+	h.ObserveAll([]float64{1, 1, 3})
+	out := h.Render(10)
+	if !strings.Contains(out, "##########") {
+		t.Errorf("render missing full bar:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 2 {
+		t.Errorf("render has %d lines, want 2", lines)
+	}
+}
+
+// Property: total observed count equals the sum of bin counts.
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		h, err := NewHistogram(-100, 100, 13)
+		if err != nil {
+			return false
+		}
+		n := 0
+		for _, x := range raw {
+			if math.IsNaN(x) {
+				continue
+			}
+			h.Observe(x)
+			n++
+		}
+		sum := 0
+		for _, c := range h.Counts {
+			sum += c
+		}
+		return sum == n && h.Total() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,199 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: means, trimmed means (the paper averages 100
+// simulation runs with a 20% trimmed mean), standard deviations,
+// histograms and numeric series that can be rendered as CSV.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by aggregations that need at least one sample.
+var ErrEmpty = errors.New("stats: empty sample set")
+
+// Mean returns the arithmetic mean of xs.
+// It returns ErrEmpty when xs is empty.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// TrimmedMean returns the mean of xs after discarding the fraction trim of
+// the smallest and the fraction trim of the largest samples. The paper uses
+// trim = 0.20 when averaging its 100 simulation instances.
+//
+// trim must be in [0, 0.5). If trimming would discard every sample, the
+// plain mean is returned instead so that small sample sets still aggregate.
+func TrimmedMean(xs []float64, trim float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if trim < 0 || trim >= 0.5 {
+		return 0, errors.New("stats: trim fraction must be in [0, 0.5)")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	k := int(math.Floor(trim * float64(len(sorted))))
+	if 2*k >= len(sorted) {
+		return Mean(sorted)
+	}
+	return Mean(sorted[k : len(sorted)-k])
+}
+
+// Variance returns the population variance of xs.
+func Variance(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Min returns the smallest value in xs.
+func Min(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest value in xs.
+func Max(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m, nil
+}
+
+// Sum returns the sum of xs. An empty slice sums to zero.
+func Sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs using linear
+// interpolation between closest ranks.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile must be in [0, 100]")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 50th percentile of xs.
+func Median(xs []float64) (float64, error) {
+	return Percentile(xs, 50)
+}
+
+// MeanCI returns the sample mean together with a normal-approximation
+// confidence half-width at the given z score (1.96 for 95%). Experiment
+// summaries use it to report run-to-run uncertainty.
+func MeanCI(xs []float64, z float64) (mean, halfWidth float64, err error) {
+	mean, err = Mean(xs)
+	if err != nil {
+		return 0, 0, err
+	}
+	if z < 0 {
+		return 0, 0, errors.New("stats: negative z score")
+	}
+	if len(xs) < 2 {
+		return mean, 0, nil
+	}
+	sd, err := StdDev(xs)
+	if err != nil {
+		return 0, 0, err
+	}
+	return mean, z * sd / math.Sqrt(float64(len(xs))), nil
+}
+
+// Summary bundles the descriptive statistics of one sample set.
+type Summary struct {
+	N      int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	P25    float64
+	Median float64
+	P75    float64
+	Max    float64
+}
+
+// Summarize computes a Summary for xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	mean, _ := Mean(xs)
+	sd, _ := StdDev(xs)
+	mn, _ := Min(xs)
+	p25, _ := Percentile(xs, 25)
+	med, _ := Median(xs)
+	p75, _ := Percentile(xs, 75)
+	mx, _ := Max(xs)
+	return Summary{
+		N:      len(xs),
+		Mean:   mean,
+		StdDev: sd,
+		Min:    mn,
+		P25:    p25,
+		Median: med,
+		P75:    p75,
+		Max:    mx,
+	}, nil
+}

@@ -1,0 +1,276 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name string
+		in   []float64
+		want float64
+	}{
+		{"single", []float64{5}, 5},
+		{"pair", []float64{2, 4}, 3},
+		{"negative", []float64{-1, 1}, 0},
+		{"many", []float64{1, 2, 3, 4, 5}, 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Mean(tt.in)
+			if err != nil {
+				t.Fatalf("Mean(%v): %v", tt.in, err)
+			}
+			if !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Mean(%v) = %v, want %v", tt.in, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if _, err := Mean(nil); err != ErrEmpty {
+		t.Errorf("Mean(nil) error = %v, want ErrEmpty", err)
+	}
+}
+
+func TestTrimmedMean(t *testing.T) {
+	// 10 samples, trim 20%: drop 2 lowest and 2 highest.
+	in := []float64{100, 1, 2, 3, 4, 5, 6, 7, 8, -100}
+	got, err := TrimmedMean(in, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (2.0 + 3 + 4 + 5 + 6 + 7) / 6
+	if !almostEqual(got, want, 1e-12) {
+		t.Errorf("TrimmedMean = %v, want %v", got, want)
+	}
+}
+
+func TestTrimmedMeanSmallSample(t *testing.T) {
+	// Trimming everything falls back to the plain mean.
+	got, err := TrimmedMean([]float64{1, 3}, 0.49)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got, 2, 1e-12) {
+		t.Errorf("TrimmedMean small = %v, want 2", got)
+	}
+}
+
+func TestTrimmedMeanInvalidFraction(t *testing.T) {
+	for _, trim := range []float64{-0.1, 0.5, 1} {
+		if _, err := TrimmedMean([]float64{1, 2}, trim); err == nil {
+			t.Errorf("TrimmedMean(trim=%v) expected error", trim)
+		}
+	}
+}
+
+func TestTrimmedMeanZeroIsMean(t *testing.T) {
+	in := []float64{4, 8, 15, 16, 23, 42}
+	tm, err := TrimmedMean(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := Mean(in)
+	if !almostEqual(tm, m, 1e-12) {
+		t.Errorf("TrimmedMean(0) = %v, Mean = %v", tm, m)
+	}
+}
+
+func TestVarianceAndStdDev(t *testing.T) {
+	in := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	v, err := Variance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(v, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", v)
+	}
+	sd, err := StdDev(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(sd, 2, 1e-12) {
+		t.Errorf("StdDev = %v, want 2", sd)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	in := []float64{3, -2, 7, 0}
+	mn, err := Min(in)
+	if err != nil || mn != -2 {
+		t.Errorf("Min = %v (err %v), want -2", mn, err)
+	}
+	mx, err := Max(in)
+	if err != nil || mx != 7 {
+		t.Errorf("Max = %v (err %v), want 7", mx, err)
+	}
+}
+
+func TestSum(t *testing.T) {
+	if s := Sum([]float64{1.5, 2.5, -1}); !almostEqual(s, 3, 1e-12) {
+		t.Errorf("Sum = %v, want 3", s)
+	}
+	if s := Sum(nil); s != 0 {
+		t.Errorf("Sum(nil) = %v, want 0", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	in := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {12.5, 1.5},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(in, tt.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", tt.p, err)
+		}
+		if !almostEqual(got, tt.want, 1e-12) {
+			t.Errorf("Percentile(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestPercentileErrors(t *testing.T) {
+	if _, err := Percentile(nil, 50); err != ErrEmpty {
+		t.Errorf("Percentile(nil) error = %v, want ErrEmpty", err)
+	}
+	if _, err := Percentile([]float64{1}, 101); err == nil {
+		t.Error("Percentile(101) expected error")
+	}
+	if _, err := Percentile([]float64{1}, -1); err == nil {
+		t.Error("Percentile(-1) expected error")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if _, err := Summarize(nil); err != ErrEmpty {
+		t.Errorf("Summarize(nil) error = %v", err)
+	}
+}
+
+// Property: the trimmed mean always lies within [min, max] of the sample.
+func TestTrimmedMeanBoundedProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 1e9))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		tm, err := TrimmedMean(xs, 0.2)
+		if err != nil {
+			return false
+		}
+		mn, _ := Min(xs)
+		mx, _ := Max(xs)
+		return tm >= mn-1e-9 && tm <= mx+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mean is translation-equivariant: Mean(xs + c) = Mean(xs) + c.
+func TestMeanTranslationProperty(t *testing.T) {
+	f := func(raw []float64, shift float64) bool {
+		if math.IsNaN(shift) || math.IsInf(shift, 0) {
+			return true
+		}
+		shift = math.Mod(shift, 1e6)
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		m1, _ := Mean(xs)
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + shift
+		}
+		m2, _ := Mean(shifted)
+		return math.Abs(m2-(m1+shift)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: percentiles are monotone in p.
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b uint8) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pa := float64(a % 101)
+		pb := float64(b % 101)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		va, err1 := Percentile(xs, pa)
+		vb, err2 := Percentile(xs, pb)
+		return err1 == nil && err2 == nil && va <= vb+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	mean, hw, err := MeanCI([]float64{2, 4, 4, 4, 5, 5, 7, 9}, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean != 5 {
+		t.Errorf("mean = %v, want 5", mean)
+	}
+	// sd = 2, n = 8: hw = 1.96*2/sqrt(8).
+	want := 1.96 * 2 / math.Sqrt(8)
+	if !almostEqual(hw, want, 1e-12) {
+		t.Errorf("half width = %v, want %v", hw, want)
+	}
+}
+
+func TestMeanCIEdgeCases(t *testing.T) {
+	if _, _, err := MeanCI(nil, 1.96); err != ErrEmpty {
+		t.Errorf("empty err = %v", err)
+	}
+	if _, _, err := MeanCI([]float64{1, 2}, -1); err == nil {
+		t.Error("negative z accepted")
+	}
+	mean, hw, err := MeanCI([]float64{7}, 1.96)
+	if err != nil || mean != 7 || hw != 0 {
+		t.Errorf("single sample: %v ± %v (err %v)", mean, hw, err)
+	}
+}

@@ -1,0 +1,106 @@
+// Package txgen generates the synthetic transaction workload of the
+// paper's Sec. V-B evaluation: each round, 1000 accounts are drawn with
+// probability proportional to stake (an account may be drawn repeatedly)
+// and each drawn account sends or receives a uniform amount in (0, 4]
+// Algos, emulating the public algoexplorer exchange traffic.
+package txgen
+
+import (
+	"errors"
+	"math/rand"
+
+	"github.com/dsn2020-algorand/incentives/internal/stake"
+)
+
+// Config parameterises the workload.
+type Config struct {
+	// DrawsPerRound is how many stake-weighted account draws happen per
+	// round (paper: 1000).
+	DrawsPerRound int
+	// MaxAmount bounds each transfer; amounts are U(0, MaxAmount]
+	// (paper: 4 Algos, the uniform (−4, 4) magnitude).
+	MaxAmount float64
+}
+
+// DefaultConfig returns the paper's workload constants.
+func DefaultConfig() Config {
+	return Config{DrawsPerRound: 1000, MaxAmount: 4}
+}
+
+// Validate reports invalid configurations.
+func (c Config) Validate() error {
+	if c.DrawsPerRound < 1 {
+		return errors.New("txgen: DrawsPerRound must be >= 1")
+	}
+	if c.MaxAmount <= 0 {
+		return errors.New("txgen: MaxAmount must be positive")
+	}
+	return nil
+}
+
+// Transfer is one generated transaction.
+type Transfer struct {
+	From, To int
+	Amount   float64
+}
+
+// Generator produces per-round transfer batches.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// New builds a generator.
+func New(cfg Config, rng *rand.Rand) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Generator{cfg: cfg, rng: rng}, nil
+}
+
+// Round draws one round of transfers against the population. Senders and
+// receivers are stake-weighted draws; a draw whose sign is negative sends,
+// positive receives — realised here by pairing each drawn account with a
+// second weighted draw as its counterparty.
+func (g *Generator) Round(pop *stake.Population) []Transfer {
+	if pop == nil || pop.N() < 2 {
+		return nil
+	}
+	// A prefix-sum sampler makes each draw O(log n); it snapshots the
+	// stakes once per round, matching the paper's procedure of drawing
+	// all of a round's transacting nodes against the same stake state.
+	sampler := stake.NewWeightedSampler(pop)
+	if sampler == nil {
+		return nil
+	}
+	out := make([]Transfer, 0, g.cfg.DrawsPerRound)
+	for i := 0; i < g.cfg.DrawsPerRound; i++ {
+		a := sampler.Sample(g.rng)
+		b := sampler.Sample(g.rng)
+		if a == b {
+			continue
+		}
+		amount := g.rng.Float64() * g.cfg.MaxAmount
+		if amount == 0 {
+			continue
+		}
+		// The paper draws amounts in (−4, 4): negative means the selected
+		// node sends, positive means it receives.
+		if g.rng.Float64() < 0.5 {
+			out = append(out, Transfer{From: a, To: b, Amount: amount})
+		} else {
+			out = append(out, Transfer{From: b, To: a, Amount: amount})
+		}
+	}
+	return out
+}
+
+// Apply executes transfers against the population, saturating at zero
+// balances, and returns the total value moved.
+func Apply(pop *stake.Population, transfers []Transfer) float64 {
+	moved := 0.0
+	for _, t := range transfers {
+		moved += pop.Transfer(t.From, t.To, t.Amount)
+	}
+	return moved
+}

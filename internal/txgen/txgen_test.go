@@ -1,0 +1,125 @@
+package txgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/dsn2020-algorand/incentives/internal/stake"
+)
+
+func testPop(stakes ...float64) *stake.Population {
+	return &stake.Population{Stakes: stakes}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	if err := (Config{DrawsPerRound: 0, MaxAmount: 4}).Validate(); err == nil {
+		t.Error("zero draws accepted")
+	}
+	if err := (Config{DrawsPerRound: 10, MaxAmount: 0}).Validate(); err == nil {
+		t.Error("zero amount accepted")
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	if _, err := New(Config{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestRoundAmountsBounded(t *testing.T) {
+	g, err := New(Config{DrawsPerRound: 2000, MaxAmount: 4}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop := testPop(10, 20, 30, 40, 50)
+	for _, tr := range g.Round(pop) {
+		if tr.Amount <= 0 || tr.Amount > 4 {
+			t.Fatalf("amount %v out of (0, 4]", tr.Amount)
+		}
+		if tr.From == tr.To {
+			t.Fatal("self transfer generated")
+		}
+		if tr.From < 0 || tr.From >= 5 || tr.To < 0 || tr.To >= 5 {
+			t.Fatalf("transfer endpoints out of range: %+v", tr)
+		}
+	}
+}
+
+func TestRoundEmptyPopulation(t *testing.T) {
+	g, _ := New(DefaultConfig(), rand.New(rand.NewSource(1)))
+	if got := g.Round(nil); got != nil {
+		t.Error("nil population should produce no transfers")
+	}
+	if got := g.Round(testPop(5)); got != nil {
+		t.Error("single-account population should produce no transfers")
+	}
+}
+
+func TestRoundStakeWeighted(t *testing.T) {
+	// One whale and many minnows: the whale must participate in most
+	// transfers.
+	stakes := make([]float64, 101)
+	for i := range stakes {
+		stakes[i] = 1
+	}
+	stakes[0] = 10_000
+	pop := &stake.Population{Stakes: stakes}
+	g, _ := New(Config{DrawsPerRound: 1000, MaxAmount: 4}, rand.New(rand.NewSource(2)))
+	whale := 0
+	transfers := g.Round(pop)
+	for _, tr := range transfers {
+		if tr.From == 0 || tr.To == 0 {
+			whale++
+		}
+	}
+	if float64(whale) < 0.9*float64(len(transfers)) {
+		t.Errorf("whale in %d/%d transfers, want >90%%", whale, len(transfers))
+	}
+}
+
+func TestApplyConservesTotal(t *testing.T) {
+	pop := testPop(100, 200, 300)
+	before := pop.Total()
+	g, _ := New(DefaultConfig(), rand.New(rand.NewSource(3)))
+	moved := Apply(pop, g.Round(pop))
+	if moved <= 0 {
+		t.Error("no value moved")
+	}
+	if math.Abs(pop.Total()-before) > 1e-6 {
+		t.Errorf("total drifted: %v -> %v", before, pop.Total())
+	}
+}
+
+func TestApplyNeverNegative(t *testing.T) {
+	pop := testPop(0.5, 0.5, 1000)
+	g, _ := New(Config{DrawsPerRound: 5000, MaxAmount: 4}, rand.New(rand.NewSource(4)))
+	Apply(pop, g.Round(pop))
+	for i, s := range pop.Stakes {
+		if s < 0 {
+			t.Errorf("account %d went negative: %v", i, s)
+		}
+	}
+}
+
+// Property: Apply conserves total stake for any workload size.
+func TestApplyConservationProperty(t *testing.T) {
+	f := func(seed int64, draws uint16) bool {
+		pop := testPop(10, 20, 30, 40)
+		before := pop.Total()
+		g, err := New(Config{DrawsPerRound: int(draws%500) + 1, MaxAmount: 4},
+			rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return false
+		}
+		Apply(pop, g.Round(pop))
+		return math.Abs(pop.Total()-before) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,126 @@
+package vrf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testKey(seed int64) KeyPair {
+	return GenerateKey(rand.New(rand.NewSource(seed)))
+}
+
+func TestEvaluateDeterministic(t *testing.T) {
+	kp := testKey(1)
+	msg := []byte("round-1-step-2")
+	out1, proof1 := kp.Private.Evaluate(msg)
+	out2, proof2 := kp.Private.Evaluate(msg)
+	if out1 != out2 || proof1 != proof2 {
+		t.Error("VRF evaluation is not deterministic")
+	}
+}
+
+func TestEvaluateMessageSensitivity(t *testing.T) {
+	kp := testKey(1)
+	out1, _ := kp.Private.Evaluate([]byte("a"))
+	out2, _ := kp.Private.Evaluate([]byte("b"))
+	if out1 == out2 {
+		t.Error("different messages produced identical outputs")
+	}
+}
+
+func TestKeySensitivity(t *testing.T) {
+	msg := []byte("same message")
+	out1, _ := testKey(1).Private.Evaluate(msg)
+	out2, _ := testKey(2).Private.Evaluate(msg)
+	if out1 == out2 {
+		t.Error("different keys produced identical outputs")
+	}
+}
+
+func TestVerifyAcceptsValid(t *testing.T) {
+	kp := testKey(3)
+	msg := []byte("message")
+	out, proof := kp.Private.Evaluate(msg)
+	if !kp.Public.Verify(msg, out, proof) {
+		t.Error("valid proof rejected")
+	}
+}
+
+func TestVerifyRejectsTamperedProof(t *testing.T) {
+	kp := testKey(3)
+	msg := []byte("message")
+	out, proof := kp.Private.Evaluate(msg)
+	proof[0] ^= 0xff
+	if kp.Public.Verify(msg, out, proof) {
+		t.Error("tampered proof accepted")
+	}
+}
+
+func TestVerifyRejectsTamperedOutput(t *testing.T) {
+	kp := testKey(3)
+	msg := []byte("message")
+	out, proof := kp.Private.Evaluate(msg)
+	out[0] ^= 0xff
+	if kp.Public.Verify(msg, out, proof) {
+		t.Error("tampered output accepted")
+	}
+}
+
+func TestVerifyRejectsWrongMessage(t *testing.T) {
+	kp := testKey(3)
+	out, proof := kp.Private.Evaluate([]byte("original"))
+	if kp.Public.Verify([]byte("forged"), out, proof) {
+		t.Error("proof accepted for a different message")
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	msg := []byte("message")
+	out, proof := testKey(1).Private.Evaluate(msg)
+	if testKey(2).Public.Verify(msg, out, proof) {
+		t.Error("proof accepted under a different key")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	kp := testKey(4)
+	var buf [8]byte
+	for i := 0; i < 10_000; i++ {
+		buf[0] = byte(i)
+		buf[1] = byte(i >> 8)
+		out, _ := kp.Private.Evaluate(buf[:])
+		u := out.Uniform()
+		if u < 0 || u >= 1 {
+			t.Fatalf("Uniform() = %v out of [0,1)", u)
+		}
+	}
+}
+
+func TestUniformDistribution(t *testing.T) {
+	kp := testKey(5)
+	n := 20_000
+	sum := 0.0
+	var buf [8]byte
+	for i := 0; i < n; i++ {
+		buf[0], buf[1], buf[2] = byte(i), byte(i>>8), byte(i>>16)
+		out, _ := kp.Private.Evaluate(buf[:])
+		sum += out.Uniform()
+	}
+	mean := sum / float64(n)
+	if mean < 0.49 || mean > 0.51 {
+		t.Errorf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+// Property: every (key, message) evaluation round-trips through Verify.
+func TestEvaluateVerifyProperty(t *testing.T) {
+	f := func(seed int64, msg []byte) bool {
+		kp := testKey(seed)
+		out, proof := kp.Private.Evaluate(msg)
+		return kp.Public.Verify(msg, out, proof)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -3,9 +3,15 @@
 // attempting to finalise blocks round after round. It prints a per-round
 // outcome table (the data behind the paper's Fig. 3) and a summary.
 //
+// With -runs > 1 it averages the per-round outcome fractions over
+// independent simulations fanned out across the shared deterministic run
+// pool; -workers caps the pool (0 = GOMAXPROCS) without changing any
+// output.
+//
 // Usage:
 //
-//	algosim [-nodes N] [-rounds R] [-defect F] [-malicious F] [-faulty F]
+//	algosim [-nodes N] [-rounds R] [-runs M] [-workers W]
+//	        [-defect F] [-malicious F] [-faulty F]
 //	        [-fanout K] [-loss P] [-seed S] [-csv]
 package main
 
@@ -15,7 +21,9 @@ import (
 	"log"
 	"os"
 
+	"github.com/dsn2020-algorand/incentives/internal/network"
 	"github.com/dsn2020-algorand/incentives/internal/protocol"
+	"github.com/dsn2020-algorand/incentives/internal/runpool"
 	"github.com/dsn2020-algorand/incentives/internal/sim"
 	"github.com/dsn2020-algorand/incentives/internal/stake"
 	"github.com/dsn2020-algorand/incentives/internal/stats"
@@ -27,10 +35,21 @@ func main() {
 	}
 }
 
+// simRun is one simulation's per-round outcome fractions plus the
+// headline counters of its final state.
+type simRun struct {
+	final, tentative, none []float64
+	decidedRounds          int
+	chainHeight            int
+	netStats               network.Stats
+}
+
 func run() error {
 	var (
 		nodes     = flag.Int("nodes", 100, "network size")
 		rounds    = flag.Int("rounds", 30, "rounds to simulate")
+		runs      = flag.Int("runs", 1, "independent simulations to average")
+		workers   = flag.Int("workers", 0, "run-pool workers (0 = GOMAXPROCS); results are identical for every value")
 		defect    = flag.Float64("defect", 0.10, "fraction of honest-but-selfish nodes that defect")
 		malicious = flag.Float64("malicious", 0, "fraction of malicious nodes")
 		faulty    = flag.Float64("faulty", 0, "fraction of faulty (offline) nodes")
@@ -43,54 +62,91 @@ func run() error {
 	if *defect+*malicious+*faulty > 1 {
 		return fmt.Errorf("behaviour fractions sum to %v > 1", *defect+*malicious+*faulty)
 	}
+	if *runs < 1 {
+		return fmt.Errorf("need at least one run, got %d", *runs)
+	}
 
-	rng := sim.NewRNG(*seed, "algosim")
-	pop, err := stake.SamplePopulation(stake.UniformInt{A: 1, B: 50}, *nodes, rng)
-	if err != nil {
-		return err
-	}
-	behaviors := make([]protocol.Behavior, *nodes)
-	for i := range behaviors {
-		behaviors[i] = protocol.Honest
-	}
-	perm := rng.Perm(*nodes)
-	idx := 0
-	assign := func(frac float64, b protocol.Behavior) {
-		for n := 0; n < int(frac*float64(*nodes)) && idx < *nodes; n++ {
-			behaviors[perm[idx]] = b
-			idx++
+	results, err := runpool.Sweep(*runs, *workers, func(run int) (simRun, error) {
+		// Run 0 uses the -seed value itself, so -runs 1 reproduces the
+		// historical single-run output exactly.
+		runSeed := *seed + int64(run)*7919
+		rng := sim.NewRNG(runSeed, "algosim")
+		pop, err := stake.SamplePopulation(stake.UniformInt{A: 1, B: 50}, *nodes, rng)
+		if err != nil {
+			return simRun{}, err
 		}
-	}
-	assign(*defect, protocol.Selfish)
-	assign(*malicious, protocol.Malicious)
-	assign(*faulty, protocol.Faulty)
+		behaviors := make([]protocol.Behavior, *nodes)
+		for i := range behaviors {
+			behaviors[i] = protocol.Honest
+		}
+		perm := rng.Perm(*nodes)
+		idx := 0
+		assign := func(frac float64, b protocol.Behavior) {
+			for n := 0; n < int(frac*float64(*nodes)) && idx < *nodes; n++ {
+				behaviors[perm[idx]] = b
+				idx++
+			}
+		}
+		assign(*defect, protocol.Selfish)
+		assign(*malicious, protocol.Malicious)
+		assign(*faulty, protocol.Faulty)
 
-	runner, err := protocol.NewRunner(protocol.Config{
-		Params:    protocol.DefaultParams(),
-		Stakes:    pop.Stakes,
-		Behaviors: behaviors,
-		Fanout:    *fanout,
-		LossProb:  *loss,
-		Seed:      *seed,
+		runner, err := protocol.NewRunner(protocol.Config{
+			Params:    protocol.DefaultParams(),
+			Stakes:    pop.Stakes,
+			Behaviors: behaviors,
+			Fanout:    *fanout,
+			LossProb:  *loss,
+			Seed:      runSeed,
+		})
+		if err != nil {
+			return simRun{}, err
+		}
+
+		reports := runner.RunRounds(*rounds)
+		out := simRun{
+			final:       make([]float64, len(reports)),
+			tentative:   make([]float64, len(reports)),
+			none:        make([]float64, len(reports)),
+			chainHeight: runner.Canonical().Len(),
+			netStats:    runner.Network().Stats(),
+		}
+		for i, rep := range reports {
+			out.final[i] = rep.FinalFrac()
+			out.tentative[i] = rep.TentativeFrac()
+			out.none[i] = rep.NoneFrac()
+			if rep.Decided {
+				out.decidedRounds++
+			}
+		}
+		return out, nil
 	})
 	if err != nil {
 		return err
 	}
 
-	reports := runner.RunRounds(*rounds)
-	roundCol := make([]float64, len(reports))
-	finalCol := make([]float64, len(reports))
-	tentCol := make([]float64, len(reports))
-	noneCol := make([]float64, len(reports))
-	decidedRounds := 0
-	for i, rep := range reports {
-		roundCol[i] = float64(i + 1)
-		finalCol[i] = rep.FinalFrac()
-		tentCol[i] = rep.TentativeFrac()
-		noneCol[i] = rep.NoneFrac()
-		if rep.Decided {
-			decidedRounds++
+	pick := func(field func(simRun) []float64) [][]float64 {
+		rows := make([][]float64, len(results))
+		for i, r := range results {
+			rows[i] = field(r)
 		}
+		return rows
+	}
+	finalCol, err := runpool.MeanColumns(pick(func(r simRun) []float64 { return r.final }))
+	if err != nil {
+		return err
+	}
+	tentCol, err := runpool.MeanColumns(pick(func(r simRun) []float64 { return r.tentative }))
+	if err != nil {
+		return err
+	}
+	noneCol, err := runpool.MeanColumns(pick(func(r simRun) []float64 { return r.none }))
+	if err != nil {
+		return err
+	}
+	roundCol := make([]float64, *rounds)
+	for i := range roundCol {
+		roundCol[i] = float64(i + 1)
 	}
 	table := stats.NewTable(
 		stats.Series{Name: "round", Values: roundCol},
@@ -109,8 +165,16 @@ func run() error {
 	}
 
 	meanFinal, _ := stats.Mean(finalCol)
-	fmt.Fprintf(os.Stderr,
-		"\n%d/%d rounds decided; mean final fraction %.1f%%; chain height %d; gossip: %+v\n",
-		decidedRounds, *rounds, 100*meanFinal, runner.Canonical().Len(), runner.Network().Stats())
+	meanDecided := runpool.MeanOf(results, func(r simRun) float64 { return float64(r.decidedRounds) })
+	meanHeight := runpool.MeanOf(results, func(r simRun) float64 { return float64(r.chainHeight) })
+	if *runs == 1 {
+		fmt.Fprintf(os.Stderr,
+			"\n%d/%d rounds decided; mean final fraction %.1f%%; chain height %d; gossip: %+v\n",
+			results[0].decidedRounds, *rounds, 100*meanFinal, results[0].chainHeight, results[0].netStats)
+	} else {
+		fmt.Fprintf(os.Stderr,
+			"\n%d runs: mean %.1f/%d rounds decided; mean final fraction %.1f%%; mean chain height %.1f\n",
+			*runs, meanDecided, *rounds, 100*meanFinal, meanHeight)
+	}
 	return nil
 }

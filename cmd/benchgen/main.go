@@ -3,10 +3,12 @@
 //
 // Usage:
 //
-//	benchgen [-out DIR] [-full] [table3|fig3|fig5|fig6|fig7|equilibrium|all]
+//	benchgen [-out DIR] [-full] [-workers N] [table3|fig3|fig5|fig6|fig7|equilibrium|all]
 //
 // With -full, the paper-scale configurations are used (500k nodes, 100-200
 // runs); the default configurations finish on a laptop in minutes.
+// -workers caps the shared deterministic run pool (0 = GOMAXPROCS); every
+// worker count yields bit-for-bit identical CSVs.
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 func main() {
 	outDir := flag.String("out", "results", "output directory for CSV files")
 	full := flag.Bool("full", false, "use paper-scale configurations")
+	workers := flag.Int("workers", 0, "run-pool workers (0 = GOMAXPROCS); results are identical for every value")
 	flag.Parse()
 
 	targets := flag.Args()
@@ -34,12 +37,12 @@ func main() {
 			"evolution", "weaksync", "costs", "sensitivity", "mixed",
 		}
 	}
-	if err := run(*outDir, *full, targets); err != nil {
+	if err := run(*outDir, *full, *workers, targets); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(outDir string, full bool, targets []string) error {
+func run(outDir string, full bool, workers int, targets []string) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
@@ -50,25 +53,25 @@ func run(outDir string, full bool, targets []string) error {
 		case "table3":
 			err = genTable3(outDir)
 		case "fig3":
-			err = genFig3(outDir, full)
+			err = genFig3(outDir, full, workers)
 		case "fig5":
-			err = genFig5(outDir)
+			err = genFig5(outDir, workers)
 		case "fig6":
-			err = genFig6(outDir, full)
+			err = genFig6(outDir, full, workers)
 		case "fig7":
-			err = genFig7(outDir, full)
+			err = genFig7(outDir, full, workers)
 		case "equilibrium":
-			err = genEquilibrium(outDir)
+			err = genEquilibrium(outDir, workers)
 		case "evolution":
 			err = genEvolution(outDir)
 		case "weaksync":
-			err = genWeakSync(outDir)
+			err = genWeakSync(outDir, workers)
 		case "costs":
 			err = genCosts(outDir)
 		case "sensitivity":
 			err = genSensitivity(outDir)
 		case "mixed":
-			err = genMixed(outDir)
+			err = genMixed(outDir, workers)
 		default:
 			err = fmt.Errorf("unknown target %q", target)
 		}
@@ -105,11 +108,12 @@ func genTable3(outDir string) error {
 	return writeCSV(outDir, "table3.csv", res.Table())
 }
 
-func genFig3(outDir string, full bool) error {
+func genFig3(outDir string, full bool, workers int) error {
 	cfg := experiments.DefaultFig3Config()
 	if full {
 		cfg = experiments.FullFig3Config()
 	}
+	cfg.Workers = workers
 	res, err := experiments.RunFig3(cfg)
 	if err != nil {
 		return err
@@ -120,8 +124,10 @@ func genFig3(outDir string, full bool) error {
 	return writeCSV(outDir, "fig3.csv", res.Table())
 }
 
-func genFig5(outDir string) error {
-	res, err := experiments.RunFig5(experiments.DefaultFig5Config())
+func genFig5(outDir string, workers int) error {
+	cfg := experiments.DefaultFig5Config()
+	cfg.Workers = workers
+	res, err := experiments.RunFig5(cfg)
 	if err != nil {
 		return err
 	}
@@ -131,11 +137,12 @@ func genFig5(outDir string) error {
 	return writeCSV(outDir, "fig5.csv", res.Table())
 }
 
-func genFig6(outDir string, full bool) error {
+func genFig6(outDir string, full bool, workers int) error {
 	cfg := experiments.DefaultFig6Config()
 	if full {
 		cfg = experiments.FullFig6Config()
 	}
+	cfg.Workers = workers
 	res, err := experiments.RunFig6(cfg)
 	if err != nil {
 		return err
@@ -153,11 +160,12 @@ func genFig6(outDir string, full bool) error {
 	return writeCSV(outDir, "fig6.csv", res.Table())
 }
 
-func genFig7(outDir string, full bool) error {
+func genFig7(outDir string, full bool, workers int) error {
 	cfg := experiments.DefaultFig7Config()
 	if full {
 		cfg = experiments.FullFig7Config()
 	}
+	cfg.Workers = workers
 	res, err := experiments.RunFig7(cfg)
 	if err != nil {
 		return err
@@ -169,8 +177,10 @@ func genFig7(outDir string, full bool) error {
 }
 
 // genWeakSync reproduces the Fig. 3-(c) asynchrony spike and recovery.
-func genWeakSync(outDir string) error {
-	res, err := experiments.RunWeakSync(experiments.DefaultWeakSyncConfig())
+func genWeakSync(outDir string, workers int) error {
+	cfg := experiments.DefaultWeakSyncConfig()
+	cfg.Workers = workers
+	res, err := experiments.RunWeakSync(cfg)
 	if err != nil {
 		return err
 	}
@@ -194,8 +204,10 @@ func genCosts(outDir string) error {
 }
 
 // genMixed sweeps selfish / malicious / faulty behaviour mixes.
-func genMixed(outDir string) error {
-	res, err := experiments.RunMixed(experiments.DefaultMixedConfig())
+func genMixed(outDir string, workers int) error {
+	cfg := experiments.DefaultMixedConfig()
+	cfg.Workers = workers
+	res, err := experiments.RunMixed(cfg)
 	if err != nil {
 		return err
 	}
@@ -261,8 +273,10 @@ func genEvolution(outDir string) error {
 	return writeCSV(outDir, "evolution.csv", t)
 }
 
-func genEquilibrium(outDir string) error {
-	res, err := experiments.RunEquilibrium(experiments.DefaultEquilibriumConfig())
+func genEquilibrium(outDir string, workers int) error {
+	cfg := experiments.DefaultEquilibriumConfig()
+	cfg.Workers = workers
+	res, err := experiments.RunEquilibrium(cfg)
 	if err != nil {
 		return err
 	}

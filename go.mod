@@ -1,0 +1,3 @@
+module github.com/dsn2020-algorand/incentives
+
+go 1.22

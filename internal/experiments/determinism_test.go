@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The run-pool contract: for the same seed, every worker count must
+// produce byte-identical results. Series are compared (not whole results)
+// because the Workers knob itself lives in the embedded Config.
+
+func TestFig3DeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol simulation")
+	}
+	cfg := DefaultFig3Config()
+	cfg.Runs = 3
+	cfg.Rounds = 4
+	cfg.DefectionRates = []float64{0.15}
+
+	cfg.Workers = 1
+	serial, err := RunFig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	parallel, err := RunFig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Series, parallel.Series) {
+		t.Errorf("fig3 workers=1 vs workers=8 diverged:\n%+v\nvs\n%+v", serial.Series, parallel.Series)
+	}
+}
+
+func TestWeakSyncDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol simulation")
+	}
+	cfg := DefaultWeakSyncConfig()
+	cfg.Runs = 3
+	cfg.Rounds = 8
+	cfg.WindowFrom, cfg.WindowTo = 4, 5
+
+	cfg.Workers = 1
+	serial, err := RunWeakSync(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	parallel, err := RunWeakSync(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Final, parallel.Final) ||
+		!reflect.DeepEqual(serial.Tentative, parallel.Tentative) ||
+		!reflect.DeepEqual(serial.None, parallel.None) {
+		t.Error("weaksync workers=1 vs workers=8 diverged")
+	}
+}
+
+func TestFig6DeterministicAcrossWorkers(t *testing.T) {
+	cfg := DefaultFig6Config()
+	cfg.Nodes = 2_000
+	cfg.Runs = 4
+	cfg.RoundsPerRun = 2
+
+	cfg.Workers = 1
+	serial, err := RunFig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	parallel, err := RunFig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Panels, parallel.Panels) {
+		t.Error("fig6 workers=1 vs workers=8 diverged")
+	}
+}
+
+func TestFig5DeterministicAcrossWorkers(t *testing.T) {
+	cfg := DefaultFig5Config()
+	cfg.Workers = 1
+	serial, err := RunFig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	parallel, err := RunFig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Surface, parallel.Surface) {
+		t.Error("fig5 surface diverged across worker counts")
+	}
+	if serial.GridBest != parallel.GridBest {
+		t.Errorf("fig5 grid best diverged: %+v vs %+v", serial.GridBest, parallel.GridBest)
+	}
+}
+
+func TestEquilibriumDeterministicAcrossWorkers(t *testing.T) {
+	cfg := DefaultEquilibriumConfig()
+	cfg.Samples = 12
+
+	cfg.Workers = 1
+	serial, err := RunEquilibrium(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	parallel, err := RunEquilibrium(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Theorem1 != parallel.Theorem1 || serial.Theorem2 != parallel.Theorem2 ||
+		serial.Lemma1 != parallel.Lemma1 || serial.Theorem3 != parallel.Theorem3 ||
+		serial.Tightness != parallel.Tightness ||
+		!reflect.DeepEqual(serial.Failures, parallel.Failures) {
+		t.Error("equilibrium audit diverged across worker counts")
+	}
+}
+
+func TestFig7DeterministicAcrossWorkers(t *testing.T) {
+	cfg := DefaultFig7Config()
+	cfg.Nodes = 2_000
+	cfg.Runs = 4
+
+	cfg.Workers = 1
+	serial, err := RunFig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	parallel, err := RunFig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Ours, parallel.Ours) || !reflect.DeepEqual(serial.Removal, parallel.Removal) {
+		t.Error("fig7 trajectories diverged across worker counts")
+	}
+}
+
+func TestMixedDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol simulation")
+	}
+	cfg := DefaultMixedConfig()
+	cfg.Runs = 3
+	cfg.Rounds = 3
+	cfg.Mixes = []BehaviorMix{{Selfish: 0.10}}
+
+	cfg.Workers = 1
+	serial, err := RunMixed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = 8
+	parallel, err := RunMixed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Rows, parallel.Rows) {
+		t.Error("mixed sweep diverged across worker counts")
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/dsn2020-algorand/incentives/internal/core"
 	"github.com/dsn2020-algorand/incentives/internal/game"
+	"github.com/dsn2020-algorand/incentives/internal/runpool"
 	"github.com/dsn2020-algorand/incentives/internal/sim"
 	"github.com/dsn2020-algorand/incentives/internal/stake"
 )
@@ -23,6 +24,8 @@ type EquilibriumConfig struct {
 	// Costs is the role-cost model.
 	Costs game.RoleCosts
 	Seed  int64
+	// Workers bounds the audit pool's parallelism (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultEquilibriumConfig audits 50 random games with the paper's cost
@@ -66,53 +69,76 @@ func RunEquilibrium(cfg EquilibriumConfig) (*EquilibriumResult, error) {
 	if cfg.StakeDist == nil {
 		cfg.StakeDist = stake.Uniform{A: 1, B: 200}
 	}
-	res := &EquilibriumResult{Config: cfg}
-	for s := 0; s < cfg.Samples; s++ {
+	type sampleAudit struct {
+		theorem1, theorem2, lemma1, theorem3, tightness bool
+		failures                                        []string
+	}
+	audits, err := runpool.Sweep(cfg.Samples, cfg.Workers, func(s int) (sampleAudit, error) {
 		rng := sim.NewRNG(cfg.Seed+int64(s)*7919, "equilibrium")
 		g, in := sampleGame(cfg, rng)
 		foundation := game.FoundationRule{}
+		var a sampleAudit
 
 		// Theorem 1: All-D is a NE of GAl.
 		if ok, _ := g.IsNash(foundation, g.AllD()); ok {
-			res.Theorem1++
+			a.theorem1 = true
 		} else {
-			res.Failures = append(res.Failures, fmt.Sprintf("sample %d: All-D not NE under foundation", s))
+			a.failures = append(a.failures, fmt.Sprintf("sample %d: All-D not NE under foundation", s))
 		}
 		// Theorem 2: All-C is not a NE of GAl.
 		if ok, _ := g.IsNash(foundation, g.AllC()); !ok {
-			res.Theorem2++
+			a.theorem2 = true
 		} else {
-			res.Failures = append(res.Failures, fmt.Sprintf("sample %d: All-C unexpectedly NE under foundation", s))
+			a.failures = append(a.failures, fmt.Sprintf("sample %d: All-C unexpectedly NE under foundation", s))
 		}
 		// Lemma 1: O is dominated by D.
 		if dev := g.DominatedOffline(foundation, g.AllC()); dev == nil {
-			res.Lemma1++
+			a.lemma1 = true
 		} else {
-			res.Failures = append(res.Failures, fmt.Sprintf("sample %d: lemma1 violated: %s", s, dev))
+			a.failures = append(a.failures, fmt.Sprintf("sample %d: lemma1 violated: %s", s, dev))
 		}
 
 		// Theorem 3 at the Algorithm 1 reward.
 		params, err := core.Minimize(in)
 		if err != nil {
-			res.Failures = append(res.Failures, fmt.Sprintf("sample %d: minimize: %v", s, err))
-			continue
+			a.failures = append(a.failures, fmt.Sprintf("sample %d: minimize: %v", s, err))
+			return a, nil
 		}
 		g.B = params.B
 		rule := game.RoleBasedRule{Alpha: params.Alpha, Beta: params.Beta}
 		profile := g.Theorem3Profile()
 		if ok, devs := g.IsNash(rule, profile); ok {
-			res.Theorem3++
+			a.theorem3 = true
 		} else {
-			res.Failures = append(res.Failures, fmt.Sprintf("sample %d: theorem3 violated at B=%g: %s", s, params.B, devs[0]))
+			a.failures = append(a.failures, fmt.Sprintf("sample %d: theorem3 violated at B=%g: %s", s, params.B, devs[0]))
 		}
 		// Tightness: 50% of the bound must break cooperation.
 		g.B = params.MinB * 0.5
 		if ok, _ := g.IsNash(rule, profile); !ok {
-			res.Tightness++
+			a.tightness = true
 		} else {
-			res.Failures = append(res.Failures, fmt.Sprintf("sample %d: bound not tight at B=%g", s, g.B))
+			a.failures = append(a.failures, fmt.Sprintf("sample %d: bound not tight at B=%g", s, g.B))
 		}
+		return a, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	res := runpool.Accumulate(audits, &EquilibriumResult{Config: cfg}, func(r *EquilibriumResult, a sampleAudit) *EquilibriumResult {
+		boolToInt := func(b bool) int {
+			if b {
+				return 1
+			}
+			return 0
+		}
+		r.Theorem1 += boolToInt(a.theorem1)
+		r.Theorem2 += boolToInt(a.theorem2)
+		r.Lemma1 += boolToInt(a.lemma1)
+		r.Theorem3 += boolToInt(a.theorem3)
+		r.Tightness += boolToInt(a.tightness)
+		r.Failures = append(r.Failures, a.failures...)
+		return r
+	})
 	return res, nil
 }
 

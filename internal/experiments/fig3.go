@@ -10,6 +10,7 @@ import (
 	"io"
 
 	"github.com/dsn2020-algorand/incentives/internal/protocol"
+	"github.com/dsn2020-algorand/incentives/internal/runpool"
 	"github.com/dsn2020-algorand/incentives/internal/sim"
 	"github.com/dsn2020-algorand/incentives/internal/stake"
 	"github.com/dsn2020-algorand/incentives/internal/stats"
@@ -39,6 +40,9 @@ type Fig3Config struct {
 	Params protocol.Params
 	// StakeDist draws per-node stakes (paper: U{1..50}).
 	StakeDist stake.Distribution
+	// Workers bounds the run pool's parallelism (0 = GOMAXPROCS). The
+	// result is identical for every worker count.
+	Workers int
 }
 
 // DefaultFig3Config is a laptop-scale configuration that preserves the
@@ -99,18 +103,18 @@ func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
 	return result, nil
 }
 
-func runFig3Rate(cfg Fig3Config, rate float64) (Fig3Series, error) {
-	// finals[round][run] etc.
-	finals := makeMatrix(cfg.Rounds, cfg.Runs)
-	tentatives := makeMatrix(cfg.Rounds, cfg.Runs)
-	nones := makeMatrix(cfg.Rounds, cfg.Runs)
+// fig3Run is one simulation's per-round outcome fractions.
+type fig3Run struct {
+	final, tentative, none []float64
+}
 
-	for run := 0; run < cfg.Runs; run++ {
+func runFig3Rate(cfg Fig3Config, rate float64) (Fig3Series, error) {
+	runs, err := runpool.Sweep(cfg.Runs, cfg.Workers, func(run int) (fig3Run, error) {
 		seed := cfg.Seed + int64(run)*7919 + int64(rate*1e4)
 		rng := sim.NewRNG(seed, "fig3.setup")
 		pop, err := stake.SamplePopulation(cfg.StakeDist, cfg.Nodes, rng)
 		if err != nil {
-			return Fig3Series{}, err
+			return fig3Run{}, err
 		}
 		behaviors := make([]protocol.Behavior, cfg.Nodes)
 		for i := range behaviors {
@@ -129,36 +133,42 @@ func runFig3Rate(cfg Fig3Config, rate float64) (Fig3Series, error) {
 			Seed:      seed,
 		})
 		if err != nil {
-			return Fig3Series{}, err
+			return fig3Run{}, err
+		}
+		out := fig3Run{
+			final:     make([]float64, cfg.Rounds),
+			tentative: make([]float64, cfg.Rounds),
+			none:      make([]float64, cfg.Rounds),
 		}
 		for round, report := range runner.RunRounds(cfg.Rounds) {
-			finals[round][run] = report.FinalFrac()
-			tentatives[round][run] = report.TentativeFrac()
-			nones[round][run] = report.NoneFrac()
+			out.final[round] = report.FinalFrac()
+			out.tentative[round] = report.TentativeFrac()
+			out.none[round] = report.NoneFrac()
 		}
+		return out, nil
+	})
+	if err != nil {
+		return Fig3Series{}, err
 	}
 
-	series := Fig3Series{Rate: rate}
-	for round := 0; round < cfg.Rounds; round++ {
-		f, err := stats.TrimmedMean(finals[round], cfg.TrimFrac)
-		if err != nil {
-			return Fig3Series{}, err
+	pick := func(field func(fig3Run) []float64) [][]float64 {
+		rows := make([][]float64, len(runs))
+		for i, r := range runs {
+			rows[i] = field(r)
 		}
-		t, _ := stats.TrimmedMean(tentatives[round], cfg.TrimFrac)
-		n, _ := stats.TrimmedMean(nones[round], cfg.TrimFrac)
-		series.Final = append(series.Final, f)
-		series.Tentative = append(series.Tentative, t)
-		series.None = append(series.None, n)
+		return rows
+	}
+	series := Fig3Series{Rate: rate}
+	if series.Final, err = runpool.TrimmedMeanColumns(pick(func(r fig3Run) []float64 { return r.final }), cfg.TrimFrac); err != nil {
+		return Fig3Series{}, err
+	}
+	if series.Tentative, err = runpool.TrimmedMeanColumns(pick(func(r fig3Run) []float64 { return r.tentative }), cfg.TrimFrac); err != nil {
+		return Fig3Series{}, err
+	}
+	if series.None, err = runpool.TrimmedMeanColumns(pick(func(r fig3Run) []float64 { return r.none }), cfg.TrimFrac); err != nil {
+		return Fig3Series{}, err
 	}
 	return series, nil
-}
-
-func makeMatrix(rows, cols int) [][]float64 {
-	m := make([][]float64, rows)
-	for i := range m {
-		m[i] = make([]float64, cols)
-	}
-	return m
 }
 
 // MeanFinal returns the average final-block fraction across all rounds of

@@ -8,6 +8,7 @@ import (
 
 	"github.com/dsn2020-algorand/incentives/internal/core"
 	"github.com/dsn2020-algorand/incentives/internal/game"
+	"github.com/dsn2020-algorand/incentives/internal/runpool"
 	"github.com/dsn2020-algorand/incentives/internal/stats"
 )
 
@@ -22,6 +23,8 @@ type Fig5Config struct {
 	AlphaMax, BetaMax float64
 	// Steps is the grid resolution per axis.
 	Steps int
+	// Workers bounds the grid scan's parallelism (0 = GOMAXPROCS).
+	Workers int
 }
 
 // PaperFig5Inputs returns the Sec. V-A constants: SL and SM from the
@@ -80,14 +83,24 @@ func RunFig5(cfg Fig5Config) (*Fig5Result, error) {
 		return nil, fmt.Errorf("fig5 inputs: %w", err)
 	}
 	res := &Fig5Result{Config: cfg, GridBest: Fig5Point{B: math.Inf(1)}}
-	for i := 1; i <= cfg.Steps; i++ {
-		alpha := cfg.AlphaMax * float64(i) / float64(cfg.Steps)
+	// One pool task per alpha row; rows are appended and the minimum is
+	// folded in row order, so the scan is worker-count independent.
+	rows, err := runpool.Sweep(cfg.Steps, cfg.Workers, func(i int) ([]Fig5Point, error) {
+		alpha := cfg.AlphaMax * float64(i+1) / float64(cfg.Steps)
+		row := make([]Fig5Point, cfg.Steps)
 		for j := 1; j <= cfg.Steps; j++ {
 			beta := cfg.BetaMax * float64(j) / float64(cfg.Steps)
-			b := core.BoundB(cfg.Inputs, alpha, beta)
-			pt := Fig5Point{Alpha: alpha, Beta: beta, B: b}
-			res.Surface = append(res.Surface, pt)
-			if b < res.GridBest.B {
+			row[j-1] = Fig5Point{Alpha: alpha, Beta: beta, B: core.BoundB(cfg.Inputs, alpha, beta)}
+		}
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		res.Surface = append(res.Surface, row...)
+		for _, pt := range row {
+			if pt.B < res.GridBest.B {
 				res.GridBest = pt
 			}
 		}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/dsn2020-algorand/incentives/internal/core"
 	"github.com/dsn2020-algorand/incentives/internal/game"
+	"github.com/dsn2020-algorand/incentives/internal/runpool"
 	"github.com/dsn2020-algorand/incentives/internal/sim"
 	"github.com/dsn2020-algorand/incentives/internal/stake"
 	"github.com/dsn2020-algorand/incentives/internal/stats"
@@ -36,6 +37,8 @@ type Fig6Config struct {
 	Seed int64
 	// HistogramBins controls the rendered distribution resolution.
 	HistogramBins int
+	// Workers bounds the run pool's parallelism (0 = GOMAXPROCS).
+	Workers int
 }
 
 // PaperDistributions are the four Fig. 6 panels.
@@ -107,42 +110,60 @@ func RunFig6(cfg Fig6Config) (*Fig6Result, error) {
 	return res, nil
 }
 
+// fig6Run is one simulation's per-round parameters.
+type fig6Run struct {
+	rewards          []float64
+	sumA, sumB, sumG float64
+}
+
 func runFig6Panel(cfg Fig6Config, dist stake.Distribution, salt int64) (Fig6Panel, error) {
-	panel := Fig6Panel{Distribution: dist.Name()}
-	var sumA, sumB, sumG float64
-	count := 0
-	for run := 0; run < cfg.Runs; run++ {
+	runs, err := runpool.Sweep(cfg.Runs, cfg.Workers, func(run int) (fig6Run, error) {
 		rng := sim.NewRNG(cfg.Seed+salt*104729+int64(run)*7919, "fig6")
 		pop, err := stake.SamplePopulation(dist, cfg.Nodes, rng)
 		if err != nil {
-			return Fig6Panel{}, err
+			return fig6Run{}, err
 		}
 		gen, err := txgen.New(cfg.Workload, rng)
 		if err != nil {
-			return Fig6Panel{}, err
+			return fig6Run{}, err
 		}
 		controller := core.NewController(cfg.Costs, cfg.Options)
+		out := fig6Run{rewards: make([]float64, 0, cfg.RoundsPerRun)}
 		for round := 0; round < cfg.RoundsPerRun; round++ {
 			p, err := controller.Step(pop)
 			if err != nil {
-				return Fig6Panel{}, err
+				return fig6Run{}, err
 			}
-			panel.Rewards = append(panel.Rewards, p.B)
-			sumA += p.Alpha
-			sumB += p.Beta
-			sumG += p.Gamma
-			count++
+			out.rewards = append(out.rewards, p.B)
+			out.sumA += p.Alpha
+			out.sumB += p.Beta
+			out.sumG += p.Gamma
 			txgen.Apply(pop, gen.Round(pop))
 		}
+		return out, nil
+	})
+	if err != nil {
+		return Fig6Panel{}, err
 	}
+
+	panel := runpool.Accumulate(runs, Fig6Panel{Distribution: dist.Name()}, func(p Fig6Panel, r fig6Run) Fig6Panel {
+		p.Rewards = append(p.Rewards, r.rewards...)
+		p.MeanAlpha += r.sumA
+		p.MeanBeta += r.sumB
+		p.MeanGamma += r.sumG
+		return p
+	})
+	// Sweep aborts on any failed run, so every surviving run contributed
+	// exactly RoundsPerRun parameter sets.
+	count := float64(cfg.Runs * cfg.RoundsPerRun)
+	panel.MeanAlpha /= count
+	panel.MeanBeta /= count
+	panel.MeanGamma /= count
 	summary, err := stats.Summarize(panel.Rewards)
 	if err != nil {
 		return Fig6Panel{}, err
 	}
 	panel.Summary = summary
-	panel.MeanAlpha = sumA / float64(count)
-	panel.MeanBeta = sumB / float64(count)
-	panel.MeanGamma = sumG / float64(count)
 	return panel, nil
 }
 

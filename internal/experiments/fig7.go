@@ -8,6 +8,7 @@ import (
 	"github.com/dsn2020-algorand/incentives/internal/core"
 	"github.com/dsn2020-algorand/incentives/internal/game"
 	"github.com/dsn2020-algorand/incentives/internal/rewards"
+	"github.com/dsn2020-algorand/incentives/internal/runpool"
 	"github.com/dsn2020-algorand/incentives/internal/sim"
 	"github.com/dsn2020-algorand/incentives/internal/stake"
 	"github.com/dsn2020-algorand/incentives/internal/stats"
@@ -33,6 +34,8 @@ type Fig7Config struct {
 	Costs   game.RoleCosts
 	Options core.Options
 	Seed    int64
+	// Workers bounds the run pool's parallelism (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultFig7Config is the laptop-scale configuration.
@@ -132,8 +135,7 @@ func RunFig7(cfg Fig7Config) (*Fig7Result, error) {
 // meanMechanismReward averages Algorithm 1's B over fresh populations,
 // optionally removing stakes below w from the rewarded set.
 func meanMechanismReward(cfg Fig7Config, dist stake.Distribution, w float64, salt int64) (float64, error) {
-	var sum float64
-	for run := 0; run < cfg.Runs; run++ {
+	bs, err := runpool.Sweep(cfg.Runs, cfg.Workers, func(run int) (float64, error) {
 		rng := sim.NewRNG(cfg.Seed+salt*104729+int64(run)*7919, "fig7")
 		pop, err := stake.SamplePopulation(dist, cfg.Nodes, rng)
 		if err != nil {
@@ -149,9 +151,12 @@ func meanMechanismReward(cfg Fig7Config, dist stake.Distribution, w float64, sal
 		if err != nil {
 			return 0, err
 		}
-		sum += p.B
+		return p.B, nil
+	})
+	if err != nil {
+		return 0, err
 	}
-	return sum / float64(cfg.Runs), nil
+	return runpool.MeanOf(bs, func(b float64) float64 { return b }), nil
 }
 
 func flatTrajectory(label string, perRound float64, periods int) Fig7Trajectory {

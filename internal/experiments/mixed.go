@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"github.com/dsn2020-algorand/incentives/internal/protocol"
+	"github.com/dsn2020-algorand/incentives/internal/runpool"
 	"github.com/dsn2020-algorand/incentives/internal/sim"
 	"github.com/dsn2020-algorand/incentives/internal/stake"
 	"github.com/dsn2020-algorand/incentives/internal/stats"
@@ -47,6 +48,8 @@ type MixedConfig struct {
 	Mixes  []BehaviorMix
 	Seed   int64
 	Params protocol.Params
+	// Workers bounds the run pool's parallelism (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultMixedConfig sweeps a selfish / malicious / faulty grid at 10%.
@@ -65,6 +68,11 @@ func DefaultMixedConfig() MixedConfig {
 		Seed:   1,
 		Params: protocol.DefaultParams(),
 	}
+}
+
+// mixedRun is one simulation's summed outcome fractions.
+type mixedRun struct {
+	finalSum, noneSum, decided float64
 }
 
 // MixedRow is the averaged result of one mix.
@@ -91,13 +99,12 @@ func RunMixed(cfg MixedConfig) (*MixedResult, error) {
 		if !mix.Valid() {
 			return nil, fmt.Errorf("experiments: invalid mix %+v", mix)
 		}
-		row := MixedRow{Mix: mix}
-		for run := 0; run < cfg.Runs; run++ {
+		runs, err := runpool.Sweep(cfg.Runs, cfg.Workers, func(run int) (mixedRun, error) {
 			seed := cfg.Seed + int64(mi)*104729 + int64(run)*7919
 			rng := sim.NewRNG(seed, "mixed.setup")
 			pop, err := stake.SamplePopulation(stake.UniformInt{A: 1, B: 50}, cfg.Nodes, rng)
 			if err != nil {
-				return nil, err
+				return mixedRun{}, err
 			}
 			behaviors := make([]protocol.Behavior, cfg.Nodes)
 			for i := range behaviors {
@@ -122,16 +129,27 @@ func RunMixed(cfg MixedConfig) (*MixedResult, error) {
 				Seed:      seed,
 			})
 			if err != nil {
-				return nil, err
+				return mixedRun{}, err
 			}
+			var out mixedRun
 			for _, rep := range runner.RunRounds(cfg.Rounds) {
-				row.FinalFrac += rep.FinalFrac()
-				row.NoneFrac += rep.NoneFrac()
+				out.finalSum += rep.FinalFrac()
+				out.noneSum += rep.NoneFrac()
 				if rep.Decided {
-					row.DecideRate++
+					out.decided++
 				}
 			}
+			return out, nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		row := runpool.Accumulate(runs, MixedRow{Mix: mix}, func(r MixedRow, m mixedRun) MixedRow {
+			r.FinalFrac += m.finalSum
+			r.NoneFrac += m.noneSum
+			r.DecideRate += m.decided
+			return r
+		})
 		denom := float64(cfg.Runs * cfg.Rounds)
 		row.FinalFrac /= denom
 		row.NoneFrac /= denom

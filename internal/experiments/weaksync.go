@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"github.com/dsn2020-algorand/incentives/internal/protocol"
+	"github.com/dsn2020-algorand/incentives/internal/runpool"
 	"github.com/dsn2020-algorand/incentives/internal/sim"
 	"github.com/dsn2020-algorand/incentives/internal/stake"
 	"github.com/dsn2020-algorand/incentives/internal/stats"
@@ -26,6 +27,8 @@ type WeakSyncConfig struct {
 	WindowTo   uint64
 	Seed       int64
 	Params     protocol.Params
+	// Workers bounds the run pool's parallelism (0 = GOMAXPROCS).
+	Workers int
 }
 
 // DefaultWeakSyncConfig injects a 3-round window in the middle of a
@@ -62,18 +65,15 @@ func RunWeakSync(cfg WeakSyncConfig) (*WeakSyncResult, error) {
 	if cfg.WindowFrom < 2 || cfg.WindowTo >= uint64(cfg.Rounds) || cfg.WindowFrom > cfg.WindowTo {
 		return nil, errors.New("experiments: window must sit strictly inside the run")
 	}
-	res := &WeakSyncResult{
-		Config:    cfg,
-		Final:     make([]float64, cfg.Rounds),
-		Tentative: make([]float64, cfg.Rounds),
-		None:      make([]float64, cfg.Rounds),
+	type weakSyncRun struct {
+		final, tentative, none []float64
 	}
-	for run := 0; run < cfg.Runs; run++ {
+	runs, err := runpool.Sweep(cfg.Runs, cfg.Workers, func(run int) (weakSyncRun, error) {
 		seed := cfg.Seed + int64(run)*7919
 		rng := sim.NewRNG(seed, "weaksync.setup")
 		pop, err := stake.SamplePopulation(stake.UniformInt{A: 1, B: 50}, cfg.Nodes, rng)
 		if err != nil {
-			return nil, err
+			return weakSyncRun{}, err
 		}
 		behaviors := make([]protocol.Behavior, cfg.Nodes)
 		for i := range behaviors {
@@ -89,25 +89,52 @@ func RunWeakSync(cfg WeakSyncConfig) (*WeakSyncResult, error) {
 			Seed:      seed,
 		})
 		if err != nil {
-			return nil, err
+			return weakSyncRun{}, err
 		}
 		runner.SetDegradedWindow(cfg.WindowFrom, cfg.WindowTo)
-		for round, report := range runner.RunRounds(cfg.Rounds) {
-			res.Final[round] += report.FinalFrac()
-			res.Tentative[round] += report.TentativeFrac()
-			res.None[round] += report.NoneFrac()
+		out := weakSyncRun{
+			final:     make([]float64, cfg.Rounds),
+			tentative: make([]float64, cfg.Rounds),
+			none:      make([]float64, cfg.Rounds),
 		}
+		for round, report := range runner.RunRounds(cfg.Rounds) {
+			out.final[round] = report.FinalFrac()
+			out.tentative[round] = report.TentativeFrac()
+			out.none[round] = report.NoneFrac()
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for i := range res.Final {
-		res.Final[i] /= float64(cfg.Runs)
-		res.Tentative[i] /= float64(cfg.Runs)
-		res.None[i] /= float64(cfg.Runs)
+
+	res := &WeakSyncResult{Config: cfg}
+	pick := func(field func(weakSyncRun) []float64) [][]float64 {
+		rows := make([][]float64, len(runs))
+		for i, r := range runs {
+			rows[i] = field(r)
+		}
+		return rows
+	}
+	if res.Final, err = runpool.MeanColumns(pick(func(r weakSyncRun) []float64 { return r.final })); err != nil {
+		return nil, err
+	}
+	if res.Tentative, err = runpool.MeanColumns(pick(func(r weakSyncRun) []float64 { return r.tentative })); err != nil {
+		return nil, err
+	}
+	if res.None, err = runpool.MeanColumns(pick(func(r weakSyncRun) []float64 { return r.none })); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
 
-// windowMean averages xs over [from, to] (1-based round indices).
+// windowMean averages xs over [from, to] (1-based round indices). A from
+// of 0 is clamped to round 1: r-1 would otherwise index xs at -1 and
+// panic (or, upstream, WindowFrom-1 would wrap around to MaxUint64).
 func windowMean(xs []float64, from, to uint64) float64 {
+	if from == 0 {
+		from = 1
+	}
 	sum, n := 0.0, 0.0
 	for r := from; r <= to && int(r) <= len(xs); r++ {
 		sum += xs[r-1]
@@ -119,10 +146,20 @@ func windowMean(xs []float64, from, to uint64) float64 {
 	return sum / n
 }
 
+// preWindow is the last healthy round before the degraded window, 0 when
+// the window starts at round 0 (guarding the uint64 underflow of
+// WindowFrom-1).
+func (r *WeakSyncResult) preWindow() uint64 {
+	if r.Config.WindowFrom == 0 {
+		return 0
+	}
+	return r.Config.WindowFrom - 1
+}
+
 // SpikeRatio compares the non-final fraction (tentative + none) inside
 // the degraded window against the healthy rounds before it.
 func (r *WeakSyncResult) SpikeRatio() float64 {
-	before := windowMean(r.Final, 1, r.Config.WindowFrom-1)
+	before := windowMean(r.Final, 1, r.preWindow())
 	during := windowMean(r.Final, r.Config.WindowFrom, r.Config.WindowTo)
 	lossBefore := 1 - before
 	lossDuring := 1 - during
@@ -135,7 +172,7 @@ func (r *WeakSyncResult) SpikeRatio() float64 {
 // Recovered reports whether the post-window final fraction returns to at
 // least frac of the pre-window level.
 func (r *WeakSyncResult) Recovered(frac float64) bool {
-	before := windowMean(r.Final, 1, r.Config.WindowFrom-1)
+	before := windowMean(r.Final, 1, r.preWindow())
 	// Allow a couple of catch-up rounds after the window closes.
 	after := windowMean(r.Final, r.Config.WindowTo+3, uint64(r.Config.Rounds))
 	return after >= frac*before

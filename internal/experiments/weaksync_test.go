@@ -23,6 +23,33 @@ func TestWeakSyncValidation(t *testing.T) {
 	}
 }
 
+func TestWindowMeanFromZeroClamped(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	// from == 0 used to index xs[-1] and panic; it must clamp to round 1.
+	if got := windowMean(xs, 0, 2); got != 1.5 {
+		t.Errorf("windowMean(from=0, to=2) = %v, want 1.5", got)
+	}
+	if got := windowMean(xs, 1, 2); got != 1.5 {
+		t.Errorf("windowMean(from=1, to=2) = %v, want 1.5", got)
+	}
+	if got := windowMean(xs, 3, 0); got != 0 {
+		t.Errorf("empty window = %v, want 0", got)
+	}
+}
+
+func TestSpikeRatioWindowFromZero(t *testing.T) {
+	// WindowFrom == 0 used to underflow WindowFrom-1 to MaxUint64; the
+	// metrics must stay finite and panic-free on a hand-built result.
+	res := &WeakSyncResult{
+		Config: WeakSyncConfig{WindowFrom: 0, WindowTo: 2, Rounds: 4},
+		Final:  []float64{0.9, 0.5, 0.5, 0.9},
+	}
+	if ratio := res.SpikeRatio(); ratio <= 0 {
+		t.Errorf("SpikeRatio = %v, want positive", ratio)
+	}
+	_ = res.Recovered(0.9) // must not panic
+}
+
 func TestWeakSyncSpikeAndRecovery(t *testing.T) {
 	if testing.Short() {
 		t.Skip("protocol simulation")

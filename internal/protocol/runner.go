@@ -489,7 +489,7 @@ func (r *Runner) castVote(nd *node, round, step uint64, final bool, value ledger
 	r.voters[nd.id] = r.voters[nd.id] + float64(res.SubUsers)
 	r.meter.of(nd.id).Vote++
 	if nd.behavior == Malicious {
-		value = r.maliciousValue(nd)
+		value = r.maliciousValue(nd, value)
 	}
 	payload := &votePayload{
 		Round:      round,
@@ -511,15 +511,28 @@ func (r *Runner) castFinalVote(nd *node, round uint64, value ledger.Hash) {
 	r.castVote(nd, round, finalVoteStep, true, value)
 }
 
-// maliciousValue picks an arbitrary vote value: a random observed block
-// hash or the empty hash, chosen adversarially at random.
-func (r *Runner) maliciousValue(nd *node) ledger.Hash {
-	if len(nd.blocks) > 0 && r.rng.Float64() < 0.5 {
-		for h := range nd.blocks {
-			return h
+// maliciousValue votes adversarially: against whatever the node would
+// honestly support. When the honest vote backs a block, it votes for the
+// empty hash; when the honest vote is empty, it backs the smallest
+// observed block. The choice is a pure function of node state — an
+// earlier version picked "any" block via map iteration, whose randomised
+// order made runs irreproducible.
+func (r *Runner) maliciousValue(nd *node, honest ledger.Hash) ledger.Hash {
+	empty := nd.emptyHash()
+	if honest != empty {
+		return empty
+	}
+	var best ledger.Hash
+	found := false
+	for h := range nd.blocks {
+		if !found || hashLess(h, best) {
+			best, found = h, true
 		}
 	}
-	return nd.emptyHash()
+	if !found {
+		return empty
+	}
+	return best
 }
 
 // --- Message handling ----------------------------------------------------

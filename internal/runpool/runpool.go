@@ -1,0 +1,154 @@
+// Package runpool fans independent simulation runs out across a fixed
+// worker count while keeping every result bit-for-bit identical to a
+// serial execution. The contract every experiment driver relies on:
+//
+//   - Each run derives all of its randomness from its own run index via
+//     the sim.NewRNG(seed, label) labelled-stream scheme, so runs never
+//     share mutable state.
+//   - Results are collected into run-indexed slots and aggregated in
+//     run-index order, never completion order, so the worker count and
+//     goroutine scheduling cannot change any output.
+//
+// The zero worker count means "use GOMAXPROCS"; 1 degrades to a plain
+// serial loop with no goroutines at all.
+package runpool
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/dsn2020-algorand/incentives/internal/stats"
+)
+
+// Resolve maps a configured worker count to the effective one: positive
+// values pass through, anything else means GOMAXPROCS.
+func Resolve(workers int) int {
+	if workers > 0 {
+		return workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Sweep executes fn for every run index in [0, runs) across the given
+// worker count and returns the results in run-index order. All runs are
+// attempted even when some fail, and the error reported is always the
+// lowest-indexed one, so failures are as deterministic as successes.
+func Sweep[T any](runs, workers int, fn func(run int) (T, error)) ([]T, error) {
+	if runs < 0 {
+		return nil, fmt.Errorf("runpool: negative run count %d", runs)
+	}
+	if fn == nil {
+		return nil, fmt.Errorf("runpool: nil run function")
+	}
+	results := make([]T, runs)
+	errs := make([]error, runs)
+
+	workers = Resolve(workers)
+	if workers > runs {
+		workers = runs
+	}
+	if workers <= 1 {
+		for run := 0; run < runs; run++ {
+			results[run], errs[run] = fn(run)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					run := int(next.Add(1)) - 1
+					if run >= runs {
+						return
+					}
+					results[run], errs[run] = fn(run)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	for run, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("runpool: run %d: %w", run, err)
+		}
+	}
+	return results, nil
+}
+
+// Accumulate folds per-run results in run-index order. It exists to make
+// the deterministic-aggregation contract explicit at call sites: feed it
+// a Sweep result and the fold sees runs 0, 1, 2, ... regardless of the
+// order the pool finished them in.
+func Accumulate[T, A any](results []T, acc A, fold func(acc A, r T) A) A {
+	for _, r := range results {
+		acc = fold(acc, r)
+	}
+	return acc
+}
+
+// MeanColumns averages rows element-wise: rows[run][i] in, mean over runs
+// per position i out. All rows must share the first row's length; an
+// empty input yields nil.
+func MeanColumns(rows [][]float64) ([]float64, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	width := len(rows[0])
+	out := make([]float64, width)
+	for run, row := range rows {
+		if len(row) != width {
+			return nil, fmt.Errorf("runpool: row %d has %d columns, want %d", run, len(row), width)
+		}
+		for i, v := range row {
+			out[i] += v
+		}
+	}
+	for i := range out {
+		out[i] /= float64(len(rows))
+	}
+	return out, nil
+}
+
+// TrimmedMeanColumns reduces rows[run][i] to a per-position trimmed mean
+// over runs, the paper's aggregation for its 100-instance averages.
+func TrimmedMeanColumns(rows [][]float64, trim float64) ([]float64, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	width := len(rows[0])
+	for run, row := range rows {
+		if len(row) != width {
+			return nil, fmt.Errorf("runpool: row %d has %d columns, want %d", run, len(row), width)
+		}
+	}
+	out := make([]float64, width)
+	column := make([]float64, len(rows))
+	for i := 0; i < width; i++ {
+		for run, row := range rows {
+			column[run] = row[i]
+		}
+		m, err := stats.TrimmedMean(column, trim)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// MeanOf averages one float64 per run, a common Sweep reduction.
+func MeanOf[T any](results []T, value func(T) float64) float64 {
+	if len(results) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range results {
+		sum += value(r)
+	}
+	return sum / float64(len(results))
+}

@@ -1,0 +1,154 @@
+package runpool
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/dsn2020-algorand/incentives/internal/sim"
+)
+
+func TestSweepOrderIndependentOfWorkers(t *testing.T) {
+	// Each run draws from its own labelled RNG stream, the same scheme
+	// the experiment drivers use; every worker count must reproduce the
+	// serial result exactly.
+	fn := func(run int) ([]float64, error) {
+		rng := sim.NewRNG(42+int64(run), "runpool.test")
+		out := make([]float64, 8)
+		for i := range out {
+			out[i] = rng.Float64()
+		}
+		return out, nil
+	}
+	serial, err := Sweep(16, 1, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8, 32} {
+		parallel, err := Sweep(16, workers, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("workers=%d produced different results than serial", workers)
+		}
+	}
+}
+
+func TestSweepReportsLowestIndexedError(t *testing.T) {
+	sentinel := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := Sweep(10, workers, func(run int) (int, error) {
+			if run >= 3 {
+				return 0, sentinel
+			}
+			return run, nil
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v, want sentinel", workers, err)
+		}
+		if !strings.Contains(err.Error(), "run 3") {
+			t.Errorf("workers=%d: err = %v, want lowest-indexed run 3", workers, err)
+		}
+	}
+}
+
+func TestSweepRunsEveryIndexOnce(t *testing.T) {
+	var calls atomic.Int64
+	seen := make([]atomic.Bool, 100)
+	res, err := Sweep(100, 7, func(run int) (int, error) {
+		calls.Add(1)
+		if seen[run].Swap(true) {
+			t.Errorf("run %d executed twice", run)
+		}
+		return run * run, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 100 {
+		t.Errorf("executed %d runs, want 100", calls.Load())
+	}
+	for i, v := range res {
+		if v != i*i {
+			t.Errorf("result[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	if _, err := Sweep(-1, 1, func(int) (int, error) { return 0, nil }); err == nil {
+		t.Error("negative run count accepted")
+	}
+	if _, err := Sweep[int](3, 1, nil); err == nil {
+		t.Error("nil run function accepted")
+	}
+	res, err := Sweep(0, 4, func(int) (int, error) { return 1, nil })
+	if err != nil || len(res) != 0 {
+		t.Errorf("zero runs: res=%v err=%v", res, err)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if Resolve(5) != 5 {
+		t.Error("positive workers not passed through")
+	}
+	if Resolve(0) < 1 || Resolve(-3) < 1 {
+		t.Error("non-positive workers did not resolve to GOMAXPROCS")
+	}
+}
+
+func TestAccumulateFoldsInOrder(t *testing.T) {
+	got := Accumulate([]int{1, 2, 3}, "x", func(acc string, r int) string {
+		return acc + string(rune('0'+r))
+	})
+	if got != "x123" {
+		t.Errorf("Accumulate = %q, want x123", got)
+	}
+}
+
+func TestMeanColumns(t *testing.T) {
+	out, err := MeanColumns([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(out, []float64{3, 4}) {
+		t.Errorf("MeanColumns = %v", out)
+	}
+	if out, err := MeanColumns(nil); out != nil || err != nil {
+		t.Errorf("empty input: %v, %v", out, err)
+	}
+	if _, err := MeanColumns([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}
+
+func TestTrimmedMeanColumns(t *testing.T) {
+	rows := [][]float64{{0, 10}, {1, 20}, {2, 30}, {3, 40}, {100, 50}}
+	out, err := TrimmedMeanColumns(rows, 0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column 0 drops the 0 and 100 outliers; column 1 drops 10 and 50.
+	if !reflect.DeepEqual(out, []float64{2, 30}) {
+		t.Errorf("TrimmedMeanColumns = %v, want [2 30]", out)
+	}
+	if _, err := TrimmedMeanColumns([][]float64{{1}, {2, 3}}, 0.2); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	if _, err := TrimmedMeanColumns(rows, 0.7); err == nil {
+		t.Error("invalid trim fraction accepted")
+	}
+}
+
+func TestMeanOf(t *testing.T) {
+	type r struct{ b float64 }
+	if got := MeanOf([]r{{2}, {4}}, func(x r) float64 { return x.b }); got != 3 {
+		t.Errorf("MeanOf = %v, want 3", got)
+	}
+	if got := MeanOf(nil, func(x r) float64 { return x.b }); got != 0 {
+		t.Errorf("MeanOf(empty) = %v, want 0", got)
+	}
+}

@@ -123,6 +123,8 @@ func (e *Engine) Step() bool {
 // Run executes events until the queue drains, until the clock passes
 // until (exclusive), or until Stop is called. A zero until means "no time
 // limit". It returns ErrStopped when halted via Stop, nil otherwise.
+// Whenever Run returns nil with a positive until, the clock has advanced
+// to until even if the queue drained before reaching it.
 func (e *Engine) Run(until time.Duration) error {
 	e.stopped = false
 	for len(e.queue) > 0 {
@@ -134,6 +136,9 @@ func (e *Engine) Run(until time.Duration) error {
 			return nil
 		}
 		e.Step()
+	}
+	if until > 0 && e.now < until {
+		e.now = until
 	}
 	return nil
 }

@@ -71,6 +71,36 @@ func TestRunUntil(t *testing.T) {
 	}
 }
 
+func TestRunUntilAdvancesClockOnDrain(t *testing.T) {
+	// The queue drains at 1s, well before the 5s deadline; the clock must
+	// still pass until, as the doc promises.
+	e := NewEngine(1)
+	e.Schedule(time.Second, func() {})
+	if err := e.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 5*time.Second {
+		t.Errorf("Now = %v after drain, want 5s", e.Now())
+	}
+	// An already-empty queue behaves the same.
+	if err := e.Run(7 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 7*time.Second {
+		t.Errorf("Now = %v on empty queue, want 7s", e.Now())
+	}
+	// A zero until still means "no time limit": the clock stays at the
+	// last event's timestamp.
+	e2 := NewEngine(1)
+	e2.Schedule(time.Second, func() {})
+	if err := e2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if e2.Now() != time.Second {
+		t.Errorf("Now = %v with no limit, want 1s", e2.Now())
+	}
+}
+
 func TestStop(t *testing.T) {
 	e := NewEngine(1)
 	ran := 0

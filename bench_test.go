@@ -211,6 +211,7 @@ func BenchmarkAblationSortition(b *testing.B) {
 	key := vrf.GenerateKey(rng)
 	for _, stakeSize := range []float64{10, 1_000, 100_000} {
 		b.Run(benchName("stake", stakeSize), func(b *testing.B) {
+			b.ReportAllocs()
 			p := sortition.Params{
 				Seed: [32]byte{1}, Role: sortition.RoleCommittee,
 				Tau: 1000, TotalStake: 1e6,
@@ -223,6 +224,53 @@ func BenchmarkAblationSortition(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSortitionSelect compares one Select through the scalar path
+// against the cached threshold-table oracle (internal/sortition.Cache),
+// with allocation counts reported; the alloc-budget tests in
+// internal/protocol pin both paths at zero allocations.
+func BenchmarkSortitionSelect(b *testing.B) {
+	rng := sim.NewRNG(4, "bench.select")
+	key := vrf.GenerateKey(rng)
+	p := sortition.Params{
+		Seed: [32]byte{3}, Role: sortition.RoleCommittee,
+		Tau: 1000, TotalStake: 1e6,
+	}
+	const stake = 1_000
+	b.Run("direct", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.Round = uint64(i)
+			if _, err := sortition.Select(key.Private, stake, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		b.ReportAllocs()
+		cache := sortition.NewCache()
+		for i := 0; i < b.N; i++ {
+			p.Round = uint64(i)
+			if _, err := cache.Select(key.Private, stake, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached-verify", func(b *testing.B) {
+		b.ReportAllocs()
+		cache := sortition.NewCache()
+		p.Round = 1
+		res, err := cache.Select(key.Private, stake, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < b.N; i++ {
+			if !cache.Verify(key.Public, stake, p, res) {
+				b.Fatal("verify failed")
+			}
+		}
+	})
 }
 
 // BenchmarkAblationFanout measures how the gossip fan-out changes the
@@ -355,6 +403,7 @@ func BenchmarkProtocolRound(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		runner.RunRounds(1)

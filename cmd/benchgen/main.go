@@ -3,12 +3,18 @@
 //
 // Usage:
 //
-//	benchgen [-out DIR] [-full] [-workers N] [table3|fig3|fig5|fig6|fig7|equilibrium|all]
+//	benchgen [-out DIR] [-full] [-workers N] [-pr N] [-benchout FILE] [table3|fig3|fig5|fig6|fig7|equilibrium|bench|all]
 //
 // With -full, the paper-scale configurations are used (500k nodes, 100-200
 // runs); the default configurations finish on a laptop in minutes.
 // -workers caps the shared deterministic run pool (0 = GOMAXPROCS); every
 // worker count yields bit-for-bit identical CSVs.
+//
+// The bench target measures the hot-path workloads (one BA* round, one
+// sortition selection, a Fig. 3-class simulation) plus the deterministic
+// headline figure metrics and writes them as JSON to -benchout (default
+// BENCH_<pr>.json, with <pr> from -pr), the persisted perf trajectory
+// future PRs compare against; see README "Benchmark pipeline".
 package main
 
 import (
@@ -28,7 +34,12 @@ func main() {
 	outDir := flag.String("out", "results", "output directory for CSV files")
 	full := flag.Bool("full", false, "use paper-scale configurations")
 	workers := flag.Int("workers", 0, "run-pool workers (0 = GOMAXPROCS); results are identical for every value")
+	benchPR := flag.Int("pr", 0, "PR number recorded in the bench target's JSON (also names the default -benchout file); required by the bench target")
+	benchOut := flag.String("benchout", "", "output path for the bench target's JSON (default BENCH_<pr>.json)")
 	flag.Parse()
+	if *benchOut == "" && *benchPR > 0 {
+		*benchOut = fmt.Sprintf("BENCH_%d.json", *benchPR)
+	}
 
 	targets := flag.Args()
 	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
@@ -37,12 +48,12 @@ func main() {
 			"evolution", "weaksync", "costs", "sensitivity", "mixed",
 		}
 	}
-	if err := run(*outDir, *full, *workers, targets); err != nil {
+	if err := run(*outDir, *full, *workers, *benchPR, *benchOut, targets); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(outDir string, full bool, workers int, targets []string) error {
+func run(outDir string, full bool, workers, benchPR int, benchOut string, targets []string) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
@@ -72,6 +83,14 @@ func run(outDir string, full bool, workers int, targets []string) error {
 			err = genSensitivity(outDir)
 		case "mixed":
 			err = genMixed(outDir, workers)
+		case "bench":
+			// Refuse to guess the PR number: defaulting it would let a
+			// future PR silently overwrite an older BENCH_<pr>.json.
+			if benchPR <= 0 {
+				err = fmt.Errorf("-pr is required (e.g. -pr 2 writes BENCH_2.json)")
+			} else {
+				err = genBench(benchOut, benchPR)
+			}
 		default:
 			err = fmt.Errorf("unknown target %q", target)
 		}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/dsn2020-algorand/incentives/internal/stats"
+)
+
+// updateGolden regenerates the pinned outputs under testdata/. Run
+//
+//	go test ./internal/experiments -run TestGolden -update
+//
+// after an intentional behaviour change; any other diff against the
+// goldens is a regression. The goldens were first generated from the
+// pre-optimization hot path, so they prove the allocation-lean round
+// loop is bit-for-bit identical to the original implementation.
+var updateGolden = flag.Bool("update", false, "rewrite testdata/*.golden.json")
+
+// goldenWorkers are the run-pool widths every golden is checked at; the
+// figure outputs must be identical for all of them.
+var goldenWorkers = []int{1, 8}
+
+// goldenCase produces one experiment's pinned table for a given worker
+// count. Configurations are deliberately small (seconds, not minutes) but
+// exercise the full protocol/sortition hot path at fixed seeds.
+type goldenCase struct {
+	name string
+	run  func(workers int) (*stats.Table, error)
+}
+
+func goldenCases() []goldenCase {
+	return []goldenCase{
+		{name: "table3", run: func(workers int) (*stats.Table, error) {
+			res, err := RunTable3()
+			if err != nil {
+				return nil, err
+			}
+			return res.Table(), nil
+		}},
+		{name: "fig3", run: func(workers int) (*stats.Table, error) {
+			cfg := DefaultFig3Config()
+			cfg.Runs = 3
+			cfg.Rounds = 4
+			cfg.DefectionRates = []float64{0.05, 0.15}
+			cfg.Workers = workers
+			res, err := RunFig3(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return res.Table(), nil
+		}},
+		{name: "fig5", run: func(workers int) (*stats.Table, error) {
+			cfg := DefaultFig5Config()
+			cfg.Workers = workers
+			res, err := RunFig5(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return res.Table(), nil
+		}},
+		{name: "fig6", run: func(workers int) (*stats.Table, error) {
+			cfg := DefaultFig6Config()
+			cfg.Nodes = 2_000
+			cfg.Runs = 4
+			cfg.RoundsPerRun = 2
+			cfg.Workers = workers
+			res, err := RunFig6(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return res.Table(), nil
+		}},
+		{name: "fig7", run: func(workers int) (*stats.Table, error) {
+			cfg := DefaultFig7Config()
+			cfg.Nodes = 2_000
+			cfg.Runs = 4
+			cfg.Workers = workers
+			res, err := RunFig7(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return res.Table(), nil
+		}},
+		{name: "equilibrium", run: func(workers int) (*stats.Table, error) {
+			cfg := DefaultEquilibriumConfig()
+			cfg.Samples = 12
+			cfg.Workers = workers
+			res, err := RunEquilibrium(cfg)
+			if err != nil {
+				return nil, err
+			}
+			n := float64(res.Config.Samples)
+			t := &stats.Table{}
+			t.AddColumn("theorem1", []float64{float64(res.Theorem1) / n})
+			t.AddColumn("theorem2", []float64{float64(res.Theorem2) / n})
+			t.AddColumn("lemma1", []float64{float64(res.Lemma1) / n})
+			t.AddColumn("theorem3", []float64{float64(res.Theorem3) / n})
+			t.AddColumn("tightness", []float64{float64(res.Tightness) / n})
+			return t, nil
+		}},
+		{name: "weaksync", run: func(workers int) (*stats.Table, error) {
+			cfg := DefaultWeakSyncConfig()
+			cfg.Runs = 3
+			cfg.Rounds = 10
+			cfg.WindowFrom, cfg.WindowTo = 4, 5
+			cfg.Workers = workers
+			res, err := RunWeakSync(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return res.Table(), nil
+		}},
+	}
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", name+".golden.json")
+}
+
+// marshalTable renders a table as indented JSON. encoding/json emits
+// float64 with shortest-round-trip precision, so the comparison is exact
+// to the last bit.
+func marshalTable(t *stats.Table) ([]byte, error) {
+	out, err := json.MarshalIndent(t.Columns, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+func TestGoldenFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol simulation")
+	}
+	for _, gc := range goldenCases() {
+		gc := gc
+		t.Run(gc.name, func(t *testing.T) {
+			t.Parallel()
+			var first []byte
+			for _, workers := range goldenWorkers {
+				table, err := gc.run(workers)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				got, err := marshalTable(table)
+				if err != nil {
+					t.Fatalf("workers=%d: marshal: %v", workers, err)
+				}
+				if first == nil {
+					first = got
+				} else if string(first) != string(got) {
+					t.Fatalf("workers=%d output differs from workers=%d", workers, goldenWorkers[0])
+				}
+			}
+			path := goldenPath(gc.name)
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, first, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s", path)
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if string(want) != string(first) {
+				t.Fatal(diffHint(gc.name, want, first))
+			}
+		})
+	}
+}
+
+// diffHint reports the first differing line so a golden failure is
+// actionable without external tooling.
+func diffHint(name string, want, got []byte) string {
+	w, g := string(want), string(got)
+	line := 1
+	for i := 0; i < len(w) && i < len(g); i++ {
+		if w[i] != g[i] {
+			return fmt.Sprintf("%s: output diverges from golden at byte %d (line %d); rerun with -update only if the change is intentional", name, i, line)
+		}
+		if w[i] == '\n' {
+			line++
+		}
+	}
+	return fmt.Sprintf("%s: output length %d differs from golden length %d", name, len(g), len(w))
+}

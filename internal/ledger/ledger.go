@@ -83,28 +83,41 @@ func EmptyBlock(round uint64, prev, seed Hash) Block {
 	return Block{Round: round, Prev: prev, Seed: seed, Proposer: -1, Empty: true}
 }
 
-// Hash returns the block digest.
+// blockHeaderLen is the fixed-size prefix of a block's hash input:
+// round ‖ prev ‖ seed ‖ proposer ‖ empty-flag.
+const blockHeaderLen = 8 + 32 + 32 + 8 + 1
+
+// blockHashStackTxns bounds the transaction count hashed without a heap
+// allocation; empty and small blocks (the consensus hot path) stay on the
+// stack.
+const blockHashStackTxns = 13
+
+// Hash returns the block digest: SHA-256 over the header prefix followed
+// by every transaction hash. The byte stream matches the historical
+// streaming implementation exactly, so digests are unchanged.
 func (b Block) Hash() Hash {
-	h := sha256.New()
-	var buf [8]byte
-	binary.BigEndian.PutUint64(buf[:], b.Round)
-	h.Write(buf[:])
-	h.Write(b.Prev[:])
-	h.Write(b.Seed[:])
-	binary.BigEndian.PutUint64(buf[:], uint64(int64(b.Proposer)))
-	h.Write(buf[:])
+	var stack [blockHeaderLen + 32*blockHashStackTxns]byte
+	buf := stack[:0]
+	if need := blockHeaderLen + 32*len(b.Txns); need > len(stack) {
+		buf = make([]byte, 0, need)
+	}
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], b.Round)
+	buf = append(buf, u64[:]...)
+	buf = append(buf, b.Prev[:]...)
+	buf = append(buf, b.Seed[:]...)
+	binary.BigEndian.PutUint64(u64[:], uint64(int64(b.Proposer)))
+	buf = append(buf, u64[:]...)
 	if b.Empty {
-		h.Write([]byte{1})
+		buf = append(buf, 1)
 	} else {
-		h.Write([]byte{0})
+		buf = append(buf, 0)
 	}
 	for _, tx := range b.Txns {
 		th := tx.Hash()
-		h.Write(th[:])
+		buf = append(buf, th[:]...)
 	}
-	var out Hash
-	copy(out[:], h.Sum(nil))
-	return out
+	return Hash(sha256.Sum256(buf))
 }
 
 // Errors returned by ledger operations.
@@ -123,6 +136,7 @@ type Ledger struct {
 	accounts []Account
 	blocks   []Block
 	seed     Hash
+	tip      Hash // memoised hash of the last block; zero at genesis
 	fees     float64
 }
 
@@ -152,7 +166,7 @@ func (l *Ledger) CloneView() *Ledger {
 	copy(accounts, l.accounts)
 	blocks := make([]Block, len(l.blocks))
 	copy(blocks, l.blocks)
-	return &Ledger{accounts: accounts, blocks: blocks, seed: l.seed, fees: l.fees}
+	return &Ledger{accounts: accounts, blocks: blocks, seed: l.seed, tip: l.tip, fees: l.fees}
 }
 
 // NumAccounts returns the number of accounts.
@@ -199,12 +213,11 @@ func (l *Ledger) Credit(id int, amount float64) error {
 func (l *Ledger) Round() uint64 { return uint64(len(l.blocks)) + 1 }
 
 // Tip returns the hash of the last agreed block, or the zero hash at
-// genesis.
+// genesis. The hash is memoised at Append time: consensus consults the
+// tip many times per round, and rehashing the block each call dominated
+// the round loop's allocation profile.
 func (l *Ledger) Tip() Hash {
-	if len(l.blocks) == 0 {
-		return Hash{}
-	}
-	return l.blocks[len(l.blocks)-1].Hash()
+	return l.tip
 }
 
 // Seed returns Q_{r-1}, the sortition seed for the upcoming round.
@@ -278,6 +291,7 @@ func (l *Ledger) Append(b Block) error {
 	}
 	l.blocks = append(l.blocks, b)
 	l.seed = NextSeed(l.seed, b.Round)
+	l.tip = b.Hash()
 	return nil
 }
 

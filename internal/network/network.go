@@ -133,6 +133,10 @@ type Network struct {
 	factor   float64
 	stats    Stats
 	observer func(node int)
+	// deliverCb is the single pre-bound delivery callback handed to
+	// Engine.ScheduleFn; allocating it once here keeps the per-hop
+	// scheduling path free of closure captures.
+	deliverCb func(node int, payload any)
 }
 
 // SetRelayObserver installs a callback invoked each time a node relays a
@@ -175,6 +179,9 @@ func New(cfg Config, engine *sim.Engine, handler Handler) (*Network, error) {
 		n.relay[i] = true
 		n.online[i] = true
 		n.seen[i] = make(map[[32]byte]struct{})
+	}
+	n.deliverCb = func(node int, payload any) {
+		n.deliver(node, payload.(*Message))
 	}
 	return n, nil
 }
@@ -250,10 +257,11 @@ func (n *Network) DelayFactor() float64 { return n.factor }
 func (n *Network) Stats() Stats { return n.stats }
 
 // ResetSeen clears all de-duplication state; the round driver calls it
-// between rounds to bound memory.
+// between rounds to bound memory. The maps themselves are retained so
+// steady-state rounds insert into already-sized tables.
 func (n *Network) ResetSeen() {
 	for i := range n.seen {
-		n.seen[i] = make(map[[32]byte]struct{})
+		clear(n.seen[i])
 	}
 }
 
@@ -271,30 +279,32 @@ func (n *Network) Gossip(origin int, msg Message) {
 	n.stats.Delivered++
 	n.handler(origin, msg)
 	if n.relay[origin] {
-		n.push(origin, msg)
+		// One copy is shared by every hop of this message's propagation;
+		// deliveries hand nodes a value copy, so sharing is invisible to
+		// the protocol layer.
+		shared := new(Message)
+		*shared = msg
+		n.push(origin, shared)
 	}
 }
 
 // push schedules delivery of msg to each of node i's peers.
-func (n *Network) push(from int, msg Message) {
+func (n *Network) push(from int, msg *Message) {
 	if n.observer != nil {
 		n.observer(from)
 	}
 	for _, peer := range n.peers[from] {
-		peer := peer
 		if n.cfg.LossProb > 0 && n.rng.Float64() < n.cfg.LossProb {
 			n.stats.DroppedLoss++
 			continue
 		}
 		delay := time.Duration(float64(n.cfg.Delay.Sample(n.rng)) * n.factor)
 		n.stats.Sent++
-		n.engine.Schedule(delay, func() {
-			n.deliver(peer, msg)
-		})
+		n.engine.ScheduleFn(delay, n.deliverCb, peer, msg)
 	}
 }
 
-func (n *Network) deliver(node int, msg Message) {
+func (n *Network) deliver(node int, msg *Message) {
 	if !n.online[node] {
 		n.stats.DroppedOffline++
 		return
@@ -305,7 +315,7 @@ func (n *Network) deliver(node int, msg Message) {
 	}
 	n.seen[node][msg.ID] = struct{}{}
 	n.stats.Delivered++
-	n.handler(node, msg)
+	n.handler(node, *msg)
 	if n.relay[node] {
 		n.push(node, msg)
 	}

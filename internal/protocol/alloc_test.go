@@ -1,0 +1,84 @@
+package protocol
+
+import (
+	"testing"
+
+	"github.com/dsn2020-algorand/incentives/internal/sim"
+	"github.com/dsn2020-algorand/incentives/internal/sortition"
+	"github.com/dsn2020-algorand/incentives/internal/vrf"
+)
+
+// roundAllocBudget is the loud-failure ceiling for one steady-state BA*
+// round of a 100-node honest network. The allocation-lean hot path runs
+// ~1.6k allocs/round (it was ~670k before the slab/cache work); the
+// budget leaves headroom for noise while still failing hard if payload
+// pooling, the sortition cache, or the event queue regress to per-call
+// allocation.
+const roundAllocBudget = 20_000
+
+func TestRoundAllocBudget(t *testing.T) {
+	stakes := make([]float64, 100)
+	behaviors := make([]Behavior, 100)
+	for i := range stakes {
+		stakes[i] = float64(1 + i%50)
+		behaviors[i] = Honest
+	}
+	runner, err := NewRunner(Config{
+		Params:    DefaultParams(),
+		Stakes:    stakes,
+		Behaviors: behaviors,
+		Seed:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner.RunRounds(3) // warm pools, caches and map sizes
+	allocs := testing.AllocsPerRun(5, func() {
+		runner.RunRounds(1)
+	})
+	if allocs > roundAllocBudget {
+		t.Errorf("one round allocates %.0f times, budget %d — the allocation-lean hot path regressed", allocs, roundAllocBudget)
+	}
+}
+
+// A warm sortition oracle must select and verify with zero heap
+// allocations: the threshold table exists, the VRF runs on stack
+// buffers, and the result is returned by value.
+func TestSortitionSelectAllocFree(t *testing.T) {
+	cache := sortition.NewCache()
+	key := vrf.GenerateKey(sim.NewRNG(5, "alloc.sortition"))
+	p := sortition.Params{
+		Seed: [32]byte{1}, Role: sortition.RoleCommittee,
+		Tau: 1_000, TotalStake: 1e6,
+	}
+	res, err := cache.Select(key.Private, 500, p) // builds the table
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		p.Round++
+		if _, err := cache.Select(key.Private, 500, p); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("warm cached Select allocates %.1f times per call, want 0", allocs)
+	}
+	p.Round = 0
+	if allocs := testing.AllocsPerRun(100, func() {
+		if !cache.Verify(key.Public, 500, p, res) {
+			t.Fatal("verify failed")
+		}
+	}); allocs > 0 {
+		t.Errorf("warm cached Verify allocates %.1f times per call, want 0", allocs)
+	}
+	// The uncached scalar path is also allocation-free since the VRF and
+	// message construction moved to stack buffers.
+	if allocs := testing.AllocsPerRun(100, func() {
+		p.Round++
+		if _, err := sortition.Select(key.Private, 500, p); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs > 0 {
+		t.Errorf("direct Select allocates %.1f times per call, want 0", allocs)
+	}
+}

@@ -8,6 +8,21 @@ import (
 	"github.com/dsn2020-algorand/incentives/internal/sortition"
 )
 
+// verifyMemo caches a credential's verification verdict on the gossiped
+// payload itself. Verification is a pure function of the payload and the
+// round state shared by all synced nodes, so the first receiver's verdict
+// is valid for every later receiver; the memo collapses fanout×N
+// re-verifications of one credential into one. Each node's VerifyProof
+// cost counter still ticks per delivery — the memo models shared
+// computation inside the simulator, not a protocol change.
+type verifyMemo uint8
+
+const (
+	memoUnknown verifyMemo = iota
+	memoValid
+	memoInvalid
+)
+
 // proposalPayload is the gossiped block proposal: the block itself plus
 // the sortition credential proving the sender's proposer role.
 type proposalPayload struct {
@@ -15,6 +30,7 @@ type proposalPayload struct {
 	BlockHash  ledger.Hash
 	Credential sortition.Result
 	Proposer   int
+	verdict    verifyMemo
 }
 
 func proposalID(round uint64, proposer int) [32]byte {
@@ -34,6 +50,7 @@ type votePayload struct {
 	Value      ledger.Hash
 	Voter      int
 	Credential sortition.Result
+	verdict    verifyMemo
 }
 
 func voteID(round, step uint64, final bool, voter int) [32]byte {

@@ -27,6 +27,13 @@ func (t *stepTally) add(voter int, value ledger.Hash, weight float64) {
 	t.weights[value] += weight
 }
 
+// reset empties the tally for reuse in a later round, keeping the sized
+// maps.
+func (t *stepTally) reset() {
+	clear(t.weights)
+	clear(t.voters)
+}
+
 // leader returns the value with the largest weight and that weight.
 func (t *stepTally) leader() (ledger.Hash, float64) {
 	var best ledger.Hash
@@ -65,14 +72,17 @@ type node struct {
 	ledger   *ledger.Ledger
 	synced   bool
 
-	// Per-round state.
+	// Per-round state. beginRound resets values but retains the maps and
+	// recycled tallies, so steady-state rounds run allocation-lean.
 	round        uint64
 	bestPriority sortition.Priority
 	bestProposal *proposalPayload
 	blocks       map[ledger.Hash]ledger.Block
 	tallies      map[uint64]*stepTally
+	tallyPool    []*stepTally // cleared tallies awaiting reuse
 	finalTally   *stepTally
 	value        ledger.Hash // current BinaryBA* value
+	emptyH       ledger.Hash // this round's empty-block hash (see emptyHash)
 	decided      bool
 	decidedHash  ledger.Hash
 	decidedStep  uint64
@@ -84,10 +94,34 @@ func (nd *node) beginRound(round uint64) {
 	nd.round = round
 	nd.bestPriority = sortition.Priority{}
 	nd.bestProposal = nil
-	nd.blocks = make(map[ledger.Hash]ledger.Block)
-	nd.tallies = make(map[uint64]*stepTally)
-	nd.finalTally = newStepTally()
+	if nd.blocks == nil {
+		nd.blocks = make(map[ledger.Hash]ledger.Block)
+	} else {
+		clear(nd.blocks)
+	}
+	if nd.tallies == nil {
+		nd.tallies = make(map[uint64]*stepTally)
+	} else {
+		for _, t := range nd.tallies {
+			t.reset()
+			nd.tallyPool = append(nd.tallyPool, t)
+		}
+		clear(nd.tallies)
+	}
+	if nd.finalTally == nil {
+		nd.finalTally = newStepTally()
+	} else {
+		nd.finalTally.reset()
+	}
 	nd.value = ledger.Hash{}
+	// The empty-block hash is pure in the node's chain view, which is
+	// frozen until this round finalises; deriving it once replaces the
+	// two SHA-256 invocations every emptyHash call used to pay. A nil
+	// ledger only occurs in unit tests exercising tally mechanics.
+	nd.emptyH = ledger.Hash{}
+	if nd.ledger != nil {
+		nd.emptyH = ledger.EmptyBlock(round, nd.ledger.Tip(), ledger.NextSeed(nd.ledger.Seed(), round)).Hash()
+	}
 	nd.decided = false
 	nd.decidedHash = ledger.Hash{}
 	nd.decidedStep = 0
@@ -98,7 +132,13 @@ func (nd *node) beginRound(round uint64) {
 func (nd *node) tally(step uint64) *stepTally {
 	t, ok := nd.tallies[step]
 	if !ok {
-		t = newStepTally()
+		if n := len(nd.tallyPool); n > 0 {
+			t = nd.tallyPool[n-1]
+			nd.tallyPool[n-1] = nil
+			nd.tallyPool = nd.tallyPool[:n-1]
+		} else {
+			t = newStepTally()
+		}
 		nd.tallies[step] = t
 	}
 	return t

@@ -1,0 +1,43 @@
+package protocol
+
+// slab is a chunked per-round arena for gossip payloads. take returns a
+// pointer to a zeroed slot; reset rewinds the arena so the next round
+// reuses the same memory instead of allocating hundreds of payloads per
+// round. Chunks are fixed-size and never moved, so issued pointers stay
+// valid until their slots are re-issued after a reset.
+//
+// Safety contract: a slot may be referenced only until the next reset.
+// The round driver resets at the top of runRound, after the previous
+// round's gossip has fully drained (engine.Run(0)) and every node's
+// per-round references were dropped by beginRound.
+type slab[T any] struct {
+	chunks [][]T
+	chunk  int // index of the chunk currently being carved
+	used   int // slots issued from the current chunk
+}
+
+const slabChunkSize = 256
+
+// take returns a zeroed slot from the arena, growing it by one chunk when
+// exhausted.
+func (s *slab[T]) take() *T {
+	if s.chunk == len(s.chunks) {
+		s.chunks = append(s.chunks, make([]T, slabChunkSize))
+	}
+	c := s.chunks[s.chunk]
+	p := &c[s.used]
+	*p = *new(T)
+	s.used++
+	if s.used == len(c) {
+		s.chunk++
+		s.used = 0
+	}
+	return p
+}
+
+// reset rewinds the arena; previously issued slots will be zeroed and
+// re-issued by subsequent takes.
+func (s *slab[T]) reset() {
+	s.chunk = 0
+	s.used = 0
+}

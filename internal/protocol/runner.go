@@ -99,7 +99,13 @@ type Runner struct {
 	meter                    *costMeter
 	degradedFrom, degradedTo uint64 // forced weak-synchrony window
 
-	// Per-round scratch state.
+	// cache is the per-runner sortition oracle: every Select/Verify in
+	// the round hot path walks its memoised threshold tables instead of
+	// recomputing binomial PDFs. Runners are single-threaded, so the
+	// cache needs no locking; each run-pool worker owns its own Runner.
+	cache *sortition.Cache
+
+	// Per-round scratch state, reused across rounds.
 	roundStakes []float64
 	roundTotal  float64
 	roundSeed   ledger.Hash
@@ -108,6 +114,23 @@ type Runner struct {
 	degraded    bool
 	proposers   map[int]float64 // node -> sub-user weight this round
 	voters      map[int]float64
+
+	// Payload arenas: gossip payloads live exactly one round (the engine
+	// drains fully before finalisation), so they are slab-allocated and
+	// rewound at the top of each round.
+	votePool slab[votePayload]
+	propPool slab[proposalPayload]
+
+	// outcomeSlab carves the per-report Outcomes slices from large
+	// chunks. Reports own disjoint sub-slices — callers may retain them —
+	// while the runner allocates once per chunk instead of once per round.
+	outcomeSlab []Outcome
+
+	// collectRoles scratch: roleTaken marks nodes already assigned,
+	// roleScratch stages the three role groups before the exact-size copy
+	// handed to the reward hook.
+	roleTaken   []bool
+	roleScratch []RoleStake
 }
 
 // NewRunner validates cfg and builds the simulation.
@@ -140,6 +163,10 @@ func NewRunner(cfg Config) (*Runner, error) {
 		nodes:     make([]*node, len(cfg.Stakes)),
 		keys:      make([]vrf.KeyPair, len(cfg.Stakes)),
 		meter:     newCostMeter(len(cfg.Stakes)),
+		cache:     sortition.NewCache(),
+		proposers: make(map[int]float64),
+		voters:    make(map[int]float64),
+		roleTaken: make([]bool, len(cfg.Stakes)),
 	}
 	for i := range r.nodes {
 		acct, err := canonical.Account(i)
@@ -264,8 +291,22 @@ func (r *Runner) runRound() RoundReport {
 		r.net.SetDelayFactor(1)
 	}
 	r.net.ResetSeen()
-	r.proposers = make(map[int]float64)
-	r.voters = make(map[int]float64)
+	// Steady-state stakes need ~3 tables per distinct stake (one per
+	// role probability), all reused round after round. When rewards or
+	// transactions move stake, τ/W and the per-account w drift, every
+	// round mints fresh (stake, prob) keys and old tables become dead
+	// weight — drop the whole oracle at a generous high-water mark so
+	// memory stays bounded while within-round reuse (12+ steps sharing
+	// each table) is preserved.
+	if r.cache.Size() > 8*len(r.nodes)+64 {
+		r.cache.Reset()
+	}
+	clear(r.proposers)
+	clear(r.voters)
+	// The previous round's gossip has fully drained, so its payload slots
+	// can be re-issued.
+	r.votePool.reset()
+	r.propPool.reset()
 
 	for _, nd := range r.nodes {
 		nd.synced = nd.ledger.Round() == round && nd.ledger.Tip() == r.canonical.Tip()
@@ -339,14 +380,15 @@ func (r *Runner) proposePhase(round uint64) {
 			continue
 		}
 		p := r.sortitionParams(sortition.RoleProposer, round, 0, r.params.TauProposer)
-		res, err := sortition.Select(r.keys[nd.id].Private, r.roundStakes[nd.id], p)
+		res, err := r.cache.Select(r.keys[nd.id].Private, r.roundStakes[nd.id], p)
 		if err != nil || !res.Selected() {
 			continue
 		}
 		r.proposers[nd.id] = float64(res.SubUsers)
 		r.meter.of(nd.id).Propose++
 		block := r.assembleBlock(nd, round)
-		payload := &proposalPayload{
+		payload := r.propPool.take()
+		*payload = proposalPayload{
 			Block:      block,
 			BlockHash:  block.Hash(),
 			Credential: res,
@@ -482,7 +524,7 @@ func (r *Runner) castVote(nd *node, round, step uint64, final bool, value ledger
 		sortStep = finalVoteStep
 	}
 	p := r.sortitionParams(role, round, sortStep, tau)
-	res, err := sortition.Select(r.keys[nd.id].Private, r.roundStakes[nd.id], p)
+	res, err := r.cache.Select(r.keys[nd.id].Private, r.roundStakes[nd.id], p)
 	if err != nil || !res.Selected() {
 		return
 	}
@@ -491,7 +533,8 @@ func (r *Runner) castVote(nd *node, round, step uint64, final bool, value ledger
 	if nd.behavior == Malicious {
 		value = r.maliciousValue(nd, value)
 	}
-	payload := &votePayload{
+	payload := r.votePool.take()
+	*payload = votePayload{
 		Round:      round,
 		Step:       step,
 		Final:      final,
@@ -557,11 +600,18 @@ func (r *Runner) handleProposal(nd *node, p *proposalPayload) {
 		return
 	}
 	r.meter.of(nd.id).VerifyProof++
-	params := r.sortitionParams(sortition.RoleProposer, nd.round, 0, r.params.TauProposer)
-	if !sortition.Verify(r.keys[p.Proposer].Public, r.roundStakes[p.Proposer], params, p.Credential) {
-		return
+	if p.verdict == memoUnknown {
+		// Credential and body-hash integrity are both pure in the shared
+		// payload, so one verdict covers every delivery of this proposal.
+		params := r.sortitionParams(sortition.RoleProposer, nd.round, 0, r.params.TauProposer)
+		if r.cache.Verify(r.keys[p.Proposer].Public, r.roundStakes[p.Proposer], params, p.Credential) &&
+			p.Block.Hash() == p.BlockHash {
+			p.verdict = memoValid
+		} else {
+			p.verdict = memoInvalid
+		}
 	}
-	if p.Block.Hash() != p.BlockHash {
+	if p.verdict != memoValid {
 		return
 	}
 	if nd.synced && nd.ledger.ValidateBlock(p.Block) != nil {
@@ -584,8 +634,15 @@ func (r *Runner) handleVote(nd *node, v *votePayload) {
 	}
 	meter := r.meter.of(nd.id)
 	meter.VerifyProof++
-	params := r.sortitionParams(role, v.Round, sortStep, tau)
-	if !sortition.Verify(r.keys[v.Voter].Public, r.roundStakes[v.Voter], params, v.Credential) {
+	if v.verdict == memoUnknown {
+		params := r.sortitionParams(role, v.Round, sortStep, tau)
+		if r.cache.Verify(r.keys[v.Voter].Public, r.roundStakes[v.Voter], params, v.Credential) {
+			v.verdict = memoValid
+		} else {
+			v.verdict = memoInvalid
+		}
+	}
+	if v.verdict != memoValid {
 		return
 	}
 	meter.CountVotes++
@@ -594,10 +651,24 @@ func (r *Runner) handleVote(nd *node, v *votePayload) {
 
 // --- Round finalisation --------------------------------------------------
 
+// takeOutcomes carves one round's Outcomes slice from the slab. The
+// returned slice is full-length, zeroed, capacity-clipped, and never
+// re-issued, so reports can be retained by callers indefinitely.
+func (r *Runner) takeOutcomes() []Outcome {
+	n := len(r.nodes)
+	if len(r.outcomeSlab) < n {
+		const roundsPerChunk = 64
+		r.outcomeSlab = make([]Outcome, n*roundsPerChunk)
+	}
+	out := r.outcomeSlab[:n:n]
+	r.outcomeSlab = r.outcomeSlab[n:]
+	return out
+}
+
 func (r *Runner) finalizeRound(round uint64, lastStep int) RoundReport {
 	report := RoundReport{
 		Round:    round,
-		Outcomes: make([]Outcome, len(r.nodes)),
+		Outcomes: r.takeOutcomes(),
 		Degraded: r.degraded,
 	}
 	finalQuorum := r.params.ThresholdFinal * r.tauFinalAbs
@@ -774,29 +845,39 @@ func (r *Runner) countDesynced() int {
 }
 
 // collectRoles reports who filled each role this round; nodes that neither
-// proposed nor voted are "others" (set K in the paper).
+// proposed nor voted are "others" (set K in the paper). Role groups are
+// staged in reusable scratch and copied into one exact-size allocation,
+// so hooks may retain the RoundRoles value without aliasing later rounds.
 func (r *Runner) collectRoles(round uint64) RoundRoles {
 	roles := RoundRoles{Round: round}
-	taken := make(map[int]struct{})
+	clear(r.roleTaken)
+	scratch := r.roleScratch[:0]
 	for id, w := range r.proposers {
-		roles.Leaders = append(roles.Leaders, RoleStake{ID: id, Stake: r.roundStakes[id], Weight: w})
-		taken[id] = struct{}{}
+		scratch = append(scratch, RoleStake{ID: id, Stake: r.roundStakes[id], Weight: w})
+		r.roleTaken[id] = true
 	}
+	nLeaders := len(scratch)
 	for id, w := range r.voters {
-		if _, isLeader := taken[id]; isLeader {
+		if r.roleTaken[id] {
 			continue
 		}
-		roles.Committee = append(roles.Committee, RoleStake{ID: id, Stake: r.roundStakes[id], Weight: w})
-		taken[id] = struct{}{}
+		scratch = append(scratch, RoleStake{ID: id, Stake: r.roundStakes[id], Weight: w})
+		r.roleTaken[id] = true
 	}
+	nCommittee := len(scratch) - nLeaders
 	for _, nd := range r.nodes {
-		if _, ok := taken[nd.id]; ok {
+		if r.roleTaken[nd.id] || !r.net.Online(nd.id) {
 			continue
 		}
-		if r.net.Online(nd.id) {
-			roles.Others = append(roles.Others, RoleStake{ID: nd.id, Stake: r.roundStakes[nd.id], Weight: 0})
-		}
+		scratch = append(scratch, RoleStake{ID: nd.id, Stake: r.roundStakes[nd.id], Weight: 0})
 	}
+	r.roleScratch = scratch
+
+	buf := make([]RoleStake, len(scratch))
+	copy(buf, scratch)
+	roles.Leaders = buf[:nLeaders:nLeaders]
+	roles.Committee = buf[nLeaders : nLeaders+nCommittee : nLeaders+nCommittee]
+	roles.Others = buf[nLeaders+nCommittee:]
 	sortRoleStakes(roles.Leaders)
 	sortRoleStakes(roles.Committee)
 	sortRoleStakes(roles.Others)
@@ -812,7 +893,9 @@ func sortRoleStakes(rs []RoleStake) {
 }
 
 // emptyHash is the node's hash of this round's empty block, derived from
-// its own chain view so that synced nodes agree on it.
+// its own chain view so that synced nodes agree on it. The value is
+// computed once per round in beginRound; the chain view it derives from
+// cannot change until finalisation.
 func (nd *node) emptyHash() ledger.Hash {
-	return ledger.EmptyBlock(nd.round, nd.ledger.Tip(), ledger.NextSeed(nd.ledger.Seed(), nd.round)).Hash()
+	return nd.emptyH
 }

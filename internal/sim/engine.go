@@ -6,7 +6,6 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"hash/fnv"
 	"math/rand"
@@ -19,40 +18,61 @@ var ErrStopped = errors.New("sim: engine stopped")
 // Action is a unit of simulated work executed at its scheduled virtual time.
 type Action func()
 
+// event is one pending unit of work. Exactly one of action or fn is set:
+// action is the general closure form, fn+arg+payload is the pre-bound form
+// used by hot paths (gossip delivery) to avoid a closure allocation per
+// event. Events are stored by value in the queue slice, so steady-state
+// scheduling reuses the queue's capacity instead of boxing a heap node
+// per event.
 type event struct {
-	at     time.Duration
-	seq    uint64
-	action Action
+	at      time.Duration
+	seq     uint64
+	action  Action
+	fn      func(arg int, payload any)
+	arg     int
+	payload any
 }
 
-type eventQueue []*event
+// eventQueue is a binary min-heap ordered by (at, seq); seq breaks ties
+// FIFO so scheduling order is deterministic. The heap is hand-rolled over
+// a value slice: container/heap would force a per-event allocation and
+// dispatch every comparison through an interface.
+type eventQueue []event
 
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].at != q[j].at {
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-
-func (q *eventQueue) Push(x any) {
-	ev, ok := x.(*event)
-	if !ok {
-		return
+func (q eventQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
 	}
-	*q = append(*q, ev)
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return ev
+func (q eventQueue) siftDown(i int) {
+	n := len(q)
+	for {
+		smallest := i
+		if l := 2*i + 1; l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r := 2*i + 2; r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q[i], q[smallest] = q[smallest], q[i]
+		i = smallest
+	}
 }
 
 // Engine owns the virtual clock and the pending event set. It is not safe
@@ -97,11 +117,32 @@ func (e *Engine) ScheduleAt(at time.Duration, action Action) {
 	if action == nil {
 		return
 	}
-	if at < e.now {
-		at = e.now
+	e.pushEvent(event{at: at, action: action})
+}
+
+// ScheduleFn enqueues the pre-bound call fn(arg, payload) to run delay
+// after the current virtual time. It is the allocation-free counterpart
+// of Schedule for hot paths: fn is typically a callback stored once at
+// construction, so no closure is captured per event. Ordering semantics
+// are identical to Schedule.
+func (e *Engine) ScheduleFn(delay time.Duration, fn func(arg int, payload any), arg int, payload any) {
+	if fn == nil {
+		return
+	}
+	if delay < 0 {
+		delay = 0
+	}
+	e.pushEvent(event{at: e.now + delay, fn: fn, arg: arg, payload: payload})
+}
+
+func (e *Engine) pushEvent(ev event) {
+	if ev.at < e.now {
+		ev.at = e.now
 	}
 	e.seq++
-	heap.Push(&e.queue, &event{at: at, seq: e.seq, action: action})
+	ev.seq = e.seq
+	e.queue = append(e.queue, ev)
+	e.queue.siftUp(len(e.queue) - 1)
 }
 
 // Step executes the single earliest pending event, advancing the clock to
@@ -110,13 +151,19 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev, ok := heap.Pop(&e.queue).(*event)
-	if !ok {
-		return false
-	}
+	ev := e.queue[0]
+	n := len(e.queue) - 1
+	e.queue[0] = e.queue[n]
+	e.queue[n] = event{} // drop closure/payload references
+	e.queue = e.queue[:n]
+	e.queue.siftDown(0)
 	e.now = ev.at
 	e.steps++
-	ev.action()
+	if ev.action != nil {
+		ev.action()
+	} else {
+		ev.fn(ev.arg, ev.payload)
+	}
 	return true
 }
 

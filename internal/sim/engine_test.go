@@ -190,3 +190,43 @@ func TestEngineRNGMatchesNewRNG(t *testing.T) {
 		t.Error("Engine.RNG disagrees with NewRNG")
 	}
 }
+
+// ScheduleFn must interleave with Schedule in strict (time, seq) order —
+// the no-closure fast path cannot be allowed to perturb event ordering.
+func TestScheduleFnOrdersWithSchedule(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	record := func(arg int, _ any) { got = append(got, arg) }
+	e.ScheduleFn(20*time.Millisecond, record, 3, nil)
+	e.Schedule(10*time.Millisecond, func() { got = append(got, 1) })
+	e.ScheduleFn(10*time.Millisecond, record, 2, nil) // same time: FIFO after the closure
+	e.Schedule(30*time.Millisecond, func() { got = append(got, 4) })
+	e.ScheduleFn(-5*time.Millisecond, record, 0, nil) // negative delay clamps to now
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+// ScheduleFn passes its payload through untouched.
+func TestScheduleFnPayload(t *testing.T) {
+	e := NewEngine(1)
+	type box struct{ v int }
+	b := &box{v: 7}
+	var seen *box
+	e.ScheduleFn(0, func(_ int, p any) { seen = p.(*box) }, 0, b)
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if seen != b {
+		t.Fatal("payload pointer did not round-trip")
+	}
+}

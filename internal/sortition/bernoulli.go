@@ -19,7 +19,8 @@ func SelectBernoulli(key vrf.PrivateKey, stake float64, p Params) (Result, error
 	if stake < 0 {
 		return Result{}, ErrInvalidParams
 	}
-	out, proof := key.Evaluate(p.message())
+	msg := p.message()
+	out, proof := key.Evaluate(msg[:])
 	prob := stake * p.Tau / p.TotalStake
 	if prob > 1 {
 		prob = 1
@@ -40,7 +41,8 @@ func VerifyBernoulli(pub vrf.PublicKey, stake float64, p Params, res Result) boo
 	if p.Tau <= 0 || p.TotalStake <= 0 || stake < 0 {
 		return false
 	}
-	if !pub.Verify(p.message(), res.Output, res.Proof) {
+	msg := p.message()
+	if !pub.Verify(msg[:], res.Output, res.Proof) {
 		return false
 	}
 	prob := stake * p.Tau / p.TotalStake

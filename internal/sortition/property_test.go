@@ -1,0 +1,112 @@
+package sortition
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dsn2020-algorand/incentives/internal/sim"
+	"github.com/dsn2020-algorand/incentives/internal/vrf"
+)
+
+// The defining property of the binomial sub-user lottery: with total
+// stake W and expected committee size τ, the summed SubUsers across the
+// whole population is a sum of W independent Bernoulli(τ/W) draws, so its
+// mean concentrates on τ. This guards the cached threshold tables against
+// drift: a mis-built table would bias the committee size immediately.
+func TestCommitteeSizeConcentratesOnTau(t *testing.T) {
+	const (
+		nodes  = 120
+		tau    = 400.0
+		rounds = 60
+	)
+	cache := NewCache()
+	rng := sim.NewRNG(21, "property.committee")
+	stakes := make([]float64, nodes)
+	keys := make([]vrf.KeyPair, nodes)
+	total := 0.0
+	for i := range stakes {
+		stakes[i] = float64(1 + rng.Intn(100))
+		total += stakes[i]
+		keys[i] = vrf.GenerateKey(rng)
+	}
+
+	sum := 0.0
+	draws := 0
+	for round := uint64(0); round < rounds; round++ {
+		p := Params{
+			Seed:       [32]byte{byte(round), byte(round >> 8), 7},
+			Role:       RoleCommittee,
+			Round:      round,
+			Step:       1,
+			Tau:        tau,
+			TotalStake: total,
+		}
+		committee := 0.0
+		for i := range stakes {
+			res, err := cache.Select(keys[i].Private, stakes[i], p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			direct, err := Select(keys[i].Private, stakes[i], p)
+			if err != nil || direct != res {
+				t.Fatalf("round %d node %d: cached selection diverged from direct", round, i)
+			}
+			committee += float64(res.SubUsers)
+		}
+		sum += committee
+		draws++
+	}
+
+	mean := sum / float64(draws)
+	// The per-round committee stake is Binomial(W, τ/W): variance
+	// ≈ τ(1-τ/W), so the mean of `rounds` draws has standard error
+	// σ/sqrt(rounds). Accept a 5σ band — seeds are fixed, so this is a
+	// deterministic regression bound rather than a flaky statistical test.
+	stderr := math.Sqrt(tau*(1-tau/total)) / math.Sqrt(float64(draws))
+	if diff := math.Abs(mean - tau); diff > 5*stderr {
+		t.Fatalf("mean committee stake %v strays from τ=%v by %v (> 5σ = %v); threshold tables drifted?",
+			mean, tau, diff, 5*stderr)
+	}
+}
+
+// Same concentration property for a population where every account's
+// stake exceeds the underflow regime, exercising long threshold tables.
+func TestCommitteeSizeLargeStakes(t *testing.T) {
+	const (
+		nodes = 40
+		tau   = 300.0
+	)
+	cache := NewCache()
+	rng := sim.NewRNG(22, "property.largestakes")
+	stakes := make([]float64, nodes)
+	keys := make([]vrf.KeyPair, nodes)
+	total := 0.0
+	for i := range stakes {
+		stakes[i] = float64(5_000 + rng.Intn(5_000))
+		total += stakes[i]
+		keys[i] = vrf.GenerateKey(rng)
+	}
+	sum := 0.0
+	const rounds = 40
+	for round := uint64(0); round < rounds; round++ {
+		p := Params{
+			Seed:       [32]byte{3, byte(round)},
+			Role:       RoleCommittee,
+			Round:      round,
+			Tau:        tau,
+			TotalStake: total,
+		}
+		for i := range stakes {
+			res, err := cache.Select(keys[i].Private, stakes[i], p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += float64(res.SubUsers)
+		}
+	}
+	mean := sum / rounds
+	stderr := math.Sqrt(tau*(1-tau/total)) / math.Sqrt(rounds)
+	if diff := math.Abs(mean - tau); diff > 5*stderr {
+		t.Fatalf("mean committee stake %v strays from τ=%v by %v (> 5σ = %v)", mean, tau, diff, 5*stderr)
+	}
+}

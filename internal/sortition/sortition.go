@@ -59,15 +59,18 @@ type Params struct {
 	TotalStake float64
 }
 
-func (p Params) message() []byte {
-	msg := make([]byte, 0, len(p.Seed)+1+8+8)
-	msg = append(msg, p.Seed[:]...)
-	msg = append(msg, byte(p.Role))
-	var buf [8]byte
-	binary.BigEndian.PutUint64(buf[:], p.Round)
-	msg = append(msg, buf[:]...)
-	binary.BigEndian.PutUint64(buf[:], p.Step)
-	msg = append(msg, buf[:]...)
+// messageLen is the fixed size of a sortition VRF message:
+// seed ‖ role ‖ round ‖ step.
+const messageLen = 32 + 1 + 8 + 8
+
+// message builds the VRF input on the stack; the hot path evaluates and
+// verifies one per gossiped message, so it must not allocate.
+func (p Params) message() [messageLen]byte {
+	var msg [messageLen]byte
+	copy(msg[:32], p.Seed[:])
+	msg[32] = byte(p.Role)
+	binary.BigEndian.PutUint64(msg[33:41], p.Round)
+	binary.BigEndian.PutUint64(msg[41:49], p.Step)
 	return msg
 }
 
@@ -109,18 +112,32 @@ func (p Priority) IsZero() bool { return p == Priority{} }
 // ErrInvalidParams flags non-positive τ, stake or total stake.
 var ErrInvalidParams = errors.New("sortition: invalid parameters")
 
-// Select runs the lottery for an account holding `stake` units using its
-// private key. Stake is truncated to whole units, as sub-user selection is
-// defined on integer stake.
-func Select(key vrf.PrivateKey, stake float64, p Params) (Result, error) {
+// inverter turns a uniform draw into a selected sub-user count. The
+// scalar recomputation and the cached threshold-table oracle are the two
+// implementations; Select/Verify share one body so the paths can never
+// diverge structurally. Both implementations are pointer- or empty-struct
+// backed, so the interface dispatch allocates nothing.
+type inverter interface {
+	subUsers(u float64, w int, prob float64) int
+}
+
+// scalarInverter recomputes the binomial inversion per call.
+type scalarInverter struct{}
+
+func (scalarInverter) subUsers(u float64, w int, prob float64) int {
+	return subUsers(u, w, prob)
+}
+
+func selectWith(inv inverter, key vrf.PrivateKey, stake float64, p Params) (Result, error) {
 	if p.Tau <= 0 || p.TotalStake <= 0 {
 		return Result{}, ErrInvalidParams
 	}
 	if stake < 0 {
 		return Result{}, ErrInvalidParams
 	}
-	out, proof := key.Evaluate(p.message())
-	j := subUsers(out.Uniform(), int(stake), p.Tau/p.TotalStake)
+	msg := p.message()
+	out, proof := key.Evaluate(msg[:])
+	j := inv.subUsers(out.Uniform(), int(stake), p.Tau/p.TotalStake)
 	res := Result{SubUsers: j, Output: out, Proof: proof}
 	if j > 0 {
 		res.Priority = bestPriority(out, j)
@@ -128,17 +145,15 @@ func Select(key vrf.PrivateKey, stake float64, p Params) (Result, error) {
 	return res, nil
 }
 
-// Verify checks a peer's claimed sortition result: the VRF proof must be
-// valid and the claimed sub-user count and priority must be the ones the
-// output implies.
-func Verify(pub vrf.PublicKey, stake float64, p Params, res Result) bool {
+func verifyWith(inv inverter, pub vrf.PublicKey, stake float64, p Params, res Result) bool {
 	if p.Tau <= 0 || p.TotalStake <= 0 || stake < 0 {
 		return false
 	}
-	if !pub.Verify(p.message(), res.Output, res.Proof) {
+	msg := p.message()
+	if !pub.Verify(msg[:], res.Output, res.Proof) {
 		return false
 	}
-	j := subUsers(res.Output.Uniform(), int(stake), p.Tau/p.TotalStake)
+	j := inv.subUsers(res.Output.Uniform(), int(stake), p.Tau/p.TotalStake)
 	if j != res.SubUsers {
 		return false
 	}
@@ -146,6 +161,20 @@ func Verify(pub vrf.PublicKey, stake float64, p Params, res Result) bool {
 		return res.Priority.IsZero()
 	}
 	return res.Priority == bestPriority(res.Output, j)
+}
+
+// Select runs the lottery for an account holding `stake` units using its
+// private key. Stake is truncated to whole units, as sub-user selection is
+// defined on integer stake.
+func Select(key vrf.PrivateKey, stake float64, p Params) (Result, error) {
+	return selectWith(scalarInverter{}, key, stake, p)
+}
+
+// Verify checks a peer's claimed sortition result: the VRF proof must be
+// valid and the claimed sub-user count and priority must be the ones the
+// output implies.
+func Verify(pub vrf.PublicKey, stake float64, p Params, res Result) bool {
+	return verifyWith(scalarInverter{}, pub, stake, p, res)
 }
 
 // subUsers inverts the binomial CDF: it returns the unique j with

@@ -20,6 +20,46 @@ import (
 	"math/rand"
 )
 
+// hmacBlock is SHA-256's block size; HMAC pads the 32-byte key material
+// with zeros up to this length.
+const hmacBlock = 64
+
+// hmacStackMsg is the longest message hashed without heap allocation.
+// Sortition messages are 49 bytes, so the protocol hot path always stays
+// on the stack; longer messages fall back to one temporary buffer.
+const hmacStackMsg = 192
+
+// hmacSHA256 computes HMAC-SHA256(key, msg) by the definition
+// H(K⊕opad ‖ H(K⊕ipad ‖ msg)), using sha256.Sum256 over stack buffers so
+// that the protocol hot path (VRF evaluate + verify per message) performs
+// zero heap allocations. The result is bit-identical to crypto/hmac; a
+// reference test pins the equivalence.
+func hmacSHA256(key *[32]byte, msg []byte) [sha256.Size]byte {
+	var inner [hmacBlock + hmacStackMsg]byte
+	buf := inner[:]
+	if len(msg) > hmacStackMsg {
+		buf = make([]byte, hmacBlock+len(msg))
+	}
+	for i := 0; i < len(key); i++ {
+		buf[i] = key[i] ^ 0x36
+	}
+	for i := len(key); i < hmacBlock; i++ {
+		buf[i] = 0x36
+	}
+	copy(buf[hmacBlock:], msg)
+	innerSum := sha256.Sum256(buf[:hmacBlock+len(msg)])
+
+	var outer [hmacBlock + sha256.Size]byte
+	for i := 0; i < len(key); i++ {
+		outer[i] = key[i] ^ 0x5c
+	}
+	for i := len(key); i < hmacBlock; i++ {
+		outer[i] = 0x5c
+	}
+	copy(outer[hmacBlock:], innerSum[:])
+	return sha256.Sum256(outer[:])
+}
+
 // OutputLen is the byte length of a VRF output.
 const OutputLen = sha256.Size
 
@@ -59,20 +99,14 @@ func GenerateKey(rng *rand.Rand) KeyPair {
 // Output = SHA256(proof) so that the proof determines the output, exactly
 // as in the Micali-Rabin-Vadhan construction.
 func (k PrivateKey) Evaluate(msg []byte) (Output, Proof) {
-	mac := hmac.New(sha256.New, k.material[:])
-	mac.Write(msg)
-	var proof Proof
-	copy(proof[:], mac.Sum(nil))
+	proof := Proof(hmacSHA256(&k.material, msg))
 	return outputFromProof(proof), proof
 }
 
 // Verify reports whether proof is a valid VRF proof for msg under the
 // public key, and whether out matches it.
 func (k PublicKey) Verify(msg []byte, out Output, proof Proof) bool {
-	mac := hmac.New(sha256.New, k.material[:])
-	mac.Write(msg)
-	var expect Proof
-	copy(expect[:], mac.Sum(nil))
+	expect := hmacSHA256(&k.material, msg)
 	if !hmac.Equal(expect[:], proof[:]) {
 		return false
 	}

@@ -1,6 +1,8 @@
 package vrf
 
 import (
+	"crypto/hmac"
+	"crypto/sha256"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -110,6 +112,50 @@ func TestUniformDistribution(t *testing.T) {
 	mean := sum / float64(n)
 	if mean < 0.49 || mean > 0.51 {
 		t.Errorf("uniform mean = %v, want ~0.5", mean)
+	}
+}
+
+// The hand-rolled stack-buffer HMAC must be bit-identical to crypto/hmac
+// for every message length, including the boundary where it falls back to
+// a heap buffer. Simulation determinism across releases depends on this.
+func TestHMACMatchesCryptoHMAC(t *testing.T) {
+	var key [32]byte
+	rng := rand.New(rand.NewSource(7))
+	for i := range key {
+		key[i] = byte(rng.Intn(256))
+	}
+	for _, n := range []int{0, 1, 48, 49, hmacStackMsg - 1, hmacStackMsg, hmacStackMsg + 1, 1024} {
+		msg := make([]byte, n)
+		for i := range msg {
+			msg[i] = byte(rng.Intn(256))
+		}
+		got := hmacSHA256(&key, msg)
+		mac := hmac.New(sha256.New, key[:])
+		mac.Write(msg)
+		want := mac.Sum(nil)
+		if !hmac.Equal(got[:], want) {
+			t.Errorf("len=%d: hmacSHA256 diverges from crypto/hmac", n)
+		}
+	}
+}
+
+// The sortition hot path calls Evaluate and Verify once per gossiped
+// message; both must stay allocation-free for stack-sized messages.
+func TestEvaluateVerifyAllocFree(t *testing.T) {
+	kp := testKey(9)
+	msg := make([]byte, 49) // sortition message size
+	out, proof := kp.Private.Evaluate(msg)
+	if n := testing.AllocsPerRun(100, func() {
+		out, proof = kp.Private.Evaluate(msg)
+	}); n > 0 {
+		t.Errorf("Evaluate allocates %v times per call, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if !kp.Public.Verify(msg, out, proof) {
+			t.Fatal("verify failed")
+		}
+	}); n > 0 {
+		t.Errorf("Verify allocates %v times per call, want 0", n)
 	}
 }
 

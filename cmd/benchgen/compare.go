@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The compare target is the CI benchmark-regression gate: it diffs a
+// freshly measured BENCH file (the candidate) against the newest
+// checked-in trajectory file (the baseline) and fails when a gated
+// workload regressed. See README "Benchmark pipeline".
+//
+// Gate rules:
+//
+//   - ns/op may not regress by more than maxNsRegression on the gated
+//     workloads (protocol_round_100 ↔ BenchmarkProtocolRound, fig3_small
+//     ↔ BenchmarkFig3) — enforced only when baseline and candidate ran
+//     on the same hardware (goos/goarch/cpu count), advisory otherwise:
+//     wall time on a different machine says nothing about the code;
+//   - allocs/op may not regress at all on gated workloads — the gated
+//     workloads measure a fixed, seeded iteration window (see genBench),
+//     so their allocation counts are deterministic and any increase is a
+//     real code change, not noise (a Go toolchain bump can also shift
+//     runtime allocations: regenerate the baseline in that case);
+//   - headline figure metrics must match the baseline bit-for-bit: they
+//     are seed-pinned, so a diff is a behaviour change that must go
+//     through the golden-figure update flow instead.
+
+// maxNsRegression is the tolerated fractional ns/op increase on gated
+// workloads (noise margin for shared CI runners).
+const maxNsRegression = 0.20
+
+// gatedWorkloads maps persisted workload keys to the benchmark names
+// developers know them by.
+var gatedWorkloads = []struct{ key, bench string }{
+	{"protocol_round_100", "BenchmarkProtocolRound"},
+	{"fig3_small", "BenchmarkFig3"},
+}
+
+func loadBench(path string) (*BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f BenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+// latestBenchFile finds the highest-numbered BENCH_<n>.json in dir,
+// excluding the candidate path itself.
+func latestBenchFile(dir, exclude string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	sort.Strings(matches)
+	best, bestPR := "", -1
+	excludeAbs, _ := filepath.Abs(exclude)
+	for _, m := range matches {
+		abs, _ := filepath.Abs(m)
+		if exclude != "" && abs == excludeAbs {
+			continue
+		}
+		num := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(m), "BENCH_"), ".json")
+		pr, err := strconv.Atoi(num)
+		if err != nil {
+			continue
+		}
+		if pr > bestPR {
+			best, bestPR = m, pr
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no baseline BENCH_<n>.json found in %q", dir)
+	}
+	return best, nil
+}
+
+// runCompare enforces the benchmark-regression gate. It returns an error
+// (failing the CI job) when any gate trips.
+func runCompare(baselinePath, candidatePath string) error {
+	if candidatePath == "" {
+		return fmt.Errorf("compare: -candidate FILE is required (the freshly generated bench JSON)")
+	}
+	if baselinePath == "" {
+		var err error
+		baselinePath, err = latestBenchFile(".", candidatePath)
+		if err != nil {
+			return err
+		}
+	}
+	base, err := loadBench(baselinePath)
+	if err != nil {
+		return err
+	}
+	cand, err := loadBench(candidatePath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("baseline:  %s (PR %d, %s/%s, %d cpu)\n", baselinePath, base.PR, base.GoOS, base.GoArch, base.NumCPU)
+	fmt.Printf("candidate: %s (PR %d, %s/%s, %d cpu)\n\n", candidatePath, cand.PR, cand.GoOS, cand.GoArch, cand.NumCPU)
+	sameHardware := base.GoOS == cand.GoOS && base.GoArch == cand.GoArch && base.NumCPU == cand.NumCPU
+	if !sameHardware {
+		fmt.Println("warning: baseline and candidate ran on different hardware; the ns/op gate is advisory here (allocs and headline gates still apply)")
+	}
+
+	var failures []string
+	fmt.Printf("%-22s %14s %14s %8s %12s %12s\n", "workload", "base ns/op", "cand ns/op", "Δns", "base allocs", "cand allocs")
+	for _, g := range gatedWorkloads {
+		b, okB := base.Benchmarks[g.key]
+		c, okC := cand.Benchmarks[g.key]
+		if !okB {
+			fmt.Printf("%-22s missing from baseline — skipped\n", g.key)
+			continue
+		}
+		if !okC {
+			failures = append(failures, fmt.Sprintf("%s (%s): missing from candidate", g.key, g.bench))
+			continue
+		}
+		delta := (c.NsPerOp - b.NsPerOp) / b.NsPerOp
+		fmt.Printf("%-22s %14.0f %14.0f %+7.1f%% %12d %12d\n",
+			g.key, b.NsPerOp, c.NsPerOp, delta*100, b.AllocsPerOp, c.AllocsPerOp)
+		if delta > maxNsRegression {
+			if sameHardware {
+				failures = append(failures, fmt.Sprintf("%s (%s): ns/op regressed %.1f%% (limit %.0f%%)",
+					g.key, g.bench, delta*100, maxNsRegression*100))
+			} else {
+				fmt.Printf("warning: %s ns/op +%.1f%% vs baseline, not gated across differing hardware\n", g.key, delta*100)
+			}
+		}
+		if c.AllocsPerOp > b.AllocsPerOp {
+			failures = append(failures, fmt.Sprintf("%s (%s): allocs/op regressed %d -> %d (any increase fails)",
+				g.key, g.bench, b.AllocsPerOp, c.AllocsPerOp))
+		}
+	}
+
+	fmt.Println()
+	names := make([]string, 0, len(base.Headline))
+	for name := range base.Headline {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		want := base.Headline[name]
+		got, ok := cand.Headline[name]
+		switch {
+		case !ok:
+			failures = append(failures, fmt.Sprintf("headline %s: missing from candidate", name))
+		case got != want:
+			failures = append(failures, fmt.Sprintf("headline %s: %v != baseline %v (seed-pinned metrics must match exactly)", name, got, want))
+		default:
+			fmt.Printf("headline %-28s %v  ok\n", name, got)
+		}
+	}
+
+	if len(failures) > 0 {
+		fmt.Println()
+		for _, f := range failures {
+			fmt.Printf("FAIL: %s\n", f)
+		}
+		return fmt.Errorf("benchmark regression gate failed (%d finding(s))", len(failures))
+	}
+	fmt.Println("\nbenchmark regression gate passed")
+	return nil
+}

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	benchgen [-out DIR] [-full] [-workers N] [-pr N] [-benchout FILE] [table3|fig3|fig5|fig6|fig7|equilibrium|bench|all]
+//	benchgen [-baseline FILE] -candidate FILE compare
 //
 // With -full, the paper-scale configurations are used (500k nodes, 100-200
 // runs); the default configurations finish on a laptop in minutes.
@@ -15,6 +16,12 @@
 // headline figure metrics and writes them as JSON to -benchout (default
 // BENCH_<pr>.json, with <pr> from -pr), the persisted perf trajectory
 // future PRs compare against; see README "Benchmark pipeline".
+//
+// The compare target is the CI benchmark-regression gate: it diffs the
+// -candidate BENCH file against -baseline (default: the newest
+// checked-in BENCH_<n>.json) and exits non-zero on a >20% ns/op or any
+// allocs/op regression in the gated workloads, or on any headline
+// figure metric diff.
 package main
 
 import (
@@ -36,9 +43,14 @@ func main() {
 	workers := flag.Int("workers", 0, "run-pool workers (0 = GOMAXPROCS); results are identical for every value")
 	benchPR := flag.Int("pr", 0, "PR number recorded in the bench target's JSON (also names the default -benchout file); required by the bench target")
 	benchOut := flag.String("benchout", "", "output path for the bench target's JSON (default BENCH_<pr>.json)")
+	baseline := flag.String("baseline", "", "compare target: baseline BENCH file (default: highest-numbered BENCH_<n>.json in the working directory)")
+	candidate := flag.String("candidate", "", "compare target: candidate BENCH file (default: the -benchout/-pr path)")
 	flag.Parse()
 	if *benchOut == "" && *benchPR > 0 {
 		*benchOut = fmt.Sprintf("BENCH_%d.json", *benchPR)
+	}
+	if *candidate == "" {
+		*candidate = *benchOut
 	}
 
 	targets := flag.Args()
@@ -48,12 +60,12 @@ func main() {
 			"evolution", "weaksync", "costs", "sensitivity", "mixed",
 		}
 	}
-	if err := run(*outDir, *full, *workers, *benchPR, *benchOut, targets); err != nil {
+	if err := run(*outDir, *full, *workers, *benchPR, *benchOut, *baseline, *candidate, targets); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(outDir string, full bool, workers, benchPR int, benchOut string, targets []string) error {
+func run(outDir string, full bool, workers, benchPR int, benchOut, baseline, candidate string, targets []string) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
@@ -91,6 +103,8 @@ func run(outDir string, full bool, workers, benchPR int, benchOut string, target
 			} else {
 				err = genBench(benchOut, benchPR)
 			}
+		case "compare":
+			err = runCompare(baseline, candidate)
 		default:
 			err = fmt.Errorf("unknown target %q", target)
 		}

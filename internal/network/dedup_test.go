@@ -1,0 +1,179 @@
+package network
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+)
+
+func id32(n uint64) [32]byte {
+	var id [32]byte
+	// Spread bits so prefixes differ; tail bytes make IDs unique even
+	// when prefixes collide in dedicated tests.
+	binary.LittleEndian.PutUint64(id[:8], n*0x9e3779b97f4a7c15)
+	binary.LittleEndian.PutUint64(id[24:], n)
+	return id
+}
+
+func TestDedupInsertAndDuplicate(t *testing.T) {
+	var s dedupSet
+	for i := uint64(0); i < 100; i++ {
+		id := id32(i)
+		if !s.insert(&id) {
+			t.Fatalf("first insert of id %d reported duplicate", i)
+		}
+	}
+	for i := uint64(0); i < 100; i++ {
+		id := id32(i)
+		if s.insert(&id) {
+			t.Fatalf("second insert of id %d reported new", i)
+		}
+	}
+}
+
+func TestDedupPrefixCollision(t *testing.T) {
+	// Same 8-byte prefix, different tails: the full-ID confirm must keep
+	// them distinct instead of treating the second as a duplicate.
+	var a, b [32]byte
+	binary.LittleEndian.PutUint64(a[:8], 0xdeadbeef)
+	binary.LittleEndian.PutUint64(b[:8], 0xdeadbeef)
+	a[31], b[31] = 1, 2
+
+	var s dedupSet
+	if !s.insert(&a) {
+		t.Fatal("insert(a) reported duplicate")
+	}
+	if !s.insert(&b) {
+		t.Fatal("insert(b) with colliding prefix but different tail reported duplicate")
+	}
+	if s.insert(&a) || s.insert(&b) {
+		t.Fatal("re-insert after prefix collision lost an entry")
+	}
+}
+
+func TestDedupResetRetiresEntries(t *testing.T) {
+	var s dedupSet
+	id := id32(7)
+	if !s.insert(&id) {
+		t.Fatal("fresh set reported duplicate")
+	}
+	s.reset()
+	if !s.insert(&id) {
+		t.Fatal("entry survived an epoch reset")
+	}
+	if s.insert(&id) {
+		t.Fatal("duplicate not detected after reset re-insert")
+	}
+}
+
+func TestDedupGrowth(t *testing.T) {
+	var s dedupSet
+	const n = 10_000
+	for i := uint64(0); i < n; i++ {
+		id := id32(i)
+		if !s.insert(&id) {
+			t.Fatalf("insert %d reported duplicate", i)
+		}
+	}
+	if s.count != n {
+		t.Fatalf("count = %d, want %d", s.count, n)
+	}
+	if load := float64(s.count) / float64(len(s.slots)); load > 0.75 {
+		t.Fatalf("load factor %.2f exceeds 3/4", load)
+	}
+	// Growth must preserve the live population exactly.
+	for i := uint64(0); i < n; i++ {
+		id := id32(i)
+		if s.insert(&id) {
+			t.Fatalf("entry %d lost during growth", i)
+		}
+	}
+}
+
+func TestDedupManyEpochsReuseTable(t *testing.T) {
+	var s dedupSet
+	for round := 0; round < 50; round++ {
+		for i := uint64(0); i < 500; i++ {
+			id := id32(i)
+			if !s.insert(&id) {
+				t.Fatalf("round %d: stale duplicate for id %d", round, i)
+			}
+		}
+		size := len(s.slots)
+		s.reset()
+		if len(s.slots) != size {
+			t.Fatalf("round %d: reset changed table size %d -> %d", round, size, len(s.slots))
+		}
+	}
+}
+
+func TestDedupEpochWraparound(t *testing.T) {
+	var s dedupSet
+	id := id32(1)
+	s.insert(&id)
+	s.epoch = math.MaxUint32
+	other := id32(2)
+	if !s.insert(&other) {
+		t.Fatal("insert at max epoch reported duplicate")
+	}
+	s.reset() // wraps: must clear stale slots rather than alias epoch 0/1
+	if s.epoch == 0 {
+		t.Fatal("epoch 0 must never be live")
+	}
+	if !s.insert(&other) {
+		t.Fatal("entry from pre-wrap epoch survived the wraparound reset")
+	}
+}
+
+func TestDedupAdversarialSequentialPrefixes(t *testing.T) {
+	// Non-hashed, clustered prefixes (0,1,2,...) must still resolve via
+	// linear probing — slower, never wrong.
+	var s dedupSet
+	for i := uint64(0); i < 2000; i++ {
+		var id [32]byte
+		binary.LittleEndian.PutUint64(id[:8], i)
+		if !s.insert(&id) {
+			t.Fatalf("sequential prefix %d reported duplicate", i)
+		}
+	}
+	for i := uint64(0); i < 2000; i++ {
+		var id [32]byte
+		binary.LittleEndian.PutUint64(id[:8], i)
+		if s.insert(&id) {
+			t.Fatalf("sequential prefix %d lost", i)
+		}
+	}
+}
+
+// TestDedupMatchesMap cross-checks the open-addressed set against the
+// map[[32]byte]struct{} it replaced, over randomized insert/reset mixes.
+func TestDedupMatchesMap(t *testing.T) {
+	for seed := 0; seed < 5; seed++ {
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			var s dedupSet
+			ref := make(map[[32]byte]struct{})
+			state := uint64(seed)*0x9e3779b97f4a7c15 + 1
+			next := func() uint64 {
+				state ^= state << 13
+				state ^= state >> 7
+				state ^= state << 17
+				return state
+			}
+			for op := 0; op < 20_000; op++ {
+				switch next() % 100 {
+				case 0: // occasional epoch reset
+					s.reset()
+					clear(ref)
+				default:
+					id := id32(next() % 3000) // small key space forces duplicates
+					_, dup := ref[id]
+					ref[id] = struct{}{}
+					if got := s.insert(&id); got != !dup {
+						t.Fatalf("op %d: insert = %v, map says dup=%v", op, got, dup)
+					}
+				}
+			}
+		})
+	}
+}

@@ -58,12 +58,24 @@ type DelayModel interface {
 	Sample(rng *rand.Rand) time.Duration
 }
 
+// BoundedDelay is an optional DelayModel extension reporting the largest
+// delay Sample can return. The network uses it to size the simulation
+// engine's calendar-queue horizon (sim.Engine.HintHorizon) so every hop
+// delivery takes the O(1) bucket route; models without a bound still work
+// through the engine's adaptive resizing.
+type BoundedDelay interface {
+	MaxDelay() time.Duration
+}
+
 // UniformDelay samples uniformly from [Min, Max].
 type UniformDelay struct {
 	Min, Max time.Duration
 }
 
-var _ DelayModel = UniformDelay{}
+var (
+	_ DelayModel   = UniformDelay{}
+	_ BoundedDelay = UniformDelay{}
+)
 
 // Sample implements DelayModel.
 func (d UniformDelay) Sample(rng *rand.Rand) time.Duration {
@@ -71,6 +83,14 @@ func (d UniformDelay) Sample(rng *rand.Rand) time.Duration {
 		return d.Min
 	}
 	return d.Min + time.Duration(rng.Int63n(int64(d.Max-d.Min)))
+}
+
+// MaxDelay implements BoundedDelay.
+func (d UniformDelay) MaxDelay() time.Duration {
+	if d.Max <= d.Min {
+		return d.Min
+	}
+	return d.Max
 }
 
 // HeavyTailDelay is a uniform base delay with a probability SlowProb of a
@@ -83,12 +103,24 @@ type HeavyTailDelay struct {
 	SlowFactor float64
 }
 
-var _ DelayModel = HeavyTailDelay{}
+var (
+	_ DelayModel   = HeavyTailDelay{}
+	_ BoundedDelay = HeavyTailDelay{}
+)
 
 // Sample implements DelayModel.
 func (d HeavyTailDelay) Sample(rng *rand.Rand) time.Duration {
 	base := d.Base.Sample(rng)
 	if d.SlowProb > 0 && rng.Float64() < d.SlowProb {
+		return time.Duration(float64(base) * d.SlowFactor)
+	}
+	return base
+}
+
+// MaxDelay implements BoundedDelay.
+func (d HeavyTailDelay) MaxDelay() time.Duration {
+	base := d.Base.MaxDelay()
+	if d.SlowProb > 0 && d.SlowFactor > 1 {
 		return time.Duration(float64(base) * d.SlowFactor)
 	}
 	return base
@@ -129,7 +161,7 @@ type Network struct {
 	handler  Handler
 	relay    []bool
 	online   []bool
-	seen     []map[[32]byte]struct{}
+	seen     []dedupSet
 	factor   float64
 	stats    Stats
 	observer func(node int)
@@ -172,18 +204,30 @@ func New(cfg Config, engine *sim.Engine, handler Handler) (*Network, error) {
 		handler: handler,
 		relay:   make([]bool, cfg.N),
 		online:  make([]bool, cfg.N),
-		seen:    make([]map[[32]byte]struct{}, cfg.N),
+		seen:    make([]dedupSet, cfg.N),
 		factor:  1,
 	}
 	for i := 0; i < cfg.N; i++ {
 		n.relay[i] = true
 		n.online[i] = true
-		n.seen[i] = make(map[[32]byte]struct{})
 	}
 	n.deliverCb = func(node int, payload any) {
 		n.deliver(node, payload.(*Message))
 	}
+	n.hintHorizon()
 	return n, nil
+}
+
+// hintHorizon sizes the engine's calendar ring to the worst-case hop
+// delay under the current delay factor, keeping every delivery event on
+// the O(1) bucket route. Called at construction and whenever the factor
+// changes; no-op for unbounded delay models.
+func (n *Network) hintHorizon() {
+	if bd, ok := n.cfg.Delay.(BoundedDelay); ok {
+		if d := bd.MaxDelay(); d > 0 {
+			n.engine.HintHorizon(time.Duration(float64(d) * n.factor))
+		}
+	}
 }
 
 func buildTopology(n, fanout int, rng *rand.Rand) [][]int {
@@ -244,9 +288,12 @@ func (n *Network) Online(i int) bool {
 
 // SetDelayFactor scales all sampled delays; the protocol layer uses it to
 // inject weak-synchrony periods (factor >> 1) and recovery (factor 1).
+// The engine's scheduling horizon follows the factor so inflated delays
+// keep the O(1) bucket route.
 func (n *Network) SetDelayFactor(f float64) {
 	if f > 0 {
 		n.factor = f
+		n.hintHorizon()
 	}
 }
 
@@ -257,11 +304,12 @@ func (n *Network) DelayFactor() float64 { return n.factor }
 func (n *Network) Stats() Stats { return n.stats }
 
 // ResetSeen clears all de-duplication state; the round driver calls it
-// between rounds to bound memory. The maps themselves are retained so
-// steady-state rounds insert into already-sized tables.
+// between rounds to bound memory. The epoch stamp makes this O(nodes) —
+// entries are retired in place and the tables stay sized, so steady-state
+// rounds insert without growing.
 func (n *Network) ResetSeen() {
 	for i := range n.seen {
-		clear(n.seen[i])
+		n.seen[i].reset()
 	}
 }
 
@@ -272,10 +320,9 @@ func (n *Network) Gossip(origin int, msg Message) {
 	if origin < 0 || origin >= n.cfg.N || !n.online[origin] {
 		return
 	}
-	if _, dup := n.seen[origin][msg.ID]; dup {
+	if !n.seen[origin].insert(&msg.ID) {
 		return
 	}
-	n.seen[origin][msg.ID] = struct{}{}
 	n.stats.Delivered++
 	n.handler(origin, msg)
 	if n.relay[origin] {
@@ -309,11 +356,10 @@ func (n *Network) deliver(node int, msg *Message) {
 		n.stats.DroppedOffline++
 		return
 	}
-	if _, dup := n.seen[node][msg.ID]; dup {
+	if !n.seen[node].insert(&msg.ID) {
 		n.stats.Duplicate++
 		return
 	}
-	n.seen[node][msg.ID] = struct{}{}
 	n.stats.Delivered++
 	n.handler(node, *msg)
 	if n.relay[node] {

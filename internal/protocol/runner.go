@@ -199,6 +199,12 @@ func NewRunner(cfg Config) (*Runner, error) {
 		return nil, err
 	}
 	r.net = net
+	// The network hints the engine's scheduling horizon for the current
+	// delay factor; pre-hint the weak-synchrony worst case too, so the
+	// first degraded round never rebuilds the calendar ring mid-run.
+	if bd, ok := cfg.Delay.(network.BoundedDelay); ok && cfg.Params.AsyncFactor > 1 {
+		engine.HintHorizon(time.Duration(float64(bd.MaxDelay()) * cfg.Params.AsyncFactor))
+	}
 	net.SetRelayObserver(func(nodeID int) {
 		r.meter.of(nodeID).Gossip++
 	})

@@ -1,0 +1,551 @@
+package sim
+
+import "time"
+
+// calendarQueue is a two-rung calendar (ladder) queue over the engine's
+// bounded delay horizon:
+//
+//   - a fine-grained NEAR ring of per-bucket FIFO slices covering a short
+//     window just ahead of the clock, sorted lazily bucket-by-bucket as
+//     the drain reaches them;
+//   - a coarse FAR ring of unsorted day-width buckets covering the full
+//     delay horizon, each migrated wholesale into the near ring when the
+//     clock reaches its day;
+//   - a conventional binary min-heap for the rare event beyond even the
+//     far span.
+//
+// Gossip-delay events live on a bounded horizon — every hop delay is at
+// most maxDelay×asyncFactor ahead of the clock — so scheduling is one
+// append into a bucket, popping is one index bump, and each event
+// migrates between rungs at most once: amortised O(1) per event (the
+// calendar-queue result of Brown 1988; the two-rung split is the ladder
+// variant that keeps it O(1) when event times cluster instead of
+// spreading uniformly). The only ordering work left is one insertion
+// sort per near bucket per drain, amortised O(bucket occupancy) per
+// event over sequential memory — where the old binary heap paid
+// O(log population) per operation scattered across a near-megabyte
+// slice.
+//
+// Ordering contract: pops follow strict (at, seq) order, identical to
+// the legacy binary heap — the golden figure outputs pin this. Two
+// events in one near bucket may differ in timestamp, hence the lazy
+// sort; within a timestamp, appends arrive in seq order and the stable
+// insertion sort preserves FIFO. Events pushed into the bucket currently
+// being drained insert into its still-sorted tail.
+//
+// Memory bounds: both rings have a fixed bucket count (near buckets
+// double only while halving the width, far buckets double only to cover
+// a grown horizon, both capped), and every bucket's time slot recurs
+// every lap, so per-bucket slice capacities converge to the workload's
+// per-slot peak instead of creeping — the failure mode of a single
+// fine-grained ring spanning the whole horizon, where each round's burst
+// pattern lands on fresh buckets.
+//
+// Invariants:
+//
+//   - every queued event has at >= the engine clock at all times (pushes
+//     clamp, pops advance the clock monotonically);
+//   - near events all lie in [migrated - farWidth, migrated): exactly the
+//     most recently migrated far day, which is at most half the near span
+//     — so distinct times never collide in a near bucket index;
+//   - far events all lie in [migrated, migrated + farSpan - farWidth),
+//     one far lap with a spare day of margin;
+//   - the near cursor points at or before the earliest near event's
+//     absolute bucket; farCursor's day is the last one migrated.
+type calendarQueue struct {
+	// near is the fine ring; len is a power of two.
+	near []calBucket
+	// nearShift sets the near bucket width to 1<<nearShift nanoseconds.
+	nearShift uint
+	nearMask  int64
+	// cursor is the absolute near-bucket number (at >> nearShift, not
+	// wrapped) the drain resumes from. It advances monotonically except
+	// when a push lands behind it.
+	cursor int64
+	// ring counts events currently stored in near buckets.
+	ring int
+
+	// farHead is the coarse ring of unsorted day buckets; len is a power
+	// of two. Each entry heads a chain of fixed-size event blocks in
+	// blocks (-1 = empty day).
+	farHead []int32
+	// farShift sets the day width to 1<<farShift nanoseconds; it is
+	// derived from the near geometry so a whole day always fits the near
+	// ring (farWidth == nearSpan/2).
+	farShift uint
+	farMask  int64
+	// farCursor is the absolute day number last migrated into the near
+	// ring; migrated == (farCursor+1) << farShift.
+	farCursor int64
+	// farCount counts events currently stored in far buckets.
+	farCount int
+	// migrated is the time boundary between the rungs: events before it
+	// are in the near ring (or already executed), events at or after it
+	// are in the far ring or overflow.
+	migrated time.Duration
+
+	// blocks is the shared far-event block pool; freeBlk heads its
+	// freelist. Pooling makes far memory proportional to the peak far
+	// population rather than to (day count × per-day burst peak): which
+	// days carry gossip bursts rotates across rounds, so per-day slices
+	// would grow every slot to the burst size eventually.
+	blocks  []farBlock
+	freeBlk int32
+
+	// slab backs near-bucket slices: grow steps carve zero-len chunks off
+	// large blocks instead of allocating per bucket, collapsing the
+	// thousands of small cold-start allocations a fresh engine would
+	// otherwise pay while its buckets grow from nil.
+	slab []event
+
+	// overflow holds events beyond the far span, ordered by (at, seq).
+	overflow eventQueue
+}
+
+// calBucket is one near-ring slot: an append-order event slice that gets
+// insertion-sorted by (at, seq) when the drain cursor reaches it, then
+// drained by advancing next.
+type calBucket struct {
+	events []event
+	next   int32
+	sorted bool
+}
+
+// farBlock is one fixed-size chunk of a far day's unsorted event chain.
+type farBlock struct {
+	next   int32 // next block in the day chain or freelist, -1 = none
+	n      int32 // events used
+	events [calFarBlockLen]event
+}
+
+const (
+	// calNearBuckets is the initial near ring size; width halving doubles
+	// it up to calMaxNearBuckets while keeping the near span constant.
+	calNearBuckets    = 2048
+	calMaxNearBuckets = 1 << 16
+	// calNearShift gives 2^17 ns ≈ 131 µs near buckets: a 268 ms near
+	// span, matching the simulator's densest delay windows.
+	calNearShift = 17
+	// calMaxBucketLen is the near-bucket occupancy at which the width
+	// halves. It sits well above the Poisson tail of the equilibrium
+	// occupancy (a few events per bucket), so only genuine density shifts
+	// trigger a resize, not burst noise.
+	calMaxBucketLen = 32
+	// calMinNearShift (1 µs buckets) stops width halving: a burst of
+	// events on one exact timestamp can never be spread by a finer grid,
+	// it simply lives in one bucket (where its seq-ordered appends make
+	// the lazy sort linear).
+	calMinNearShift = 10
+	// calFarBuckets is the initial far ring size: with 134 ms days the
+	// initial far span is ~34 s, covering the default protocol's timers
+	// and its 8×-inflated weak-synchrony delays without any resize.
+	calFarBuckets = 256
+	// calMaxFarBuckets caps horizon growth (the overflow heap absorbs
+	// anything beyond the capped span).
+	calMaxFarBuckets = 1 << 12
+	// calOverflowSlack is how many overflow events are tolerated before a
+	// far-span regrow is considered.
+	calOverflowSlack = 64
+	// calFarBlockLen sizes the pooled far blocks (~3.6 KB each): small
+	// enough that sparse days waste little, large enough that burst days
+	// chain few blocks.
+	calFarBlockLen = 64
+	// calSlabLen sizes the near-bucket slab blocks (events per block).
+	calSlabLen = 4096
+	// calSlabMaxChunk caps slab-carved bucket capacities; the rare bucket
+	// growing beyond it falls back to ordinary append doubling.
+	calSlabMaxChunk = 512
+)
+
+// bucketGrow is the capacity ladder for near buckets: coarse steps keep
+// the number of grow-copies (and abandoned slab chunks) small.
+func bucketGrow(c int) int {
+	switch {
+	case c == 0:
+		return 8
+	default:
+		return c * 4
+	}
+}
+
+func (c *calendarQueue) init() {
+	c.near = make([]calBucket, calNearBuckets)
+	c.nearShift = calNearShift
+	c.nearMask = calNearBuckets - 1
+	c.farHead = make([]int32, calFarBuckets)
+	for i := range c.farHead {
+		c.farHead[i] = -1
+	}
+	// farWidth = nearSpan/2: log2(2048) - 1 = 10 extra bits.
+	c.farShift = calNearShift + 10
+	c.farMask = calFarBuckets - 1
+	c.farCursor = -1
+	c.freeBlk = -1
+	c.migrated = 0
+}
+
+// len reports the total number of queued events.
+func (c *calendarQueue) len() int { return c.ring + c.farCount + len(c.overflow) }
+
+// ensureWindow advances the rung boundary after the clock jumped past it
+// (an overflow pop, or an idle stretch). Far days strictly before the
+// clock's day are necessarily empty — every event is at or after the
+// clock — so only the clock's own day can hold events, and they migrate.
+func (c *calendarQueue) ensureWindow(now time.Duration) {
+	if now < c.migrated {
+		return
+	}
+	day := int64(now) >> c.farShift
+	c.farCursor = day
+	c.migrated = time.Duration((day + 1) << c.farShift)
+	if c.farCount > 0 {
+		c.migrate(day)
+	}
+}
+
+// migrate moves one far day's events into the near ring and recycles
+// its blocks. Each event lands within [migrated - farWidth, migrated),
+// at most half the near span, so near indices cannot collide.
+func (c *calendarQueue) migrate(day int64) {
+	slot := day & c.farMask
+	for h := c.farHead[slot]; h >= 0; {
+		blk := &c.blocks[h]
+		n := int(blk.n)
+		for i := 0; i < n; i++ {
+			c.insertNear(blk.events[i])
+		}
+		c.farCount -= n
+		clear(blk.events[:n]) // release closure/payload references
+		blk.n = 0
+		next := blk.next
+		blk.next = c.freeBlk
+		c.freeBlk = h
+		h = next
+	}
+	c.farHead[slot] = -1
+}
+
+// allocBlock takes a block from the freelist, growing the pool when it
+// is empty.
+func (c *calendarQueue) allocBlock() int32 {
+	if h := c.freeBlk; h >= 0 {
+		c.freeBlk = c.blocks[h].next
+		return h
+	}
+	c.blocks = append(c.blocks, farBlock{next: -1})
+	return int32(len(c.blocks) - 1)
+}
+
+// appendFar chains ev onto its day bucket.
+func (c *calendarQueue) appendFar(ev event) {
+	slot := (int64(ev.at) >> c.farShift) & c.farMask
+	h := c.farHead[slot]
+	if h < 0 || c.blocks[h].n == calFarBlockLen {
+		nb := c.allocBlock()
+		c.blocks[nb].next = h
+		c.farHead[slot] = nb
+		h = nb
+	}
+	blk := &c.blocks[h]
+	blk.events[blk.n] = ev
+	blk.n++
+	c.farCount++
+}
+
+// insertNear places ev in its near bucket and returns the bucket's
+// pending event count.
+func (c *calendarQueue) insertNear(ev event) int {
+	abs := int64(ev.at) >> c.nearShift
+	if abs < c.cursor {
+		// The drain already passed this bucket (possible after the clock
+		// jumped); pull the cursor back so the event is not skipped.
+		c.cursor = abs
+	}
+	b := &c.near[abs&c.nearMask]
+	e := b.events
+	if len(e) == cap(e) {
+		e = c.growBucket(e)
+	}
+	e = append(e, ev)
+	if b.sorted {
+		// The bucket is mid-drain: keep its undrained tail sorted. New
+		// events rarely precede anything already pending (their time is
+		// at least the clock), so the scan almost always stops at once.
+		i := len(e) - 1
+		for i > int(b.next) && ev.before(&e[i-1]) {
+			e[i] = e[i-1]
+			i--
+		}
+		e[i] = ev
+	}
+	b.events = e
+	c.ring++
+	return len(e) - int(b.next)
+}
+
+// growBucket returns e rebacked with the next capacity step, carved from
+// the shared slab when small enough. The abandoned backing stays inside
+// its slab block until the block itself is unreferenced; the coarse
+// growth ladder bounds that waste.
+func (c *calendarQueue) growBucket(e []event) []event {
+	want := bucketGrow(cap(e))
+	if want > calSlabMaxChunk {
+		// Ordinary append doubling takes over for the rare huge bucket
+		// (e.g. a same-timestamp burst pinned by calMinNearShift).
+		return e
+	}
+	if len(c.slab)+want > cap(c.slab) {
+		c.slab = make([]event, 0, calSlabLen)
+	}
+	off := len(c.slab)
+	c.slab = c.slab[:off+want]
+	ne := c.slab[off : off : off+want]
+	return append(ne, e...)
+}
+
+// push routes ev to the near ring, the far ring, or the overflow heap,
+// then reacts to pressure by resizing. now is the engine clock; ev.at is
+// already clamped to now or later.
+func (c *calendarQueue) push(ev event, now time.Duration) {
+	c.ensureWindow(now)
+	if ev.at < c.migrated {
+		if c.insertNear(ev) > calMaxBucketLen &&
+			c.nearShift > calMinNearShift && len(c.near) < calMaxNearBuckets {
+			// Halve the near width at constant span. The far geometry is
+			// untouched: a far day still fits the near ring.
+			c.resizeNear(c.nearShift - 1)
+		}
+		return
+	}
+	if (int64(ev.at)>>c.farShift)-c.farCursor < c.farMask {
+		c.appendFar(ev)
+		return
+	}
+	c.overflow.push(ev)
+	// A growing overflow means the horizon outgrew the far span (a delay
+	// model without a hint): double the far ring. A few far-future
+	// timers alone never trigger this.
+	if len(c.overflow) > calOverflowSlack && len(c.overflow) > c.ring+c.farCount &&
+		len(c.farHead) < calMaxFarBuckets {
+		c.resizeFar(len(c.farHead) * 2)
+	}
+}
+
+// sortBucket insertion-sorts a near bucket by (at, seq). Insertion sort
+// fits the workload: buckets hold at most ~calMaxBucketLen events, and
+// the degenerate large case — a same-timestamp burst pinned to one
+// bucket by calMinNearShift — arrives already seq-ordered, which is the
+// algorithm's linear best case.
+func sortBucket(e []event) {
+	for i := 1; i < len(e); i++ {
+		ev := e[i]
+		j := i
+		for j > 0 && ev.before(&e[j-1]) {
+			e[j] = e[j-1]
+			j--
+		}
+		e[j] = ev
+	}
+}
+
+// peekNear returns a pointer to the earliest near-ring event, walking
+// the cursor over empty buckets and sorting the bucket it lands on, or
+// nil when the near ring is empty. The walk terminates because ring > 0
+// guarantees a non-empty bucket within the migrated window, and it is
+// correct because every near event sits at or after the cursor's bucket.
+func (c *calendarQueue) peekNear(now time.Duration) *event {
+	if c.ring == 0 {
+		return nil
+	}
+	// Every near event lies in [migrated - farWidth, migrated); resume
+	// the walk no earlier than that window's base, not at the clock's
+	// bucket — after a migration jumped the window ahead of an idle
+	// clock, walking from the clock would visit the window's buckets at
+	// aliased ring positions, out of time order.
+	lo := (int64(c.migrated) >> c.nearShift) - int64(1)<<(c.farShift-c.nearShift)
+	if l := int64(now) >> c.nearShift; l > lo {
+		lo = l
+	}
+	if c.cursor < lo {
+		c.cursor = lo
+	}
+	for {
+		if b := &c.near[c.cursor&c.nearMask]; int(b.next) < len(b.events) {
+			if !b.sorted {
+				sortBucket(b.events)
+				b.sorted = true
+			}
+			return &b.events[b.next]
+		}
+		c.cursor++
+	}
+}
+
+// farNextDay returns the next non-empty far day at or after
+// c.farCursor+1. The caller guarantees farCount > 0, which bounds the
+// walk to one far lap.
+func (c *calendarQueue) farNextDay() int64 {
+	day := c.farCursor + 1
+	for c.farHead[day&c.farMask] < 0 {
+		day++
+	}
+	return day
+}
+
+// farMin returns a pointer to the earliest event of far day `day`, by
+// linear scan over its block chain (far days are unsorted).
+func (c *calendarQueue) farMin(day int64) *event {
+	var min *event
+	for h := c.farHead[day&c.farMask]; h >= 0; h = c.blocks[h].next {
+		blk := &c.blocks[h]
+		for i := 0; i < int(blk.n); i++ {
+			if min == nil || blk.events[i].before(min) {
+				min = &blk.events[i]
+			}
+		}
+	}
+	return min
+}
+
+// peek returns a pointer to the earliest queued event without removing
+// it, or nil when the queue is empty. The pointer is invalidated by the
+// next push or pop. Peeking never migrates a far day: migration ahead of
+// the clock is only safe when the migrated day's minimum is popped at
+// once (see pop) — a peek-only caller such as Run(until) may stop
+// without popping, and events pushed afterwards would then alias the
+// displaced near window. A peek into the far ring instead scans the next
+// day read-only.
+func (c *calendarQueue) peek(now time.Duration) *event {
+	c.ensureWindow(now)
+	ring := c.peekNear(now)
+	if ring == nil && c.farCount > 0 {
+		ring = c.farMin(c.farNextDay())
+	}
+	if len(c.overflow) == 0 {
+		return ring
+	}
+	over := &c.overflow[0]
+	if ring == nil || over.before(ring) {
+		return over
+	}
+	return ring
+}
+
+// pop removes and returns the earliest queued event in (at, seq) order.
+// When the near ring is drained it migrates far days — skipping empty
+// ones — until the near ring has an event or the far ring drains,
+// stopping if the overflow heap's minimum precedes the next far day.
+// Migrating a day ahead of the clock is safe here precisely because the
+// pop then returns that day's minimum (nothing queued precedes it), so
+// the engine advances the clock into the day before any further push.
+func (c *calendarQueue) pop(now time.Duration) (event, bool) {
+	c.ensureWindow(now)
+	ring := c.peekNear(now)
+	for ring == nil && c.farCount > 0 {
+		day := c.farNextDay()
+		if len(c.overflow) > 0 && c.overflow[0].at < time.Duration(day<<c.farShift) {
+			break
+		}
+		c.farCursor = day
+		c.migrated = time.Duration((day + 1) << c.farShift)
+		c.migrate(day)
+		ring = c.peekNear(now)
+	}
+	if len(c.overflow) > 0 && (ring == nil || c.overflow[0].before(ring)) {
+		return c.overflow.pop(), true
+	}
+	if ring == nil {
+		return event{}, false
+	}
+	ev := *ring
+	b := &c.near[c.cursor&c.nearMask]
+	b.next++
+	if int(b.next) == len(b.events) {
+		// Fully drained: release the closure/payload references in one
+		// bulk clear and recycle the slice for the next lap.
+		clear(b.events)
+		b.events = b.events[:0]
+		b.next = 0
+		b.sorted = false
+	}
+	c.ring--
+	return ev, true
+}
+
+// hintHorizon guarantees that events up to horizon ahead of the clock
+// take a ring route, growing the far span at constant day width. The
+// span only grows — shrinking on a transient delay-factor reset would
+// thrash — and growing is one O(current population) rebuild, so callers
+// hint eagerly (network construction, delay-factor changes).
+func (c *calendarQueue) hintHorizon(horizon time.Duration) {
+	if horizon <= 0 {
+		return
+	}
+	n := len(c.farHead)
+	// A worst-case event at now+horizon lands horizon>>farShift + 1 days
+	// ahead of farCursor when it crosses a day boundary, and push demands
+	// strictly fewer than farMask (= n-1) days of lead: grow until
+	// horizon>>farShift <= n-3.
+	for int64(horizon)>>c.farShift >= int64(n-2) && n < calMaxFarBuckets {
+		n *= 2
+	}
+	if n != len(c.farHead) {
+		c.resizeFar(n)
+	}
+}
+
+// resizeNear rebuilds the near ring with a finer bucket width at
+// constant span, redistributing the pending near events. Width only
+// shrinks, geometrically, so total resize work is O(population) per
+// halving and halvings are bounded.
+func (c *calendarQueue) resizeNear(shift uint) {
+	old := c.near
+	c.near = make([]calBucket, len(old)*2)
+	c.nearShift = shift
+	c.nearMask = int64(len(c.near) - 1)
+	// migrated is far-day aligned, so it is also aligned to the finer
+	// grid; the cursor restarts at the window base and re-walks.
+	c.cursor = (int64(c.migrated) >> shift) - int64(len(c.near))
+	if c.cursor < 0 {
+		c.cursor = 0
+	}
+	c.ring = 0
+	for i := range old {
+		b := &old[i]
+		for _, ev := range b.events[b.next:] {
+			c.insertNear(ev)
+		}
+	}
+}
+
+// resizeFar rebuilds the far ring with more day buckets at constant
+// width. Day chains relink wholesale — a chain's day is recoverable from
+// any of its events — and overflow events that the wider span now covers
+// migrate into the ring.
+func (c *calendarQueue) resizeFar(nbuckets int) {
+	oldHeads := c.farHead
+	c.farHead = make([]int32, nbuckets)
+	for i := range c.farHead {
+		c.farHead[i] = -1
+	}
+	c.farMask = int64(nbuckets - 1)
+	for _, h := range oldHeads {
+		for h >= 0 {
+			blk := &c.blocks[h]
+			next := blk.next
+			slot := (int64(blk.events[0].at) >> c.farShift) & c.farMask
+			blk.next = c.farHead[slot]
+			c.farHead[slot] = h
+			h = next
+		}
+	}
+	oldOverflow := c.overflow
+	c.overflow = nil
+	for _, ev := range oldOverflow {
+		if (int64(ev.at)>>c.farShift)-c.farCursor < c.farMask {
+			c.appendFar(ev)
+		} else {
+			c.overflow.push(ev)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPendingAcrossRungs counts events through all three storage tiers:
+// near ring, far ring, overflow heap.
+func TestPendingAcrossRungs(t *testing.T) {
+	e := NewEngine(1)
+	delays := []time.Duration{
+		0, time.Millisecond, 50 * time.Millisecond, // near window
+		time.Second, 13 * time.Second, 30 * time.Second, // far days
+		5 * time.Minute, time.Hour, // beyond the far span: overflow
+	}
+	for _, d := range delays {
+		e.Schedule(d, func() {})
+	}
+	if got := e.Pending(); got != len(delays) {
+		t.Fatalf("Pending = %d, want %d", got, len(delays))
+	}
+	ran := 0
+	for e.Step() {
+		ran++
+	}
+	if ran != len(delays) || e.Pending() != 0 {
+		t.Fatalf("ran %d events (want %d), Pending = %d", ran, len(delays), e.Pending())
+	}
+	if e.Now() != time.Hour {
+		t.Fatalf("Now = %v after drain, want 1h", e.Now())
+	}
+}
+
+// TestSameTimestampBurstFIFO pins the FIFO tie-break for a burst far
+// larger than any bucket threshold: all events share one timestamp, so
+// they pile into a single bucket and must still run in schedule order.
+func TestSameTimestampBurstFIFO(t *testing.T) {
+	e := NewEngine(1)
+	const n = 20_000
+	got := make([]int, 0, n)
+	record := func(arg int, _ any) { got = append(got, arg) }
+	for i := 0; i < n; i++ {
+		e.ScheduleFn(time.Second, record, i, nil)
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("burst order[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+// TestHintHorizonGrowsFarSpan verifies that a horizon hint moves far
+// timers from the overflow heap onto the far ring's O(1) route.
+func TestHintHorizonGrowsFarSpan(t *testing.T) {
+	if legacyHeapDefault {
+		t.Skip("white-box calendar test; engine runs the legacy heap in this build")
+	}
+	e := NewEngine(1)
+	long := 2 * time.Minute // beyond the default ~34 s far span
+	e.Schedule(long, func() {})
+	if len(e.cal.overflow) != 1 {
+		t.Fatalf("pre-hint: overflow holds %d events, want 1", len(e.cal.overflow))
+	}
+	e.HintHorizon(5 * time.Minute)
+	if len(e.cal.overflow) != 0 || e.cal.farCount != 1 {
+		t.Fatalf("post-hint: overflow=%d farCount=%d, want 0/1", len(e.cal.overflow), e.cal.farCount)
+	}
+	e.Schedule(long, func() {})
+	if e.cal.farCount != 2 {
+		t.Fatalf("post-hint push: farCount = %d, want 2", e.cal.farCount)
+	}
+	ran := 0
+	for e.Step() {
+		ran++
+	}
+	if ran != 2 {
+		t.Fatalf("ran %d events, want 2", ran)
+	}
+}
+
+// TestRunUntilAcrossRungBoundaries runs the clock in small chunks across
+// far-day boundaries: peeks must see through the far ring without
+// disturbing order.
+func TestRunUntilAcrossRungBoundaries(t *testing.T) {
+	e := NewEngine(1)
+	var got []time.Duration
+	for d := 50 * time.Millisecond; d < 3*time.Second; d += 130 * time.Millisecond {
+		d := d
+		e.ScheduleAt(d, func() { got = append(got, d) })
+	}
+	want := len(got)
+	for e.Pending() > 0 {
+		if err := e.Run(e.Now() + 77*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) == want {
+		t.Fatal("no events executed")
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("out of order at %d: %v after %v", i, got[i], got[i-1])
+		}
+	}
+}
+
+// TestCrowdedBucketRefinesWidth floods one near window with distinct
+// timestamps and checks the width-halving resize keeps order and loses
+// nothing.
+func TestCrowdedBucketRefinesWidth(t *testing.T) {
+	if legacyHeapDefault {
+		t.Skip("white-box calendar test; engine runs the legacy heap in this build")
+	}
+	e := NewEngine(1)
+	shift0 := e.cal.nearShift
+	const n = 5000
+	var got []time.Duration
+	for i := 0; i < n; i++ {
+		// Distinct nanosecond timestamps inside one initial bucket width.
+		at := time.Duration(1 + i*7)
+		at = at % (1 << 17)
+		e.ScheduleAt(at, func() { got = append(got, e.Now()) })
+	}
+	if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("ran %d events, want %d", len(got), n)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("out of order at %d", i)
+		}
+	}
+	if e.cal.nearShift >= shift0 {
+		t.Fatalf("crowded bucket did not refine width: shift %d -> %d", shift0, e.cal.nearShift)
+	}
+}
+
+// TestUseLegacyHeapPanicsMidRun pins the oracle-switch contract: it is a
+// construction-time choice.
+func TestUseLegacyHeapPanicsMidRun(t *testing.T) {
+	e := NewEngine(1)
+	e.Schedule(time.Second, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("UseLegacyHeap on a non-empty engine did not panic")
+		}
+	}()
+	e.UseLegacyHeap()
+}

@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// The differential tests drive the calendar queue and the legacy binary
+// heap through identical randomized schedules and assert bit-identical
+// pop order — the scheduler contract the golden figures rely on. Event
+// mixes cover the regimes the protocol produces: dense near-future
+// bursts, same-timestamp ties, far-future timers, horizon hints
+// mid-run, and long idle jumps.
+
+// diffOp replays a pre-generated schedule program: the randomness is
+// drawn once and shared, so both engines see identical operations.
+type diffOp struct {
+	delay    time.Duration
+	absolute bool
+	fn       bool // use ScheduleFn instead of Schedule
+	children []diffOp
+	hint     time.Duration
+}
+
+func genOps(rng *rand.Rand, n, depth int, delays func() time.Duration) []diffOp {
+	ops := make([]diffOp, n)
+	for i := range ops {
+		op := diffOp{
+			delay: delays(),
+			fn:    rng.Intn(2) == 0,
+		}
+		if rng.Intn(8) == 0 {
+			op.absolute = true
+		}
+		if rng.Intn(16) == 0 {
+			op.hint = time.Duration(rng.Int63n(int64(20 * time.Second)))
+		}
+		if depth > 0 && rng.Intn(3) == 0 {
+			op.children = genOps(rng, rng.Intn(4), depth-1, delays)
+		}
+		ops[i] = op
+	}
+	return ops
+}
+
+// schedule installs op on the engine, appending its unique id to log at
+// execution time and scheduling its children from within the event.
+func schedule(e *Engine, op *diffOp, id *int, log *[]int) {
+	myID := *id
+	*id++
+	body := func() {
+		*log = append(*log, myID)
+		if op.hint > 0 {
+			e.HintHorizon(op.hint)
+		}
+		for i := range op.children {
+			schedule(e, &op.children[i], id, log)
+		}
+	}
+	switch {
+	case op.fn:
+		e.ScheduleFn(op.delay, func(int, any) { body() }, 0, nil)
+	case op.absolute:
+		e.ScheduleAt(e.Now()+op.delay, body)
+	default:
+		e.Schedule(op.delay, body)
+	}
+}
+
+// runProgram executes the same op program on a fresh engine and returns
+// the execution order. ids are assigned in schedule order, which is
+// identical across engines.
+func runProgram(t *testing.T, ops []diffOp, legacy bool, until time.Duration) []int {
+	t.Helper()
+	e := NewEngine(1)
+	if legacy {
+		e.UseLegacyHeap()
+	}
+	var log []int
+	id := 0
+	for i := range ops {
+		schedule(e, &ops[i], &id, &log)
+	}
+	if until > 0 {
+		// Chunked runs exercise the peek path and clock jumps to `until`.
+		for e.Pending() > 0 {
+			if err := e.Run(e.Now() + until); err != nil {
+				t.Fatal(err)
+			}
+		}
+	} else if err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	return log
+}
+
+func diffCompare(t *testing.T, ops []diffOp, until time.Duration) {
+	t.Helper()
+	cal := runProgram(t, ops, false, until)
+	heap := runProgram(t, ops, true, until)
+	if len(cal) != len(heap) {
+		t.Fatalf("calendar executed %d events, legacy heap %d", len(cal), len(heap))
+	}
+	for i := range cal {
+		if cal[i] != heap[i] {
+			t.Fatalf("pop order diverges at step %d: calendar ran event %d, legacy heap ran event %d", i, cal[i], heap[i])
+		}
+	}
+}
+
+// TestCalendarMatchesHeap cross-checks the calendar queue against the
+// legacy heap over many randomized schedule programs and delay regimes.
+func TestCalendarMatchesHeap(t *testing.T) {
+	regimes := []struct {
+		name   string
+		delays func(rng *rand.Rand) func() time.Duration
+	}{
+		{"gossip", func(rng *rand.Rand) func() time.Duration {
+			// Dense 20-200 ms hops with a heavy 8× tail, like the network.
+			return func() time.Duration {
+				d := 20*time.Millisecond + time.Duration(rng.Int63n(int64(180*time.Millisecond)))
+				if rng.Intn(25) == 0 {
+					d *= 8
+				}
+				return d
+			}
+		}},
+		{"bursts", func(rng *rand.Rand) func() time.Duration {
+			// Many events on few distinct timestamps: FIFO tie-breaking.
+			ticks := []time.Duration{0, time.Millisecond, time.Millisecond, 5 * time.Millisecond, time.Second}
+			return func() time.Duration { return ticks[rng.Intn(len(ticks))] }
+		}},
+		{"timers", func(rng *rand.Rand) func() time.Duration {
+			// Sparse far-future events: overflow heap and idle jumps.
+			return func() time.Duration { return time.Duration(rng.Int63n(int64(40 * time.Second))) }
+		}},
+		{"mixed", func(rng *rand.Rand) func() time.Duration {
+			// Everything at once, including resize-boundary landings.
+			return func() time.Duration {
+				switch rng.Intn(4) {
+				case 0:
+					return time.Duration(rng.Int63n(int64(200 * time.Millisecond)))
+				case 1:
+					return time.Duration(rng.Int63n(int64(13 * time.Second)))
+				case 2:
+					// Exact bucket/day boundaries for every plausible shift.
+					return time.Duration(rng.Int63n(1<<10) << (10 + uint(rng.Intn(20))))
+				default:
+					return 0
+				}
+			}
+		}},
+	}
+	for _, reg := range regimes {
+		t.Run(reg.name, func(t *testing.T) {
+			for seed := int64(0); seed < 8; seed++ {
+				t.Run(fmt.Sprint(seed), func(t *testing.T) {
+					rng := NewRNG(seed, "differential."+reg.name)
+					ops := genOps(rng, 300, 3, reg.delays(rng))
+					var until time.Duration
+					if seed%2 == 1 {
+						until = 700 * time.Millisecond // chunked Run exercises peeks
+					}
+					diffCompare(t, ops, until)
+				})
+			}
+		})
+	}
+}
+
+// TestCalendarMatchesHeapFactorSwings replays the weak-synchrony shape:
+// dense gossip whose delays inflate 8× for a window mid-run, with
+// matching HintHorizon calls, as the network layer issues them.
+func TestCalendarMatchesHeapFactorSwings(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		t.Run(fmt.Sprint(seed), func(t *testing.T) {
+			build := func(legacy bool) []int {
+				e := NewEngine(1)
+				if legacy {
+					e.UseLegacyHeap()
+				}
+				rng := NewRNG(seed, "differential.swings")
+				var log []int
+				id := 0
+				factor := time.Duration(1)
+				var spawn func(depth int)
+				spawn = func(depth int) {
+					myID := id
+					id++
+					delay := factor * time.Duration(20+rng.Int63n(200)) * time.Millisecond / 4
+					e.ScheduleFn(delay, func(int, any) {
+						log = append(log, myID)
+						if depth > 0 {
+							for i := 0; i < 3; i++ {
+								spawn(depth - 1)
+							}
+						}
+					}, 0, nil)
+				}
+				for round := 0; round < 6; round++ {
+					if round == 2 {
+						factor = 8
+						e.HintHorizon(8 * 1600 * time.Millisecond)
+					}
+					if round == 4 {
+						factor = 1
+						e.HintHorizon(1600 * time.Millisecond)
+					}
+					// A round: a deadline timer far ahead plus gossip cascades.
+					e.Schedule(13*time.Second, func() { log = append(log, -1) })
+					for i := 0; i < 40; i++ {
+						spawn(3)
+					}
+					if err := e.Run(0); err != nil {
+						t.Fatal(err)
+					}
+				}
+				return log
+			}
+			cal := build(false)
+			heap := build(true)
+			if len(cal) != len(heap) {
+				t.Fatalf("calendar executed %d events, legacy heap %d", len(cal), len(heap))
+			}
+			for i := range cal {
+				if cal[i] != heap[i] {
+					t.Fatalf("pop order diverges at step %d: calendar ran event %d, legacy heap ran event %d", i, cal[i], heap[i])
+				}
+			}
+		})
+	}
+}

@@ -33,10 +33,23 @@ type event struct {
 	payload any
 }
 
+// before reports whether e precedes other in the engine's total event
+// order: earlier time first, then lower sequence number (FIFO among
+// same-time events). Every scheduler implementation must pop in exactly
+// this order — the golden figure outputs pin it.
+func (e *event) before(other *event) bool {
+	if e.at != other.at {
+		return e.at < other.at
+	}
+	return e.seq < other.seq
+}
+
 // eventQueue is a binary min-heap ordered by (at, seq); seq breaks ties
 // FIFO so scheduling order is deterministic. The heap is hand-rolled over
 // a value slice: container/heap would force a per-event allocation and
-// dispatch every comparison through an interface.
+// dispatch every comparison through an interface. It serves as the
+// legacy whole-queue scheduler (the differential-testing oracle, see
+// UseLegacyHeap) and as the calendar queue's far-future overflow heap.
 type eventQueue []event
 
 func (q eventQueue) less(i, j int) bool {
@@ -75,13 +88,37 @@ func (q eventQueue) siftDown(i int) {
 	}
 }
 
+func (q *eventQueue) push(ev event) {
+	*q = append(*q, ev)
+	q.siftUp(len(*q) - 1)
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	ev := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // drop closure/payload references
+	*q = h[:n]
+	(*q).siftDown(0)
+	return ev
+}
+
 // Engine owns the virtual clock and the pending event set. It is not safe
 // for concurrent use: simulated concurrency is expressed through event
 // ordering, not goroutines, which keeps runs bit-for-bit reproducible.
+//
+// Events are scheduled through a calendar queue (see calendarQueue) whose
+// ring span tracks the gossip delay horizon; the pre-optimization binary
+// heap survives as a differential-testing oracle behind UseLegacyHeap and
+// the sim_legacy_heap build tag. Both schedulers pop in identical
+// (time, seq) order.
 type Engine struct {
 	now     time.Duration
 	seq     uint64
-	queue   eventQueue
+	legacy  bool
+	queue   eventQueue // legacy whole-queue heap (oracle scheduler)
+	cal     calendarQueue
 	stopped bool
 	seed    int64
 	steps   uint64
@@ -89,7 +126,38 @@ type Engine struct {
 
 // NewEngine creates an engine whose random streams derive from seed.
 func NewEngine(seed int64) *Engine {
-	return &Engine{seed: seed}
+	e := &Engine{seed: seed, legacy: legacyHeapDefault}
+	if !e.legacy {
+		e.cal.init()
+	}
+	return e
+}
+
+// UseLegacyHeap switches the engine to the pre-calendar binary-heap
+// scheduler. It exists for differential testing — driving the same
+// schedule through both schedulers and asserting identical pop order —
+// and must be called before anything is scheduled. Building with
+// -tags sim_legacy_heap makes the heap the default for every engine,
+// turning the whole test suite into an oracle run.
+func (e *Engine) UseLegacyHeap() {
+	if e.Pending() > 0 || e.steps > 0 {
+		panic("sim: UseLegacyHeap called on a running engine")
+	}
+	e.legacy = true
+	e.cal = calendarQueue{} // release the unused calendar rings
+}
+
+// HintHorizon tells the scheduler that hot-path events arrive at most
+// horizon ahead of the clock, sizing the calendar ring so they all take
+// the O(1) bucket route. The hint is a pure optimisation: events beyond
+// it stay correct via the overflow heap, and the span also adapts
+// automatically when the overflow population grows. The network layer
+// hints its maximum hop delay (times the current delay factor) on
+// construction and on every SetDelayFactor call.
+func (e *Engine) HintHorizon(horizon time.Duration) {
+	if !e.legacy {
+		e.cal.hintHorizon(horizon)
+	}
 }
 
 // Now returns the current virtual time.
@@ -99,7 +167,12 @@ func (e *Engine) Now() time.Duration { return e.now }
 func (e *Engine) Steps() uint64 { return e.steps }
 
 // Pending returns the number of events still queued.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int {
+	if e.legacy {
+		return len(e.queue)
+	}
+	return e.cal.len()
+}
 
 // Schedule enqueues action to run delay after the current virtual time.
 // Negative delays are treated as zero (run "now", after already-queued
@@ -141,22 +214,46 @@ func (e *Engine) pushEvent(ev event) {
 	}
 	e.seq++
 	ev.seq = e.seq
-	e.queue = append(e.queue, ev)
-	e.queue.siftUp(len(e.queue) - 1)
+	if e.legacy {
+		e.queue.push(ev)
+	} else {
+		e.cal.push(ev, e.now)
+	}
+}
+
+// popEvent removes and returns the earliest pending event.
+func (e *Engine) popEvent() (event, bool) {
+	if e.legacy {
+		if len(e.queue) == 0 {
+			return event{}, false
+		}
+		return e.queue.pop(), true
+	}
+	return e.cal.pop(e.now)
+}
+
+// peekAt returns the timestamp of the earliest pending event.
+func (e *Engine) peekAt() (time.Duration, bool) {
+	if e.legacy {
+		if len(e.queue) == 0 {
+			return 0, false
+		}
+		return e.queue[0].at, true
+	}
+	ev := e.cal.peek(e.now)
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
 }
 
 // Step executes the single earliest pending event, advancing the clock to
 // its timestamp. It reports whether an event was executed.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	ev, ok := e.popEvent()
+	if !ok {
 		return false
 	}
-	ev := e.queue[0]
-	n := len(e.queue) - 1
-	e.queue[0] = e.queue[n]
-	e.queue[n] = event{} // drop closure/payload references
-	e.queue = e.queue[:n]
-	e.queue.siftDown(0)
 	e.now = ev.at
 	e.steps++
 	if ev.action != nil {
@@ -174,17 +271,37 @@ func (e *Engine) Step() bool {
 // to until even if the queue drained before reaching it.
 func (e *Engine) Run(until time.Duration) error {
 	e.stopped = false
-	for len(e.queue) > 0 {
+	if until <= 0 {
+		// No deadline: drain without peeking ahead of every step. Stop
+		// semantics match the deadline path — ErrStopped only when events
+		// remain after the stopping event.
+		for {
+			if !e.Step() {
+				return nil
+			}
+			if e.stopped {
+				if e.Pending() > 0 {
+					return ErrStopped
+				}
+				return nil
+			}
+		}
+	}
+	for {
+		at, ok := e.peekAt()
+		if !ok {
+			break
+		}
 		if e.stopped {
 			return ErrStopped
 		}
-		if until > 0 && e.queue[0].at >= until {
+		if at >= until {
 			e.now = until
 			return nil
 		}
 		e.Step()
 	}
-	if until > 0 && e.now < until {
+	if e.now < until {
 		e.now = until
 	}
 	return nil

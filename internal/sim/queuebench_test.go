@@ -1,0 +1,35 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// benchQueueChurn drives a steady-state churn (pop one, push one) at a
+// given pending population with protocol-like uniform delays.
+func benchQueueChurn(b *testing.B, legacy bool, pending int) {
+	e := NewEngine(1)
+	if legacy {
+		e.UseLegacyHeap()
+	}
+	e.HintHorizon(1600 * time.Millisecond)
+	rng := NewRNG(1, "queuebench")
+	delays := make([]time.Duration, 8192)
+	for i := range delays {
+		delays[i] = 20*time.Millisecond + time.Duration(rng.Int63n(int64(180*time.Millisecond)))
+	}
+	fn := func(int, any) {}
+	for i := 0; i < pending; i++ {
+		e.ScheduleFn(delays[i%len(delays)], fn, 0, nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+		e.ScheduleFn(delays[i%len(delays)], fn, 0, nil)
+	}
+}
+
+func BenchmarkQueueChurnCalendar16k(b *testing.B) { benchQueueChurn(b, false, 16384) }
+func BenchmarkQueueChurnHeap16k(b *testing.B)     { benchQueueChurn(b, true, 16384) }
+func BenchmarkQueueChurnCalendar1k(b *testing.B)  { benchQueueChurn(b, false, 1024) }
+func BenchmarkQueueChurnHeap1k(b *testing.B)      { benchQueueChurn(b, true, 1024) }

@@ -1,0 +1,9 @@
+//go:build !sim_legacy_heap
+
+package sim
+
+// legacyHeapDefault selects the scheduler NewEngine installs. The default
+// build uses the calendar queue; `-tags sim_legacy_heap` flips every
+// engine to the pre-calendar binary heap so the full suite (including the
+// golden figure tests) runs against the oracle scheduler.
+const legacyHeapDefault = false

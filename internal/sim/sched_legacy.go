@@ -1,0 +1,7 @@
+//go:build sim_legacy_heap
+
+package sim
+
+// legacyHeapDefault: this build runs every engine on the legacy binary
+// heap, the differential-testing oracle for the calendar queue.
+const legacyHeapDefault = true

@@ -8,6 +8,7 @@ import (
 	"runtime"
 	"testing"
 
+	"github.com/dsn2020-algorand/incentives/internal/adversary"
 	"github.com/dsn2020-algorand/incentives/internal/experiments"
 	"github.com/dsn2020-algorand/incentives/internal/protocol"
 	"github.com/dsn2020-algorand/incentives/internal/sim"
@@ -164,6 +165,41 @@ func genBench(path string, pr int) error {
 		}
 	}))
 
+	// One eclipse+equivocation scenario run, 100 nodes: the gate coverage
+	// for the adversary engine and the network fault-overlay path. Like
+	// the round workload it measures a fixed seeded window, so allocs/op
+	// is deterministic; each iteration builds a fresh runner (scenario
+	// runs are dominated by faulted rounds, not steady state).
+	if err := setBenchtime("10x"); err != nil {
+		return err
+	}
+	fmt.Println("measuring scenario_eclipse_100 ...")
+	eclipse, ok := adversary.Lookup(adversary.EclipseEquivocation)
+	if !ok {
+		// A miss would otherwise surface as b.Fatal inside
+		// testing.Benchmark — a silent zero result the compare gate
+		// reads as an improvement.
+		return fmt.Errorf("scenario %q not registered", adversary.EclipseEquivocation)
+	}
+	out.Benchmarks["scenario_eclipse_100"] = toResult(testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			scnRunner, err := protocol.NewRunner(protocol.Config{
+				Params:    protocol.DefaultParams(),
+				Stakes:    stakes,
+				Behaviors: behaviors,
+				Seed:      int64(i + 1),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := adversary.Attach(scnRunner, eclipse); err != nil {
+				b.Fatal(err)
+			}
+			scnRunner.RunRounds(10)
+		}
+	}))
+
 	// Headline figure metrics at the pinned seeds (deterministic).
 	fig3.Seed = 1
 	res3, err := experiments.RunFig3(fig3)
@@ -181,6 +217,16 @@ func genBench(path string, pr int) error {
 		return err
 	}
 	out.Headline["fig5_min_b_grid"] = res5.GridBest.B
+	scnCfg := experiments.DefaultScenarioConfig(adversary.EclipseEquivocation)
+	scnCfg.Nodes = 60
+	scnCfg.Rounds = 8
+	scnCfg.Runs = 2
+	scnCfg.Workers = 1
+	scnRes, err := experiments.RunScenario(scnCfg)
+	if err != nil {
+		return err
+	}
+	out.Headline["scenario_eclipse_mean_final"] = scnRes.Audit.MeanFinalFrac
 
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -40,6 +40,9 @@ const maxNsRegression = 0.20
 var gatedWorkloads = []struct{ key, bench string }{
 	{"protocol_round_100", "BenchmarkProtocolRound"},
 	{"fig3_small", "BenchmarkFig3"},
+	// The adversary-engine + fault-overlay path; absent from baselines
+	// older than PR 4, where the gate reports it skipped.
+	{"scenario_eclipse_100", "cmd/scenario eclipse_equivocation"},
 }
 
 func loadBench(path string) (*BenchFile, error) {

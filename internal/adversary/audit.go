@@ -1,0 +1,202 @@
+package adversary
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/dsn2020-algorand/incentives/internal/ledger"
+	"github.com/dsn2020-algorand/incentives/internal/protocol"
+)
+
+// ForkWitness captures one conflicting-finalisation observation: two
+// honest nodes that extracted FINAL consensus on different blocks in the
+// same round — a BA* safety violation.
+type ForkWitness struct {
+	Round        uint64
+	NodeA, NodeB int
+	HashA, HashB ledger.Hash
+}
+
+// String implements fmt.Stringer.
+func (w ForkWitness) String() string {
+	return fmt.Sprintf("round %d: node %d finalised %s, node %d finalised %s",
+		w.Round, w.NodeA, w.HashA, w.NodeB, w.HashB)
+}
+
+// maxForkWitnesses bounds retained witnesses; the count keeps ticking.
+const maxForkWitnesses = 16
+
+// Audit is the safety/liveness collector the engine feeds at every
+// RoundEnd. Safety is BA*'s agreement goal — no two honest nodes
+// finalise conflicting blocks; liveness is tracked as per-round decision
+// stalls and the worst consecutive stall run.
+type Audit struct {
+	n int
+
+	// Rounds is the number of observed rounds.
+	Rounds int
+	// Decided counts rounds in which the network reached agreement on
+	// some block (possibly the empty one).
+	Decided int
+	// EmptyDecided counts decided rounds that fell back to the empty
+	// block.
+	EmptyDecided int
+	// Stalls counts rounds in which no node decided — BA* retried the
+	// round, Algorand's lost-synchrony liveness behaviour.
+	Stalls int
+	// MaxStallRun is the longest consecutive stall streak, the audit's
+	// liveness-bound headline.
+	MaxStallRun int
+	// SafetyViolations counts rounds with conflicting honest
+	// finalisations; Forks retains the first maxForkWitnesses witnesses.
+	SafetyViolations int
+	Forks            []ForkWitness
+	// Corruptions counts adaptive-corruption flips performed.
+	Corruptions int
+	// FinalFracSum/NoneFracSum accumulate per-round outcome fractions
+	// for mean reporting.
+	FinalFracSum float64
+	NoneFracSum  float64
+	// DesyncSum accumulates post-catch-up desynchronised node counts.
+	DesyncSum int
+
+	curStall int
+}
+
+func newAudit(n int) *Audit { return &Audit{n: n} }
+
+// observe ingests one finalised round.
+func (a *Audit) observe(r *protocol.Runner, round uint64, report protocol.RoundReport) {
+	a.Rounds++
+	a.FinalFracSum += report.FinalFrac()
+	a.NoneFracSum += report.NoneFrac()
+	a.DesyncSum += report.Desynced
+	if report.Decided {
+		a.Decided++
+		if report.CanonicalEmpty {
+			a.EmptyDecided++
+		}
+		a.curStall = 0
+	} else {
+		a.Stalls++
+		a.curStall++
+		if a.curStall > a.MaxStallRun {
+			a.MaxStallRun = a.curStall
+		}
+	}
+
+	// Safety: among honest nodes with a FINAL outcome this round, every
+	// committed hash must agree. OutcomeFinal implies a non-empty block
+	// (empty decisions are classified tentative), so any divergence is a
+	// genuine fork witness.
+	firstNode := -1
+	var firstHash ledger.Hash
+	violated := false
+	for i := 0; i < a.n; i++ {
+		if r.Behavior(i) != protocol.Honest {
+			continue
+		}
+		outcome, h := r.NodeOutcome(i)
+		if outcome != protocol.OutcomeFinal {
+			continue
+		}
+		if firstNode < 0 {
+			firstNode, firstHash = i, h
+			continue
+		}
+		if h != firstHash && !violated {
+			violated = true
+			a.SafetyViolations++
+			if len(a.Forks) < maxForkWitnesses {
+				a.Forks = append(a.Forks, ForkWitness{
+					Round: round,
+					NodeA: firstNode, HashA: firstHash,
+					NodeB: i, HashB: h,
+				})
+			}
+		}
+	}
+}
+
+// Report is the audit's value summary, safe to aggregate across runs.
+type Report struct {
+	Rounds           int
+	Decided          int
+	EmptyDecided     int
+	Stalls           int
+	MaxStallRun      int
+	SafetyViolations int
+	Corruptions      int
+	MeanFinalFrac    float64
+	MeanNoneFrac     float64
+	MeanDesynced     float64
+	Forks            []ForkWitness
+}
+
+// Report snapshots the collector.
+func (a *Audit) Report() Report {
+	rep := Report{
+		Rounds:           a.Rounds,
+		Decided:          a.Decided,
+		EmptyDecided:     a.EmptyDecided,
+		Stalls:           a.Stalls,
+		MaxStallRun:      a.MaxStallRun,
+		SafetyViolations: a.SafetyViolations,
+		Corruptions:      a.Corruptions,
+		Forks:            append([]ForkWitness(nil), a.Forks...),
+	}
+	if a.Rounds > 0 {
+		rep.MeanFinalFrac = a.FinalFracSum / float64(a.Rounds)
+		rep.MeanNoneFrac = a.NoneFracSum / float64(a.Rounds)
+		rep.MeanDesynced = float64(a.DesyncSum) / float64(a.Rounds)
+	}
+	return rep
+}
+
+// Merge folds other into r (for multi-run aggregation); MaxStallRun
+// takes the worst run's value.
+func (r *Report) Merge(other Report) {
+	r.Rounds += other.Rounds
+	r.Decided += other.Decided
+	r.EmptyDecided += other.EmptyDecided
+	r.Stalls += other.Stalls
+	if other.MaxStallRun > r.MaxStallRun {
+		r.MaxStallRun = other.MaxStallRun
+	}
+	r.SafetyViolations += other.SafetyViolations
+	r.Corruptions += other.Corruptions
+	// Means are re-weighted by round counts.
+	tot := float64(r.Rounds)
+	if tot > 0 {
+		prev := float64(r.Rounds - other.Rounds)
+		oth := float64(other.Rounds)
+		r.MeanFinalFrac = (r.MeanFinalFrac*prev + other.MeanFinalFrac*oth) / tot
+		r.MeanNoneFrac = (r.MeanNoneFrac*prev + other.MeanNoneFrac*oth) / tot
+		r.MeanDesynced = (r.MeanDesynced*prev + other.MeanDesynced*oth) / tot
+	}
+	space := maxForkWitnesses - len(r.Forks)
+	if space > 0 {
+		if len(other.Forks) < space {
+			space = len(other.Forks)
+		}
+		r.Forks = append(r.Forks, other.Forks[:space]...)
+	}
+}
+
+// WriteSummary renders the report for humans.
+func (r Report) WriteSummary(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"rounds %d: decided %d (empty %d), stalls %d (max run %d), mean final %5.1f%%  mean none %5.1f%%  mean desynced %.1f, adaptive corruptions %d, SAFETY VIOLATIONS %d\n",
+		r.Rounds, r.Decided, r.EmptyDecided, r.Stalls, r.MaxStallRun,
+		100*r.MeanFinalFrac, 100*r.MeanNoneFrac, r.MeanDesynced,
+		r.Corruptions, r.SafetyViolations)
+	if err != nil {
+		return err
+	}
+	for _, f := range r.Forks {
+		if _, err := fmt.Fprintf(w, "  fork witness: %s\n", f); err != nil {
+			return err
+		}
+	}
+	return nil
+}

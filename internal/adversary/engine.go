@@ -1,0 +1,442 @@
+package adversary
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"github.com/dsn2020-algorand/incentives/internal/ledger"
+	"github.com/dsn2020-algorand/incentives/internal/network"
+	"github.com/dsn2020-algorand/incentives/internal/protocol"
+)
+
+// Engine binds one Scenario to one Runner. It implements the protocol
+// hook seams and the network fault overlay; per-round it restores the
+// baseline node state and re-applies every active phase, so phases
+// activate and retire purely by round number and compose by declaration
+// order (later phases win conflicting node-level injections).
+type Engine struct {
+	scn   Scenario
+	r     *protocol.Runner
+	n     int
+	rng   *rand.Rand
+	audit *Audit
+	// tick counts round attempts (1-based); phase windows are keyed on
+	// it rather than the ledger round so that stalled consensus rounds
+	// still advance the scripted timeline.
+	tick uint64
+	// adaptive caches the phases with an active adaptive-corruption
+	// injection this tick, for the StepDone path.
+	adaptive []int
+
+	// baseline captures construction-time behaviours for restore.
+	baseline []protocol.Behavior
+	// stakes are the initial balances used by stake-ranked targets.
+	stakes []float64
+	// targets caches each phase's resolved node list (lazily, first
+	// activation); members caches the per-phase membership lookup.
+	targets  [][]int
+	resolved []bool
+	members  [][]bool
+
+	// Persistent fault state across rounds.
+	down         []bool // crash-churn victims currently offline
+	churnManaged []bool // nodes covered by an active churn phase this tick
+	corrupted    []bool // adaptively corrupted nodes
+	budget       []int  // per-phase remaining adaptive corruptions (-1 = unlimited)
+
+	// Per-round node-level injection tables, rebuilt at RoundStart.
+	fanVotes []int // equivocation fan per node (0 = honest voting)
+	fanProps []int
+	silent   []bool
+
+	// Per-round overlay tables.
+	group     []uint16 // partition/eclipse group id (0 = backbone)
+	lossNode  []float64
+	delayNode []float64
+	cutActive bool
+
+	voteScratch []ledger.Hash
+}
+
+// Attach validates scn, binds it to r, and installs the hook seams and
+// (when the scenario uses network injections) the fault overlay. It must
+// be called before the first round runs. The returned engine exposes the
+// audit collector; every run's randomness derives from the runner's seed
+// through the "adversary.targets" and "adversary.churn" labelled
+// streams, so results are reproducible and worker-count independent.
+func Attach(r *protocol.Runner, scn Scenario) (*Engine, error) {
+	if err := scn.Validate(); err != nil {
+		return nil, err
+	}
+	n := r.Canonical().NumAccounts()
+	e := &Engine{
+		scn:          scn,
+		r:            r,
+		n:            n,
+		rng:          r.RNG("adversary.targets"),
+		audit:        newAudit(n),
+		baseline:     make([]protocol.Behavior, n),
+		stakes:       r.Canonical().Stakes(),
+		targets:      make([][]int, len(scn.Phases)),
+		resolved:     make([]bool, len(scn.Phases)),
+		down:         make([]bool, n),
+		churnManaged: make([]bool, n),
+		corrupted:    make([]bool, n),
+		budget:       make([]int, len(scn.Phases)),
+		fanVotes:     make([]int, n),
+		fanProps:     make([]int, n),
+		silent:       make([]bool, n),
+		group:        make([]uint16, n),
+		lossNode:     make([]float64, n),
+		delayNode:    make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		e.baseline[i] = r.Behavior(i)
+	}
+	for pi, ph := range scn.Phases {
+		e.budget[pi] = -1
+		for _, inj := range ph.Inject {
+			if inj.Kind == InjectAdaptiveCorrupt && inj.Budget > 0 {
+				e.budget[pi] = inj.Budget
+			}
+		}
+	}
+	r.SetHooks(protocol.Hooks{
+		RoundStart: e.roundStart,
+		RoundEnd:   e.roundEnd,
+		VoteValues: e.voteValues,
+		ProposalFan: func(node int, round uint64) int {
+			if e.silent[node] {
+				return 0
+			}
+			if fan := e.fanProps[node]; fan > 1 {
+				return fan
+			}
+			return 1
+		},
+		StepDone: e.stepDone,
+	})
+	if scn.needsOverlay() {
+		r.Network().SetOverlay(e, scn.MaxDelayScale())
+	}
+	return e, nil
+}
+
+// Audit returns the safety/liveness collector accumulating over the run.
+func (e *Engine) Audit() *Audit { return e.audit }
+
+// Scenario returns the bound scenario.
+func (e *Engine) Scenario() Scenario { return e.scn }
+
+// resolveTargets returns phase pi's node list, drawing/caching it on
+// first activation.
+func (e *Engine) resolveTargets(pi int) []int {
+	if e.resolved[pi] {
+		return e.targets[pi]
+	}
+	e.resolved[pi] = true
+	t := e.scn.Phases[pi].Target
+	count := t.Count
+	if count == 0 && t.Frac > 0 {
+		count = int(t.Frac * float64(e.n))
+		if count < 1 {
+			count = 1
+		}
+	}
+	if count > e.n {
+		count = e.n
+	}
+	var out []int
+	switch t.Mode {
+	case TargetAll:
+		out = make([]int, e.n)
+		for i := range out {
+			out[i] = i
+		}
+	case TargetIndices:
+		for _, id := range t.Indices {
+			if id >= 0 && id < e.n {
+				out = append(out, id)
+			}
+		}
+	case TargetRandom:
+		out = append(out, e.rng.Perm(e.n)[:count]...)
+		sort.Ints(out)
+	case TargetTopStake, TargetBottomStake:
+		idx := make([]int, e.n)
+		for i := range idx {
+			idx[i] = i
+		}
+		desc := t.Mode == TargetTopStake
+		sort.SliceStable(idx, func(a, b int) bool {
+			sa, sb := e.stakes[idx[a]], e.stakes[idx[b]]
+			if sa != sb {
+				if desc {
+					return sa > sb
+				}
+				return sa < sb
+			}
+			return idx[a] < idx[b]
+		})
+		out = append(out, idx[:count]...)
+		sort.Ints(out)
+	}
+	e.targets[pi] = out
+	return out
+}
+
+// roundStart restores the baseline and re-applies every active phase.
+func (e *Engine) roundStart(round uint64) {
+	e.tick++
+	net := e.r.Network()
+	for i := 0; i < e.n; i++ {
+		e.r.SetBehavior(i, e.baseline[i])
+		e.fanVotes[i] = 0
+		e.fanProps[i] = 0
+		e.silent[i] = false
+		e.group[i] = 0
+		e.lossNode[i] = 0
+		e.delayNode[i] = 0
+		e.churnManaged[i] = false
+	}
+	e.cutActive = false
+	e.adaptive = e.adaptive[:0]
+
+	for pi := range e.scn.Phases {
+		ph := &e.scn.Phases[pi]
+		if !ph.active(e.tick) {
+			continue
+		}
+		targets := e.resolveTargets(pi)
+		for _, inj := range ph.Inject {
+			switch inj.Kind {
+			case InjectBehavior:
+				for _, id := range targets {
+					e.r.SetBehavior(id, inj.Behavior)
+				}
+			case InjectEquivocateVotes:
+				fan := inj.Fan
+				if fan < 2 {
+					fan = 2
+				}
+				for _, id := range targets {
+					e.fanVotes[id] = fan
+				}
+			case InjectEquivocateProposals:
+				fan := inj.Fan
+				if fan < 2 {
+					fan = 2
+				}
+				for _, id := range targets {
+					e.fanProps[id] = fan
+				}
+			case InjectSilence:
+				for _, id := range targets {
+					e.silent[id] = true
+				}
+			case InjectAdaptiveCorrupt:
+				e.adaptive = append(e.adaptive, pi)
+				beh := inj.Behavior
+				if beh == 0 {
+					beh = protocol.Malicious
+				}
+				for _, id := range targets {
+					if e.corrupted[id] {
+						e.r.SetBehavior(id, beh)
+					}
+				}
+			case InjectCrashChurn:
+				for _, id := range targets {
+					e.churnManaged[id] = true
+				}
+				e.advanceChurn(pi, targets, inj)
+			case InjectPartition, InjectEclipse:
+				e.cutActive = true
+				gid := uint16(pi + 1)
+				for _, id := range targets {
+					e.group[id] = gid
+				}
+			case InjectLossBurst:
+				for _, id := range targets {
+					if inj.Loss > e.lossNode[id] {
+						e.lossNode[id] = inj.Loss
+					}
+				}
+			case InjectDelaySpike:
+				for _, id := range targets {
+					if inj.DelayScale > e.delayNode[id] {
+						e.delayNode[id] = inj.DelayScale
+					}
+				}
+			}
+		}
+	}
+	if len(e.adaptive) == 0 {
+		// Corruption persists only while an adaptive phase runs.
+		for i := range e.corrupted {
+			e.corrupted[i] = false
+		}
+	}
+	// Crash-churn victims stay down only while some active churn phase
+	// manages them; when the phase retires, its victims recover — like
+	// every other injection, churn heals at its window's end (the
+	// recover draws only exist inside the window).
+	for i, d := range e.down {
+		if d && !e.churnManaged[i] {
+			// The baseline restore above only touches online state on a
+			// behaviour change, so the release must be explicit.
+			e.down[i] = false
+			net.SetOnline(i, true)
+			continue
+		}
+		if d {
+			net.SetOnline(i, false)
+		}
+	}
+}
+
+// advanceChurn draws one crash-or-recover Bernoulli per target from a
+// stream labelled per (phase, tick), so the draw sequence is a pure
+// function of the run seed and the scenario — independent of every
+// other randomness consumer and of how many other phases are active.
+func (e *Engine) advanceChurn(pi int, targets []int, inj Injection) {
+	stream := e.r.RNG(fmt.Sprintf("adversary.churn.%d.%d", pi, e.tick))
+	for _, id := range targets {
+		if e.down[id] {
+			if inj.RecoverProb > 0 && stream.Float64() < inj.RecoverProb {
+				e.down[id] = false
+				e.r.Network().SetOnline(id, true)
+			}
+		} else if inj.CrashProb > 0 && stream.Float64() < inj.CrashProb {
+			e.down[id] = true
+			e.r.Network().SetOnline(id, false)
+		}
+	}
+}
+
+// stepDone implements adaptive corruption: nodes whose credential was
+// revealed this step are flipped while an adaptive phase is active and
+// its budget lasts.
+func (e *Engine) stepDone(round, step uint64, revealed []int) {
+	for _, pi := range e.adaptive {
+		ph := &e.scn.Phases[pi]
+		var adaptive *Injection
+		for j := range ph.Inject {
+			if ph.Inject[j].Kind == InjectAdaptiveCorrupt {
+				adaptive = &ph.Inject[j]
+				break
+			}
+		}
+		if adaptive == nil {
+			continue
+		}
+		beh := adaptive.Behavior
+		if beh == 0 {
+			beh = protocol.Malicious
+		}
+		inTarget := e.membership(pi)
+		for _, id := range revealed {
+			if e.corrupted[id] || (inTarget != nil && !inTarget[id]) {
+				continue
+			}
+			if e.budget[pi] == 0 {
+				break
+			}
+			if e.budget[pi] > 0 {
+				e.budget[pi]--
+			}
+			e.corrupted[id] = true
+			e.r.SetBehavior(id, beh)
+			e.audit.Corruptions++
+		}
+	}
+}
+
+// membership returns a cached node->bool lookup for phase pi's targets,
+// or nil when the phase targets everyone.
+func (e *Engine) membership(pi int) []bool {
+	if e.members == nil {
+		e.members = make([][]bool, len(e.scn.Phases))
+	}
+	targets := e.resolveTargets(pi)
+	if len(targets) == e.n {
+		return nil
+	}
+	if e.members[pi] == nil {
+		m := make([]bool, e.n)
+		for _, id := range targets {
+			m[id] = true
+		}
+		e.members[pi] = m
+	}
+	return e.members[pi]
+}
+
+// voteValues implements equivocation and selective silence.
+func (e *Engine) voteValues(node int, round, step uint64, final bool, honest, empty ledger.Hash) ([]ledger.Hash, bool) {
+	if e.silent[node] {
+		return e.voteScratch[:0], true
+	}
+	fan := e.fanVotes[node]
+	if fan < 2 {
+		return nil, false
+	}
+	vals := e.voteScratch[:0]
+	vals = append(vals, honest)
+	// The primary conflict is the opposite camp: empty when the honest
+	// vote backs a block, a synthetic block hash when it is empty.
+	if honest != empty {
+		vals = append(vals, empty)
+	} else {
+		vals = append(vals, equivHash(round, step, node, 1))
+	}
+	for i := 2; i < fan; i++ {
+		vals = append(vals, equivHash(round, step, node, i))
+	}
+	e.voteScratch = vals
+	return vals, true
+}
+
+// equivHash derives a deterministic synthetic conflicting value.
+func equivHash(round, step uint64, node, i int) ledger.Hash {
+	var buf [3 + 8*4]byte
+	copy(buf[:3], "eqv")
+	binary.BigEndian.PutUint64(buf[3:], round)
+	binary.BigEndian.PutUint64(buf[11:], step)
+	binary.BigEndian.PutUint64(buf[19:], uint64(int64(node)))
+	binary.BigEndian.PutUint64(buf[27:], uint64(int64(i)))
+	return sha256.Sum256(buf[:])
+}
+
+// roundEnd feeds the audit collector.
+func (e *Engine) roundEnd(round uint64, report protocol.RoundReport) {
+	e.audit.observe(e.r, round, report)
+}
+
+// Link implements network.FaultOverlay: partition/eclipse cuts first,
+// then the worst loss burst and delay spike touching either endpoint.
+func (e *Engine) Link(from, to int) network.LinkFault {
+	var f network.LinkFault
+	if e.cutActive && e.group[from] != e.group[to] {
+		f.Drop = true
+		return f
+	}
+	l := e.lossNode[from]
+	if e.lossNode[to] > l {
+		l = e.lossNode[to]
+	}
+	if l > 0 {
+		f.Loss = l
+	}
+	d := e.delayNode[from]
+	if e.delayNode[to] > d {
+		d = e.delayNode[to]
+	}
+	if d > 1 {
+		f.DelayScale = d
+	}
+	return f
+}

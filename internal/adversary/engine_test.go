@@ -1,0 +1,382 @@
+package adversary
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/dsn2020-algorand/incentives/internal/protocol"
+)
+
+// newRunner builds an all-honest test network with stakes 1..n%50+1.
+func newRunner(t *testing.T, n int, seed int64) *protocol.Runner {
+	t.Helper()
+	stakes := make([]float64, n)
+	behaviors := make([]protocol.Behavior, n)
+	for i := range stakes {
+		stakes[i] = float64(1 + i%50)
+		behaviors[i] = protocol.Honest
+	}
+	r, err := protocol.NewRunner(protocol.Config{
+		Params:    protocol.DefaultParams(),
+		Stakes:    stakes,
+		Behaviors: behaviors,
+		Seed:      seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRegistryHasRequiredBuiltins(t *testing.T) {
+	names := Names()
+	if len(names) < 5 {
+		t.Fatalf("registry has %d scenarios, the scenario driver promises at least 5", len(names))
+	}
+	for _, required := range []string{HonestBaseline, EclipseEquivocation} {
+		if _, ok := Lookup(required); !ok {
+			t.Fatalf("required scenario %q not registered", required)
+		}
+	}
+	for _, s := range Builtin() {
+		if err := s.Validate(); err != nil {
+			t.Errorf("builtin %s invalid: %v", s.Name, err)
+		}
+		if s.Description == "" {
+			t.Errorf("builtin %s has no description", s.Name)
+		}
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		scn  Scenario
+		want string // substring of the expected error; empty = valid
+	}{
+		{"no name", Scenario{}, "needs a name"},
+		{"empty ok", Scenario{Name: "x"}, ""},
+		{"window inverted", Scenario{Name: "x", Phases: []Phase{{From: 5, To: 2,
+			Inject: []Injection{{Kind: InjectSilence}}}}}, "To 2 < From 5"},
+		{"no injections", Scenario{Name: "x", Phases: []Phase{{From: 1}}}, "without injections"},
+		{"indices missing", Scenario{Name: "x", Phases: []Phase{{From: 1,
+			Target: Target{Mode: TargetIndices},
+			Inject: []Injection{{Kind: InjectSilence}}}}}, "without indices"},
+		{"behavior missing", Scenario{Name: "x", Phases: []Phase{{From: 1,
+			Inject: []Injection{{Kind: InjectBehavior}}}}}, "without a behavior"},
+		{"bad loss", Scenario{Name: "x", Phases: []Phase{{From: 1,
+			Inject: []Injection{{Kind: InjectLossBurst, Loss: 1.2}}}}}, "loss burst"},
+		{"bad delay", Scenario{Name: "x", Phases: []Phase{{From: 1,
+			Inject: []Injection{{Kind: InjectDelaySpike, DelayScale: 0.5}}}}}, "delay scale"},
+		{"bad churn", Scenario{Name: "x", Phases: []Phase{{From: 1,
+			Inject: []Injection{{Kind: InjectCrashChurn, CrashProb: 2}}}}}, "probabilities"},
+		{"unsized random target", Scenario{Name: "x", Phases: []Phase{{From: 1,
+			Target: Target{Mode: TargetRandom},
+			Inject: []Injection{{Kind: InjectSilence}}}}}, "needs Count or Frac"},
+		{"unsized top-stake target", Scenario{Name: "x", Phases: []Phase{{From: 1,
+			Target: Target{Mode: TargetTopStake},
+			Inject: []Injection{{Kind: InjectSilence}}}}}, "needs Count or Frac"},
+		{"unknown kind", Scenario{Name: "x", Phases: []Phase{{From: 1,
+			Inject: []Injection{{Kind: 99}}}}}, "unknown injection"},
+	}
+	for _, tc := range cases {
+		err := tc.scn.Validate()
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestTargetResolution(t *testing.T) {
+	r := newRunner(t, 50, 11)
+	scn := Scenario{
+		Name: "targets",
+		Phases: []Phase{
+			{Name: "all", From: 1, Target: Target{Mode: TargetAll},
+				Inject: []Injection{{Kind: InjectSilence}}},
+			{Name: "idx", From: 1, Target: Target{Mode: TargetIndices, Indices: []int{3, 7, 99, -1}},
+				Inject: []Injection{{Kind: InjectSilence}}},
+			{Name: "rand", From: 1, Target: Target{Mode: TargetRandom, Count: 5},
+				Inject: []Injection{{Kind: InjectSilence}}},
+			{Name: "top", From: 1, Target: Target{Mode: TargetTopStake, Frac: 0.1},
+				Inject: []Injection{{Kind: InjectSilence}}},
+			{Name: "bottom", From: 1, Target: Target{Mode: TargetBottomStake, Count: 4},
+				Inject: []Injection{{Kind: InjectSilence}}},
+		},
+	}
+	e, err := Attach(r, scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.resolveTargets(0); len(got) != 50 {
+		t.Errorf("all: %d targets, want 50", len(got))
+	}
+	if got := e.resolveTargets(1); len(got) != 2 || got[0] != 3 || got[1] != 7 {
+		t.Errorf("indices: %v, want [3 7] (out-of-range dropped)", got)
+	}
+	rand1 := e.resolveTargets(2)
+	if len(rand1) != 5 {
+		t.Errorf("random: %d targets, want 5", len(rand1))
+	}
+	seen := map[int]bool{}
+	for _, id := range rand1 {
+		if id < 0 || id >= 50 || seen[id] {
+			t.Fatalf("random target list invalid: %v", rand1)
+		}
+		seen[id] = true
+	}
+	// Resolution is cached: a second call returns the same draw.
+	rand2 := e.resolveTargets(2)
+	for i := range rand1 {
+		if rand1[i] != rand2[i] {
+			t.Fatal("random targets re-drawn on second resolve")
+		}
+	}
+	// Stakes for 50 nodes are the unique values 1..50, so stake-ranked
+	// targets are exact.
+	stakes := r.Canonical().Stakes()
+	top := e.resolveTargets(3)
+	if len(top) != 5 {
+		t.Fatalf("top-stake: %d targets, want 5", len(top))
+	}
+	for _, id := range top {
+		if stakes[id] < 46 {
+			t.Errorf("top-stake target %d has stake %.0f, want one of the 5 richest (>=46)", id, stakes[id])
+		}
+	}
+	bottom := e.resolveTargets(4)
+	for _, id := range bottom {
+		if stakes[id] > 4 {
+			t.Errorf("bottom-stake target %d has stake %.0f, want one of the 4 poorest (<=4)", id, stakes[id])
+		}
+	}
+}
+
+func TestAttachRejectsInvalidScenario(t *testing.T) {
+	r := newRunner(t, 20, 3)
+	_, err := Attach(r, Scenario{Name: "bad", Phases: []Phase{{From: 1}}})
+	if err == nil {
+		t.Fatal("invalid scenario attached without error")
+	}
+}
+
+// TestDeterministicRuns pins that two identical seeded runs of a
+// randomness-consuming scenario produce identical reports and audits.
+func TestDeterministicRuns(t *testing.T) {
+	run := func() ([]protocol.RoundReport, Report) {
+		r := newRunner(t, 60, 17)
+		scn, _ := Lookup("crash_churn")
+		e, err := Attach(r, scn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.RunRounds(8), e.Audit().Report()
+	}
+	rep1, audit1 := run()
+	rep2, audit2 := run()
+	for i := range rep1 {
+		if rep1[i].FinalCount != rep2[i].FinalCount ||
+			rep1[i].NoneCount != rep2[i].NoneCount ||
+			rep1[i].CanonicalHash != rep2[i].CanonicalHash ||
+			rep1[i].Decided != rep2[i].Decided {
+			t.Fatalf("round %d differs across identical seeded runs", i)
+		}
+	}
+	if audit1.Stalls != audit2.Stalls || audit1.Decided != audit2.Decided ||
+		audit1.MeanFinalFrac != audit2.MeanFinalFrac {
+		t.Fatalf("audits differ: %+v vs %+v", audit1, audit2)
+	}
+}
+
+// TestEquivocationSplitsTallies checks the equivocation seam end to end:
+// a large equivocating minority must visibly reduce final consensus
+// relative to the honest baseline at the same seed.
+func TestEquivocationSplitsTallies(t *testing.T) {
+	final := func(name string) float64 {
+		r := newRunner(t, 60, 23)
+		scn, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("missing scenario %s", name)
+		}
+		e, err := Attach(r, scn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, rep := range r.RunRounds(8) {
+			sum += rep.FinalFrac()
+		}
+		if e.Audit().Report().SafetyViolations != 0 {
+			t.Fatalf("%s: safety violated", name)
+		}
+		return sum / 8
+	}
+	base := final(HonestBaseline)
+	storm := final("equivocation_storm")
+	if storm >= base {
+		t.Errorf("equivocation storm final %.2f did not degrade vs baseline %.2f", storm, base)
+	}
+}
+
+// TestPartitionSeversLinks checks the overlay end to end: a full-window
+// partition must register fault drops and stall consensus within the
+// window, then recover after it.
+func TestPartitionSeversLinks(t *testing.T) {
+	r := newRunner(t, 60, 29)
+	scn, _ := Lookup("partition_healing")
+	e, err := Attach(r, scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := r.RunRounds(8)
+	stats := r.Network().Stats()
+	if stats.DroppedFault == 0 {
+		t.Error("partition produced no fault drops")
+	}
+	if e.Audit().Report().Stalls == 0 {
+		t.Error("a half/half partition should stall some rounds")
+	}
+	// Ticks 6..8 are after healing: consensus must resume.
+	recovered := false
+	for _, rep := range reports[5:] {
+		if rep.Decided {
+			recovered = true
+		}
+	}
+	if !recovered {
+		t.Error("no round decided after the partition healed")
+	}
+}
+
+// TestCrashChurnTogglesOnline verifies churn actually takes nodes off
+// the network and brings them back.
+func TestCrashChurnTogglesOnline(t *testing.T) {
+	r := newRunner(t, 40, 31)
+	scn, _ := Lookup("crash_churn")
+	e, err := Attach(r, scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RunRounds(6)
+	downEver := 0
+	for i := 0; i < 40; i++ {
+		if e.down[i] {
+			downEver++
+		}
+	}
+	offline := 0
+	for i := 0; i < 40; i++ {
+		if !r.Network().Online(i) {
+			offline++
+		}
+	}
+	if offline == 0 && downEver == 0 {
+		t.Error("crash churn never took any node offline")
+	}
+	if offline != downEver {
+		t.Errorf("engine down-set (%d) disagrees with network online state (%d offline)", downEver, offline)
+	}
+}
+
+// TestCrashChurnHealsAfterWindow pins that a bounded churn phase
+// releases its victims when the window closes: crashed nodes must come
+// back online once the phase retires, like every other injection.
+func TestCrashChurnHealsAfterWindow(t *testing.T) {
+	r := newRunner(t, 40, 43)
+	scn := Scenario{
+		Name: "bounded_churn",
+		Phases: []Phase{{
+			Name: "churn", From: 1, To: 3,
+			Target: Target{Mode: TargetRandom, Frac: 0.5},
+			// CrashProb 1 downs every target immediately; RecoverProb 0
+			// means only the window's end can bring them back.
+			Inject: []Injection{{Kind: InjectCrashChurn, CrashProb: 1, RecoverProb: 0}},
+		}},
+	}
+	e, err := Attach(r, scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RunRounds(3)
+	offlineDuring := 0
+	for i := 0; i < 40; i++ {
+		if !r.Network().Online(i) {
+			offlineDuring++
+		}
+	}
+	if offlineDuring == 0 {
+		t.Fatal("churn with CrashProb 1 downed nobody inside the window")
+	}
+	r.RunRounds(2) // ticks 4-5: the phase has retired
+	for i := 0; i < 40; i++ {
+		if !r.Network().Online(i) {
+			t.Fatalf("node %d still offline after the churn window closed", i)
+		}
+		if e.down[i] {
+			t.Fatalf("engine still tracks node %d as down after the window closed", i)
+		}
+	}
+}
+
+// TestAdaptiveCorruptionBudget pins that corruption stops at the budget
+// and flips only revealed nodes.
+func TestAdaptiveCorruptionBudget(t *testing.T) {
+	r := newRunner(t, 60, 37)
+	scn, _ := Lookup("adaptive_corruption")
+	e, err := Attach(r, scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RunRounds(6)
+	rep := e.Audit().Report()
+	if rep.Corruptions == 0 {
+		t.Fatal("adaptive phase corrupted nobody")
+	}
+	if rep.Corruptions > 12 {
+		t.Fatalf("corruptions %d exceed the budget of 12", rep.Corruptions)
+	}
+	malicious := 0
+	for i := 0; i < 60; i++ {
+		if r.Behavior(i) == protocol.Malicious {
+			malicious++
+		}
+	}
+	if malicious != rep.Corruptions {
+		t.Errorf("%d malicious nodes, audit says %d corruptions", malicious, rep.Corruptions)
+	}
+}
+
+// TestSilenceDegradesConsensus: with the richest 20% selectively silent
+// and a loss burst active, committee quorums must visibly suffer
+// relative to the honest baseline at the same seed. (Raw message counts
+// are not a usable signal here: stalled rounds keep every node voting
+// through all BinaryBA* steps, which outweighs the withheld votes.)
+func TestSilenceDegradesConsensus(t *testing.T) {
+	run := func(name string) (finalFrac float64, stalls int) {
+		r := newRunner(t, 50, 41)
+		scn, _ := Lookup(name)
+		e, err := Attach(r, scn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, rep := range r.RunRounds(6) {
+			sum += rep.FinalFrac()
+		}
+		return sum / 6, e.Audit().Report().Stalls
+	}
+	degradedFinal, degradedStalls := run("silence_degrade")
+	baseFinal, baseStalls := run(HonestBaseline)
+	if degradedFinal >= baseFinal {
+		t.Errorf("silence+loss mean final %.2f did not degrade vs baseline %.2f", degradedFinal, baseFinal)
+	}
+	if degradedStalls < baseStalls {
+		t.Errorf("silence+loss stalled %d rounds, baseline %d", degradedStalls, baseStalls)
+	}
+}

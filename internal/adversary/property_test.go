@@ -1,0 +1,175 @@
+package adversary
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/dsn2020-algorand/incentives/internal/protocol"
+	"github.com/dsn2020-algorand/incentives/internal/sim"
+)
+
+// runScenario executes scn over a fresh honest network and returns the
+// audit report.
+func runScenario(t *testing.T, scn Scenario, nodes, rounds int, seed int64) Report {
+	t.Helper()
+	r := newRunner(t, nodes, seed)
+	e, err := Attach(r, scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.RunRounds(rounds)
+	return e.Audit().Report()
+}
+
+// TestBuiltinScenarioSafety asserts BA*'s agreement property under every
+// built-in scenario across seeds: no two honest nodes ever finalise
+// conflicting blocks. The scripted adversaries (equivocation, adaptive
+// corruption, eclipses, churn) stay below the honest-supermajority
+// stake bound, so safety must hold even where liveness collapses.
+func TestBuiltinScenarioSafety(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol simulation")
+	}
+	for _, scn := range Builtin() {
+		scn := scn
+		t.Run(scn.Name, func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(1); seed <= 3; seed++ {
+				rep := runScenario(t, scn, 50, 8, seed*101)
+				if rep.SafetyViolations != 0 {
+					t.Fatalf("seed %d: %d conflicting-finalisation rounds: %v",
+						seed, rep.SafetyViolations, rep.Forks)
+				}
+			}
+		})
+	}
+}
+
+// TestBuiltinScenarioLiveness pins per-scenario liveness bounds: the
+// baseline never stalls, fault scenarios keep stall runs within their
+// scripted windows, and every bounded-window scenario decides rounds
+// again after its phases retire.
+func TestBuiltinScenarioLiveness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol simulation")
+	}
+	// maxStall bounds the worst tolerated consecutive-stall run over 12
+	// ticks at 60 nodes; scripted windows are ≤6 ticks, so a stall run
+	// longer than 8 means the engine failed to retire a phase.
+	bounds := map[string]int{
+		HonestBaseline:        0,
+		"equivocation_storm":  4,
+		"adaptive_corruption": 8, // open-ended window: only the budget bounds it
+		EclipseEquivocation:   6,
+		"partition_healing":   5,
+		"crash_churn":         6,
+		"silence_degrade":     7,
+		"delay_spike":         5,
+	}
+	for _, scn := range Builtin() {
+		scn := scn
+		t.Run(scn.Name, func(t *testing.T) {
+			t.Parallel()
+			bound, ok := bounds[scn.Name]
+			if !ok {
+				t.Fatalf("no liveness bound declared for builtin %q — add one", scn.Name)
+			}
+			rep := runScenario(t, scn, 60, 12, 7)
+			if rep.MaxStallRun > bound {
+				t.Errorf("max stall run %d exceeds bound %d", rep.MaxStallRun, bound)
+			}
+			if rep.Decided == 0 {
+				t.Error("no round decided at all")
+			}
+		})
+	}
+}
+
+// randomScenario draws a structurally valid scenario with 1-3 phases of
+// random windows, targets, and injections.
+func randomScenario(rng *rand.Rand, idx int) Scenario {
+	scn := Scenario{Name: fmt.Sprintf("random_%d", idx)}
+	phases := 1 + rng.Intn(3)
+	for p := 0; p < phases; p++ {
+		from := uint64(1 + rng.Intn(6))
+		to := from + uint64(rng.Intn(5))
+		target := Target{Mode: TargetRandom, Frac: 0.05 + 0.25*rng.Float64()}
+		switch rng.Intn(4) {
+		case 0:
+			target = Target{Mode: TargetAll}
+		case 1:
+			target = Target{Mode: TargetTopStake, Frac: 0.1 + 0.2*rng.Float64()}
+		case 2:
+			target = Target{Mode: TargetBottomStake, Count: 1 + rng.Intn(10)}
+		}
+		var inj Injection
+		switch rng.Intn(9) {
+		case 0:
+			inj = Injection{Kind: InjectBehavior, Behavior: protocol.Selfish}
+		case 1:
+			inj = Injection{Kind: InjectEquivocateVotes, Fan: 2 + rng.Intn(3)}
+		case 2:
+			inj = Injection{Kind: InjectEquivocateProposals, Fan: 2 + rng.Intn(2)}
+		case 3:
+			inj = Injection{Kind: InjectSilence}
+		case 4:
+			inj = Injection{Kind: InjectAdaptiveCorrupt, Budget: 1 + rng.Intn(10)}
+		case 5:
+			inj = Injection{Kind: InjectCrashChurn, CrashProb: rng.Float64() * 0.5, RecoverProb: rng.Float64()}
+		case 6:
+			inj = Injection{Kind: InjectEclipse}
+		case 7:
+			inj = Injection{Kind: InjectLossBurst, Loss: rng.Float64() * 0.3}
+		case 8:
+			inj = Injection{Kind: InjectDelaySpike, DelayScale: 1 + 7*rng.Float64()}
+		}
+		scn.Phases = append(scn.Phases, Phase{
+			Name: fmt.Sprintf("p%d", p), From: from, To: to,
+			Target: target, Inject: []Injection{inj},
+		})
+	}
+	return scn
+}
+
+// TestRandomScenarioSafetyProperty is the randomized adversary property
+// test: arbitrary generated fault timelines — any mix of equivocation,
+// corruption, churn, partitions, loss, and delay — must never produce
+// conflicting honest finalisations.
+func TestRandomScenarioSafetyProperty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol simulation")
+	}
+	rng := sim.NewRNG(99, "adversary.property")
+	for i := 0; i < 12; i++ {
+		scn := randomScenario(rng, i)
+		if err := scn.Validate(); err != nil {
+			t.Fatalf("generator produced invalid scenario: %v", err)
+		}
+		seed := int64(1000 + i)
+		rep := runScenario(t, scn, 40, 8, seed)
+		if rep.SafetyViolations != 0 {
+			t.Fatalf("scenario %d (%+v): safety violated: %v", i, scn, rep.Forks)
+		}
+		if rep.Rounds != 8 {
+			t.Fatalf("scenario %d: audit saw %d rounds, want 8", i, rep.Rounds)
+		}
+	}
+}
+
+// TestRandomScenarioDeterminism re-runs a random scenario at the same
+// seed and requires identical audits — the whole engine, overlay
+// included, must be a pure function of (seed, scenario).
+func TestRandomScenarioDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol simulation")
+	}
+	rng := sim.NewRNG(7, "adversary.det")
+	scn := randomScenario(rng, 0)
+	a := runScenario(t, scn, 40, 8, 555)
+	b := runScenario(t, scn, 40, 8, 555)
+	if a.Decided != b.Decided || a.Stalls != b.Stalls || a.Corruptions != b.Corruptions ||
+		a.MeanFinalFrac != b.MeanFinalFrac || a.MeanNoneFrac != b.MeanNoneFrac {
+		t.Fatalf("identical runs diverged:\n%+v\n%+v", a, b)
+	}
+}

@@ -1,0 +1,183 @@
+package adversary
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/dsn2020-algorand/incentives/internal/protocol"
+)
+
+// The registry maps scenario names to builders. Builders rather than
+// values so every Lookup hands out an independent Scenario (phases hold
+// slices).
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]func() Scenario{}
+)
+
+// Register adds a named scenario builder; it panics on duplicates so a
+// typo'd re-registration fails loudly at init time.
+func Register(name string, build func() Scenario) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("adversary: scenario %q registered twice", name))
+	}
+	registry[name] = build
+}
+
+// Lookup returns the named scenario.
+func Lookup(name string) (Scenario, bool) {
+	registryMu.RLock()
+	build, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return Scenario{}, false
+	}
+	return build(), true
+}
+
+// Names lists registered scenarios in sorted order.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Builtin returns every registered scenario, sorted by name.
+func Builtin() []Scenario {
+	names := Names()
+	out := make([]Scenario, 0, len(names))
+	for _, name := range names {
+		s, _ := Lookup(name)
+		out = append(out, s)
+	}
+	return out
+}
+
+// HonestBaseline is the control scenario: no phases, bit-for-bit
+// identical to an unscripted run — the golden-pin anchor.
+const HonestBaseline = "honest_baseline"
+
+// EclipseEquivocation is the bundled mixed-timeline scenario the
+// acceptance gate runs: an eclipse of the richest nodes overlapping a
+// Byzantine vote/proposal equivocation wave.
+const EclipseEquivocation = "eclipse_equivocation"
+
+func init() {
+	Register(HonestBaseline, func() Scenario {
+		return Scenario{
+			Name:        HonestBaseline,
+			Description: "control: no injections; reproduces unscripted runs bit-for-bit",
+		}
+	})
+
+	Register("equivocation_storm", func() Scenario {
+		return Scenario{
+			Name:        "equivocation_storm",
+			Description: "20% random Byzantine equivocators send conflicting votes and proposals in rounds 2-7",
+			Phases: []Phase{{
+				Name: "storm", From: 2, To: 7,
+				Target: Target{Mode: TargetRandom, Frac: 0.20},
+				Inject: []Injection{
+					{Kind: InjectEquivocateVotes, Fan: 2},
+					{Kind: InjectEquivocateProposals, Fan: 2},
+				},
+			}},
+		}
+	})
+
+	Register("adaptive_corruption", func() Scenario {
+		return Scenario{
+			Name:        "adaptive_corruption",
+			Description: "from round 2, committee members are flipped malicious as sortition reveals them (budget 12)",
+			Phases: []Phase{{
+				Name: "corrupt", From: 2,
+				Target: Target{Mode: TargetAll},
+				Inject: []Injection{
+					{Kind: InjectAdaptiveCorrupt, Behavior: protocol.Malicious, Budget: 12},
+				},
+			}},
+		}
+	})
+
+	Register(EclipseEquivocation, func() Scenario {
+		return Scenario{
+			Name:        EclipseEquivocation,
+			Description: "rounds 2-6 eclipse the richest 10% of stake; rounds 3-8 a random 15% equivocate votes",
+			Phases: []Phase{
+				{
+					Name: "eclipse", From: 2, To: 6,
+					Target: Target{Mode: TargetTopStake, Frac: 0.10},
+					Inject: []Injection{{Kind: InjectEclipse}},
+				},
+				{
+					Name: "equivocate", From: 3, To: 8,
+					Target: Target{Mode: TargetRandom, Frac: 0.15},
+					Inject: []Injection{{Kind: InjectEquivocateVotes, Fan: 2}},
+				},
+			},
+		}
+	})
+
+	Register("partition_healing", func() Scenario {
+		return Scenario{
+			Name:        "partition_healing",
+			Description: "rounds 2-5 split a random half of the network from the rest, then heal",
+			Phases: []Phase{{
+				Name: "split", From: 2, To: 5,
+				Target: Target{Mode: TargetRandom, Frac: 0.50},
+				Inject: []Injection{{Kind: InjectPartition}},
+			}},
+		}
+	})
+
+	Register("crash_churn", func() Scenario {
+		return Scenario{
+			Name:        "crash_churn",
+			Description: "a random 30% of nodes crash with p=0.3 and recover with p=0.5 per round, for the whole run",
+			Phases: []Phase{{
+				Name: "churn", From: 1,
+				Target: Target{Mode: TargetRandom, Frac: 0.30},
+				Inject: []Injection{{Kind: InjectCrashChurn, CrashProb: 0.3, RecoverProb: 0.5}},
+			}},
+		}
+	})
+
+	Register("silence_degrade", func() Scenario {
+		return Scenario{
+			Name:        "silence_degrade",
+			Description: "rounds 2-7 the richest 20% go selectively silent while all links suffer a 15% loss burst",
+			Phases: []Phase{
+				{
+					Name: "silence", From: 2, To: 7,
+					Target: Target{Mode: TargetTopStake, Frac: 0.20},
+					Inject: []Injection{{Kind: InjectSilence}},
+				},
+				{
+					Name: "loss", From: 2, To: 7,
+					Target: Target{Mode: TargetAll},
+					Inject: []Injection{{Kind: InjectLossBurst, Loss: 0.15}},
+				},
+			},
+		}
+	})
+
+	Register("delay_spike", func() Scenario {
+		return Scenario{
+			Name:        "delay_spike",
+			Description: "rounds 3-6 links touching a random 40% of nodes run 6x slower (weak synchrony by fault overlay)",
+			Phases: []Phase{{
+				Name: "spike", From: 3, To: 6,
+				Target: Target{Mode: TargetRandom, Frac: 0.40},
+				Inject: []Injection{{Kind: InjectDelaySpike, DelayScale: 6}},
+			}},
+		}
+	})
+}

@@ -1,0 +1,279 @@
+// Package adversary is the scenario-injection engine: a declarative
+// layer that scripts phased Byzantine and network-fault timelines over a
+// protocol.Runner, plus a safety/liveness audit collector.
+//
+// A Scenario is a list of Phases, each active over a round window,
+// aiming a set of composable Injections at a Target population. The
+// Engine binds a Scenario to one Runner through the protocol hook seams
+// (behaviour flips, equivocation, selective silence, adaptive
+// corruption) and the network fault overlay (partitions, eclipses, loss
+// bursts, delay spikes). All randomness derives from the run's seed via
+// labelled streams, so scenario runs are bit-for-bit reproducible and
+// worker-count independent; a scenario with no phases leaves the run
+// identical to an unscripted one.
+package adversary
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/dsn2020-algorand/incentives/internal/protocol"
+)
+
+// TargetMode selects how a phase's target population is drawn.
+type TargetMode uint8
+
+// Target selection modes.
+const (
+	// TargetAll aims the phase at every node.
+	TargetAll TargetMode = iota
+	// TargetIndices aims at the explicit Indices list.
+	TargetIndices
+	// TargetRandom draws Count (or Frac·N) distinct nodes uniformly,
+	// once per run, from the adversary's labelled random stream.
+	TargetRandom
+	// TargetTopStake aims at the Count (or Frac·N) richest nodes by
+	// initial stake — the paper's "rich node" amplification threat.
+	TargetTopStake
+	// TargetBottomStake aims at the poorest nodes.
+	TargetBottomStake
+)
+
+// String implements fmt.Stringer.
+func (m TargetMode) String() string {
+	switch m {
+	case TargetAll:
+		return "all"
+	case TargetIndices:
+		return "indices"
+	case TargetRandom:
+		return "random"
+	case TargetTopStake:
+		return "top-stake"
+	case TargetBottomStake:
+		return "bottom-stake"
+	default:
+		return "unknown"
+	}
+}
+
+// Target describes one phase's victim/attacker population.
+type Target struct {
+	Mode TargetMode
+	// Count is the absolute number of nodes to select; when zero, Frac
+	// of the population is used instead (rounded down, minimum 1 when
+	// Frac > 0).
+	Count int
+	// Frac is the population fraction used when Count is zero.
+	Frac float64
+	// Indices is the explicit node list for TargetIndices.
+	Indices []int
+}
+
+// InjectKind enumerates the composable fault injections.
+type InjectKind uint8
+
+// The adversary taxonomy. Node-level injections reach the protocol layer
+// through hook seams; network-level ones through the gossip fault
+// overlay.
+const (
+	// InjectBehavior pins targets to a Behavior class for the phase
+	// (e.g. scripted selfish or malicious windows); the baseline
+	// behaviour is restored when the phase ends.
+	InjectBehavior InjectKind = iota + 1
+	// InjectEquivocateVotes makes targets Byzantine equivocators: each
+	// committee vote is cast Fan ways with conflicting values under the
+	// same credential, splitting peers' tallies by arrival order.
+	InjectEquivocateVotes
+	// InjectEquivocateProposals makes selected target proposers gossip
+	// Fan conflicting (distinct-hash) blocks under one credential.
+	InjectEquivocateProposals
+	// InjectSilence makes targets withhold proposals and votes while
+	// still paying sortition costs — selective silence.
+	InjectSilence
+	// InjectAdaptiveCorrupt flips committee members to Behavior (default
+	// Malicious) immediately after sortition reveals them, up to Budget
+	// corruptions; corruption persists while the phase is active.
+	InjectAdaptiveCorrupt
+	// InjectCrashChurn crashes targets with probability CrashProb per
+	// round and recovers crashed ones with RecoverProb — fail/recover
+	// churn.
+	InjectCrashChurn
+	// InjectPartition severs every link between the target set and the
+	// rest of the network (both directions) while the phase is active.
+	InjectPartition
+	// InjectEclipse isolates the target victims: links between a victim
+	// and any non-victim are severed, links among victims survive.
+	InjectEclipse
+	// InjectLossBurst adds Loss to the per-hop drop probability on every
+	// link touching a target.
+	InjectLossBurst
+	// InjectDelaySpike multiplies the sampled delay by DelayScale on
+	// every link touching a target.
+	InjectDelaySpike
+)
+
+// String implements fmt.Stringer.
+func (k InjectKind) String() string {
+	switch k {
+	case InjectBehavior:
+		return "behavior"
+	case InjectEquivocateVotes:
+		return "equivocate-votes"
+	case InjectEquivocateProposals:
+		return "equivocate-proposals"
+	case InjectSilence:
+		return "silence"
+	case InjectAdaptiveCorrupt:
+		return "adaptive-corrupt"
+	case InjectCrashChurn:
+		return "crash-churn"
+	case InjectPartition:
+		return "partition"
+	case InjectEclipse:
+		return "eclipse"
+	case InjectLossBurst:
+		return "loss-burst"
+	case InjectDelaySpike:
+		return "delay-spike"
+	default:
+		return "unknown"
+	}
+}
+
+// Injection is one composable fault applied to a phase's targets. Only
+// the fields relevant to Kind are read.
+type Injection struct {
+	Kind InjectKind
+	// Behavior is the class applied by InjectBehavior and
+	// InjectAdaptiveCorrupt (zero value defaults to Malicious for
+	// adaptive corruption).
+	Behavior protocol.Behavior
+	// Fan is the equivocation fan-out: conflicting values per vote or
+	// conflicting blocks per proposal (minimum effective value 2).
+	Fan int
+	// Budget caps adaptive corruptions; 0 means unlimited.
+	Budget int
+	// CrashProb and RecoverProb drive crash churn, per target per round.
+	CrashProb, RecoverProb float64
+	// Loss is the loss-burst extra drop probability per hop.
+	Loss float64
+	// DelayScale is the delay-spike multiplier (>1).
+	DelayScale float64
+}
+
+// Phase is one window of a scenario's fault timeline.
+type Phase struct {
+	// Name labels the phase in summaries.
+	Name string
+	// From and To bound the active window, inclusive, in 1-based
+	// simulation ticks — round attempts, not ledger round numbers. A
+	// stalled consensus round retries under the same ledger round but
+	// still advances the tick, so scripted timelines always progress:
+	// a partition phase ends on schedule even when it stalls consensus
+	// completely. To == 0 keeps the phase active for the rest of the
+	// run.
+	From, To uint64
+	// Target selects the nodes the phase's injections act on.
+	Target Target
+	// Inject lists the faults applied while the phase is active.
+	Inject []Injection
+}
+
+// active reports whether the phase covers simulation tick t.
+func (p *Phase) active(t uint64) bool {
+	return t >= p.From && (p.To == 0 || t <= p.To)
+}
+
+// Scenario is a named, declarative fault timeline.
+type Scenario struct {
+	Name        string
+	Description string
+	Phases      []Phase
+}
+
+// Validate reports structural errors in the scenario spec.
+func (s Scenario) Validate() error {
+	if s.Name == "" {
+		return errors.New("adversary: scenario needs a name")
+	}
+	for i, ph := range s.Phases {
+		where := fmt.Sprintf("adversary: scenario %q phase %d (%s)", s.Name, i, ph.Name)
+		if ph.To != 0 && ph.To < ph.From {
+			return fmt.Errorf("%s: To %d < From %d", where, ph.To, ph.From)
+		}
+		if ph.Target.Count < 0 || ph.Target.Frac < 0 || ph.Target.Frac > 1 {
+			return fmt.Errorf("%s: invalid target count/frac", where)
+		}
+		if ph.Target.Mode == TargetIndices && len(ph.Target.Indices) == 0 {
+			return fmt.Errorf("%s: indices target without indices", where)
+		}
+		switch ph.Target.Mode {
+		case TargetRandom, TargetTopStake, TargetBottomStake:
+			// An unsized selection would resolve to zero nodes and turn
+			// the whole phase into a silent no-op — reject it loudly.
+			if ph.Target.Count == 0 && ph.Target.Frac == 0 {
+				return fmt.Errorf("%s: %s target needs Count or Frac", where, ph.Target.Mode)
+			}
+		}
+		if len(ph.Inject) == 0 {
+			return fmt.Errorf("%s: phase without injections", where)
+		}
+		for _, inj := range ph.Inject {
+			switch inj.Kind {
+			case InjectBehavior:
+				if inj.Behavior == 0 {
+					return fmt.Errorf("%s: behavior injection without a behavior", where)
+				}
+			case InjectEquivocateVotes, InjectEquivocateProposals:
+				if inj.Fan < 0 {
+					return fmt.Errorf("%s: negative equivocation fan", where)
+				}
+			case InjectSilence, InjectAdaptiveCorrupt, InjectPartition, InjectEclipse:
+				// No knobs to validate beyond defaults.
+			case InjectCrashChurn:
+				if inj.CrashProb < 0 || inj.CrashProb > 1 || inj.RecoverProb < 0 || inj.RecoverProb > 1 {
+					return fmt.Errorf("%s: crash/recover probabilities outside [0,1]", where)
+				}
+			case InjectLossBurst:
+				if inj.Loss < 0 || inj.Loss >= 1 {
+					return fmt.Errorf("%s: loss burst outside [0,1)", where)
+				}
+			case InjectDelaySpike:
+				if inj.DelayScale < 1 {
+					return fmt.Errorf("%s: delay scale must be >= 1", where)
+				}
+			default:
+				return fmt.Errorf("%s: unknown injection kind %d", where, inj.Kind)
+			}
+		}
+	}
+	return nil
+}
+
+// MaxDelayScale returns the largest delay multiplier any phase may
+// apply, for the network's scheduling-horizon hint.
+func (s Scenario) MaxDelayScale() float64 {
+	max := 1.0
+	for _, ph := range s.Phases {
+		for _, inj := range ph.Inject {
+			if inj.Kind == InjectDelaySpike && inj.DelayScale > max {
+				max = inj.DelayScale
+			}
+		}
+	}
+	return max
+}
+
+// needsOverlay reports whether any phase uses a network-level injection.
+func (s Scenario) needsOverlay() bool {
+	for _, ph := range s.Phases {
+		for _, inj := range ph.Inject {
+			switch inj.Kind {
+			case InjectPartition, InjectEclipse, InjectLossBurst, InjectDelaySpike:
+				return true
+			}
+		}
+	}
+	return false
+}

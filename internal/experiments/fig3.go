@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/dsn2020-algorand/incentives/internal/adversary"
 	"github.com/dsn2020-algorand/incentives/internal/protocol"
 	"github.com/dsn2020-algorand/incentives/internal/runpool"
 	"github.com/dsn2020-algorand/incentives/internal/sim"
@@ -43,6 +44,11 @@ type Fig3Config struct {
 	// Workers bounds the run pool's parallelism (0 = GOMAXPROCS). The
 	// result is identical for every worker count.
 	Workers int
+	// Scenario optionally attaches a registered adversary scenario to
+	// every run (see internal/adversary). The honest-baseline scenario
+	// leaves the figure bit-for-bit identical to an unscripted run — the
+	// golden tests pin that equivalence.
+	Scenario string
 }
 
 // DefaultFig3Config is a laptop-scale configuration that preserves the
@@ -134,6 +140,15 @@ func runFig3Rate(cfg Fig3Config, rate float64) (Fig3Series, error) {
 		})
 		if err != nil {
 			return fig3Run{}, err
+		}
+		if cfg.Scenario != "" {
+			scn, ok := adversary.Lookup(cfg.Scenario)
+			if !ok {
+				return fig3Run{}, fmt.Errorf("unknown scenario %q", cfg.Scenario)
+			}
+			if _, err := adversary.Attach(runner, scn); err != nil {
+				return fig3Run{}, err
+			}
 		}
 		out := fig3Run{
 			final:     make([]float64, cfg.Rounds),

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/dsn2020-algorand/incentives/internal/adversary"
+	"github.com/dsn2020-algorand/incentives/internal/protocol"
+	"github.com/dsn2020-algorand/incentives/internal/runpool"
+	"github.com/dsn2020-algorand/incentives/internal/sim"
+	"github.com/dsn2020-algorand/incentives/internal/stake"
+	"github.com/dsn2020-algorand/incentives/internal/stats"
+)
+
+// ScenarioConfig parameterises one adversary-scenario sweep: Runs
+// independent simulations of the named scenario over an otherwise honest
+// population, aggregated like the figure experiments.
+type ScenarioConfig struct {
+	// Scenario names a registered scenario (see internal/adversary
+	// Builtin) to script over each run.
+	Scenario string
+	// Nodes is the network size per run.
+	Nodes int
+	// Rounds is the number of simulated rounds per run.
+	Rounds int
+	// Runs is the number of independent simulations aggregated.
+	Runs int
+	// Fanout is the gossip fan-out (paper: 5).
+	Fanout int
+	// TrimFrac is the trimmed-mean fraction for per-round aggregation.
+	TrimFrac float64
+	// Seed drives all randomness; run i derives its own seed from it.
+	Seed int64
+	// Params overrides the protocol constants.
+	Params protocol.Params
+	// StakeDist draws per-node stakes (paper: U{1..50}).
+	StakeDist stake.Distribution
+	// Workers bounds the run pool's parallelism (0 = GOMAXPROCS). The
+	// result is identical for every worker count.
+	Workers int
+}
+
+// DefaultScenarioConfig is a laptop-scale sweep of the named scenario.
+func DefaultScenarioConfig(scenario string) ScenarioConfig {
+	return ScenarioConfig{
+		Scenario:  scenario,
+		Nodes:     100,
+		Rounds:    12,
+		Runs:      4,
+		Fanout:    5,
+		TrimFrac:  0.20,
+		Seed:      1,
+		Params:    protocol.DefaultParams(),
+		StakeDist: stake.UniformInt{A: 1, B: 50},
+	}
+}
+
+// ScenarioResult aggregates a scenario sweep: per-round outcome
+// fractions (trimmed means across runs) plus the merged safety/liveness
+// audit.
+type ScenarioResult struct {
+	Config   ScenarioConfig
+	Scenario adversary.Scenario
+	// Final/Tentative/None are per-round outcome fractions.
+	Final, Tentative, None []float64
+	// Audit merges every run's audit report.
+	Audit adversary.Report
+	// RunAudits holds the per-run reports, run-indexed.
+	RunAudits []adversary.Report
+}
+
+// scenarioRun is one simulation's contribution.
+type scenarioRun struct {
+	final, tentative, none []float64
+	audit                  adversary.Report
+}
+
+// RunScenario executes the sweep through the deterministic run pool.
+func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
+	if cfg.Nodes < 10 || cfg.Rounds < 1 || cfg.Runs < 1 {
+		return nil, errors.New("experiments: scenario needs >=10 nodes, >=1 round, >=1 run")
+	}
+	if cfg.StakeDist == nil {
+		cfg.StakeDist = stake.UniformInt{A: 1, B: 50}
+	}
+	scn, ok := adversary.Lookup(cfg.Scenario)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown scenario %q", cfg.Scenario)
+	}
+
+	runs, err := runpool.Sweep(cfg.Runs, cfg.Workers, func(run int) (scenarioRun, error) {
+		seed := cfg.Seed + int64(run)*7919
+		rng := sim.NewRNG(seed, "scenario.setup")
+		pop, err := stake.SamplePopulation(cfg.StakeDist, cfg.Nodes, rng)
+		if err != nil {
+			return scenarioRun{}, err
+		}
+		behaviors := make([]protocol.Behavior, cfg.Nodes)
+		for i := range behaviors {
+			behaviors[i] = protocol.Honest
+		}
+		runner, err := protocol.NewRunner(protocol.Config{
+			Params:    cfg.Params,
+			Stakes:    pop.Stakes,
+			Behaviors: behaviors,
+			Fanout:    cfg.Fanout,
+			Seed:      seed,
+		})
+		if err != nil {
+			return scenarioRun{}, err
+		}
+		eng, err := adversary.Attach(runner, scn)
+		if err != nil {
+			return scenarioRun{}, err
+		}
+		out := scenarioRun{
+			final:     make([]float64, cfg.Rounds),
+			tentative: make([]float64, cfg.Rounds),
+			none:      make([]float64, cfg.Rounds),
+		}
+		for round, report := range runner.RunRounds(cfg.Rounds) {
+			out.final[round] = report.FinalFrac()
+			out.tentative[round] = report.TentativeFrac()
+			out.none[round] = report.NoneFrac()
+		}
+		out.audit = eng.Audit().Report()
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	result := &ScenarioResult{Config: cfg, Scenario: scn}
+	pick := func(field func(scenarioRun) []float64) [][]float64 {
+		rows := make([][]float64, len(runs))
+		for i, r := range runs {
+			rows[i] = field(r)
+		}
+		return rows
+	}
+	if result.Final, err = runpool.TrimmedMeanColumns(pick(func(r scenarioRun) []float64 { return r.final }), cfg.TrimFrac); err != nil {
+		return nil, err
+	}
+	if result.Tentative, err = runpool.TrimmedMeanColumns(pick(func(r scenarioRun) []float64 { return r.tentative }), cfg.TrimFrac); err != nil {
+		return nil, err
+	}
+	if result.None, err = runpool.TrimmedMeanColumns(pick(func(r scenarioRun) []float64 { return r.none }), cfg.TrimFrac); err != nil {
+		return nil, err
+	}
+	result.RunAudits = make([]adversary.Report, len(runs))
+	for i, r := range runs {
+		result.RunAudits[i] = r.audit
+		result.Audit.Merge(r.audit)
+	}
+	return result, nil
+}
+
+// Table renders the per-round outcome fractions.
+func (r *ScenarioResult) Table() *stats.Table {
+	t := &stats.Table{}
+	roundCol := make([]float64, r.Config.Rounds)
+	for i := range roundCol {
+		roundCol[i] = float64(i + 1)
+	}
+	t.AddColumn("round", roundCol)
+	t.AddColumn("final", r.Final)
+	t.AddColumn("tentative", r.Tentative)
+	t.AddColumn("none", r.None)
+	return t
+}
+
+// AuditTable renders the merged audit counters as a one-row table, the
+// machine-readable safety/liveness summary written next to the figures.
+func (r *ScenarioResult) AuditTable() *stats.Table {
+	t := &stats.Table{}
+	a := r.Audit
+	t.AddColumn("rounds", []float64{float64(a.Rounds)})
+	t.AddColumn("decided", []float64{float64(a.Decided)})
+	t.AddColumn("empty_decided", []float64{float64(a.EmptyDecided)})
+	t.AddColumn("stalls", []float64{float64(a.Stalls)})
+	t.AddColumn("max_stall_run", []float64{float64(a.MaxStallRun)})
+	t.AddColumn("safety_violations", []float64{float64(a.SafetyViolations)})
+	t.AddColumn("corruptions", []float64{float64(a.Corruptions)})
+	t.AddColumn("mean_final", []float64{a.MeanFinalFrac})
+	t.AddColumn("mean_none", []float64{a.MeanNoneFrac})
+	t.AddColumn("mean_desynced", []float64{a.MeanDesynced})
+	return t
+}
+
+// WriteSummary prints the scenario headline plus the merged audit.
+func (r *ScenarioResult) WriteSummary(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "scenario %s: %s\n", r.Scenario.Name, r.Scenario.Description); err != nil {
+		return err
+	}
+	return r.Audit.WriteSummary(w)
+}

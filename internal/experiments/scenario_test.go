@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+
+	"github.com/dsn2020-algorand/incentives/internal/adversary"
+)
+
+// TestScenarioHonestBaselineMatchesFig3Golden is the acceptance pin for
+// the adversary seams: attaching the honest-baseline scenario (hooks
+// installed, zero injections) to the golden Fig. 3 configuration must
+// reproduce the pre-adversary golden file bit-for-bit, at both run-pool
+// widths. Any diff means the seams perturb hook-free behaviour.
+func TestScenarioHonestBaselineMatchesFig3Golden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol simulation")
+	}
+	want, err := os.ReadFile(goldenPath("fig3"))
+	if err != nil {
+		t.Fatalf("missing fig3 golden: %v", err)
+	}
+	for _, workers := range goldenWorkers {
+		cfg := DefaultFig3Config()
+		cfg.Runs = 3
+		cfg.Rounds = 4
+		cfg.DefectionRates = []float64{0.05, 0.15}
+		cfg.Workers = workers
+		cfg.Scenario = adversary.HonestBaseline
+		res, err := RunFig3(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got, err := marshalTable(res.Table())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("workers=%d: honest-baseline scenario diverges from fig3 golden:\n%s",
+				workers, diffHint("fig3+honest_baseline", want, got))
+		}
+	}
+}
+
+// TestScenarioDeterministicAcrossWorkers pins the acceptance criterion
+// that the bundled eclipse+equivocation sweep is bit-identical at
+// workers=1 and workers=8, tables and audits both.
+func TestScenarioDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol simulation")
+	}
+	run := func(workers int) (string, adversary.Report) {
+		cfg := DefaultScenarioConfig(adversary.EclipseEquivocation)
+		cfg.Nodes = 60
+		cfg.Rounds = 8
+		cfg.Runs = 4
+		cfg.Workers = workers
+		res, err := RunScenario(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		table, err := marshalTable(res.Table())
+		if err != nil {
+			t.Fatal(err)
+		}
+		audit, err := marshalTable(res.AuditTable())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(table) + string(audit), res.Audit
+	}
+	out1, audit1 := run(1)
+	out8, audit8 := run(8)
+	if out1 != out8 {
+		t.Fatal("eclipse_equivocation output differs between workers=1 and workers=8")
+	}
+	if audit1.Rounds != audit8.Rounds || audit1.Stalls != audit8.Stalls ||
+		audit1.SafetyViolations != audit8.SafetyViolations {
+		t.Fatalf("audit mismatch across workers: %+v vs %+v", audit1, audit8)
+	}
+}
+
+// TestScenarioBuiltinsSmoke runs every registered scenario at a small
+// configuration: each must complete, observe every round, and keep BA*
+// safety (no conflicting honest finalisations).
+func TestScenarioBuiltinsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol simulation")
+	}
+	for _, name := range adversary.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultScenarioConfig(name)
+			cfg.Nodes = 40
+			cfg.Rounds = 6
+			cfg.Runs = 2
+			res, err := RunScenario(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Audit.Rounds != cfg.Rounds*cfg.Runs {
+				t.Fatalf("audit observed %d rounds, want %d", res.Audit.Rounds, cfg.Rounds*cfg.Runs)
+			}
+			if res.Audit.SafetyViolations != 0 {
+				t.Fatalf("safety violated: %+v", res.Audit.Forks)
+			}
+		})
+	}
+}
+
+// TestScenarioUnknownName fails fast instead of silently running an
+// unscripted simulation.
+func TestScenarioUnknownName(t *testing.T) {
+	cfg := DefaultScenarioConfig("no_such_scenario")
+	if _, err := RunScenario(cfg); err == nil {
+		t.Fatal("unknown scenario did not error")
+	}
+	fig3 := DefaultFig3Config()
+	fig3.Runs, fig3.Rounds = 1, 1
+	fig3.DefectionRates = []float64{0.05}
+	fig3.Scenario = "no_such_scenario"
+	if _, err := RunFig3(fig3); err == nil {
+		t.Fatal("unknown fig3 scenario did not error")
+	}
+}

@@ -1,0 +1,141 @@
+package network
+
+import "encoding/binary"
+
+// deliveredSet is the inverted gossip de-duplication layout: one
+// open-addressed table keyed by message ID whose payload is a bitset of
+// the nodes the message has reached. The per-node layout it replaces
+// (dedupSet, kept as the differential oracle behind the
+// network_pernode_dedup build tag) probed a distinct ~open-addressed
+// table per node, so the duplicate-heavy relay path took a random cache
+// miss across ~N tables for every delivery. Here a message's delivery
+// state is N/8 contiguous bytes — one cache line for N≤512 — and the
+// common duplicate case is a single bit test next to the slot the probe
+// already touched.
+//
+// Probing follows dedupSet's scheme: the ID's first 8 bytes (SHA-256
+// output, already uniform) serve as probe key and hash, a prefix hit
+// pays the full-ID confirm, and epoch-stamped slots make the per-round
+// reset a counter bump. Bit words are zeroed lazily when a slot is
+// claimed for the current epoch.
+type deliveredSet struct {
+	slots []deliveredSlot
+	// bits holds words per-slot delivery bitsets: slot i owns
+	// bits[i*words : (i+1)*words].
+	bits  []uint64
+	words int
+	// count is the number of live (current-epoch) slots, i.e. distinct
+	// messages seen this round.
+	count int
+	// epoch identifies the current round's population; slots from other
+	// epochs are treated as empty. Starts at 1 — a zeroed slot is never
+	// live.
+	epoch uint32
+}
+
+type deliveredSlot struct {
+	// prefix is the ID's first 8 bytes: probe key and hash in one.
+	prefix uint64
+	epoch  uint32
+	// id is the full message ID, compared only on a prefix hit.
+	id [32]byte
+}
+
+// deliveredMinSlots is the initial table size; steady-state rounds reuse
+// the grown table.
+const deliveredMinSlots = 64
+
+// init sizes the bitset geometry for n nodes. Must be called before the
+// first mark.
+func (s *deliveredSet) init(n int) {
+	if n < 1 {
+		n = 1
+	}
+	s.words = (n + 63) / 64
+}
+
+// reset retires every entry by bumping the epoch; table and bitset
+// memory is retained, and stale bit words are re-zeroed only when their
+// slot is reclaimed.
+func (s *deliveredSet) reset() {
+	s.epoch++
+	s.count = 0
+	if s.epoch == 0 {
+		// uint32 wrap (once per 4 billion rounds): stale slots could now
+		// alias the restarted epoch sequence, so clear them for real.
+		for i := range s.slots {
+			s.slots[i] = deliveredSlot{}
+		}
+		s.epoch = 1
+	}
+}
+
+// mark records that node received the message id, reporting whether this
+// was the first delivery of id to node (true = deliver, false =
+// duplicate).
+func (s *deliveredSet) mark(id *[32]byte, node int) bool {
+	if s.epoch == 0 {
+		s.epoch = 1 // lazy init: a zeroed slot must never look live
+	}
+	if s.count*4 >= len(s.slots)*3 {
+		s.grow()
+	}
+	prefix := binary.LittleEndian.Uint64(id[:8])
+	mask := uint64(len(s.slots) - 1)
+	for i := prefix & mask; ; i = (i + 1) & mask {
+		sl := &s.slots[i]
+		if sl.epoch != s.epoch {
+			// First sighting of this message this round: claim the slot
+			// and zero its delivery words before setting node's bit.
+			sl.prefix = prefix
+			sl.epoch = s.epoch
+			sl.id = *id
+			s.count++
+			w := s.bits[int(i)*s.words : (int(i)+1)*s.words]
+			for j := range w {
+				w[j] = 0
+			}
+			w[node>>6] = 1 << (uint(node) & 63)
+			return true
+		}
+		if sl.prefix == prefix && sl.id == *id {
+			w := &s.bits[int(i)*s.words+node>>6]
+			bit := uint64(1) << (uint(node) & 63)
+			if *w&bit != 0 {
+				return false
+			}
+			*w |= bit
+			return true
+		}
+	}
+}
+
+// grow doubles the table (allocating the initial table on first use),
+// re-inserting the live epoch's slots and moving their bit words; stale
+// entries are dropped.
+func (s *deliveredSet) grow() {
+	if s.words == 0 {
+		s.words = 1 // tolerate a zero-value set in tests
+	}
+	n := len(s.slots) * 2
+	if n == 0 {
+		n = deliveredMinSlots
+	}
+	oldSlots := s.slots
+	oldBits := s.bits
+	s.slots = make([]deliveredSlot, n)
+	s.bits = make([]uint64, n*s.words)
+	mask := uint64(n - 1)
+	for i := range oldSlots {
+		sl := &oldSlots[i]
+		if sl.epoch != s.epoch {
+			continue
+		}
+		j := sl.prefix & mask
+		for s.slots[j].epoch == s.epoch {
+			j = (j + 1) & mask
+		}
+		s.slots[j] = *sl
+		copy(s.bits[int(j)*s.words:(int(j)+1)*s.words], oldBits[i*s.words:(i+1)*s.words])
+	}
+}

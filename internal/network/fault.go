@@ -1,0 +1,38 @@
+package network
+
+// LinkFault describes the fault-overlay verdict for one directed gossip
+// hop. The zero value is a healthy link.
+type LinkFault struct {
+	// Drop severs the hop outright (partitions, eclipses). Dropped pushes
+	// consume no randomness, so an overlay that never drops-by-chance
+	// keeps the delay/loss streams bit-identical to an overlay-free run.
+	Drop bool
+	// Loss is an additional per-push Bernoulli drop probability applied
+	// after the network's base LossProb (loss bursts). Zero draws nothing.
+	Loss float64
+	// DelayScale multiplies the sampled hop delay when > 1 (delay
+	// spikes); values <= 1 leave the delay untouched.
+	DelayScale float64
+}
+
+// FaultOverlay is the network-fault injection seam: when installed, every
+// push consults Link for the (from, to) hop before scheduling delivery.
+// Implementations must be deterministic pure functions of their own state
+// — the overlay is consulted inside the simulation's hot path and any
+// hidden randomness would break run reproducibility.
+type FaultOverlay interface {
+	Link(from, to int) LinkFault
+}
+
+// SetOverlay installs (or, with nil, removes) the fault overlay.
+// maxDelayScale is the largest DelayScale the overlay will ever return;
+// it is folded into the engine's scheduling-horizon hint so delay-spiked
+// hops keep the calendar queue's O(1) bucket route.
+func (n *Network) SetOverlay(o FaultOverlay, maxDelayScale float64) {
+	n.overlay = o
+	if o == nil || maxDelayScale < 1 {
+		maxDelayScale = 1
+	}
+	n.overlayScale = maxDelayScale
+	n.hintHorizon()
+}

@@ -148,7 +148,8 @@ type Stats struct {
 	Delivered      uint64 // first-time deliveries to a node
 	Duplicate      uint64 // suppressed duplicate deliveries
 	DroppedOffline uint64 // deliveries to offline nodes
-	DroppedLoss    uint64 // pushes lost to per-hop loss
+	DroppedLoss    uint64 // pushes lost to per-hop loss (base + overlay bursts)
+	DroppedFault   uint64 // pushes severed by the fault overlay (partitions/eclipses)
 }
 
 // Network is the simulated gossip fabric. It is single-threaded on top of
@@ -161,10 +162,15 @@ type Network struct {
 	handler  Handler
 	relay    []bool
 	online   []bool
-	seen     []dedupSet
+	seen     seenSet
 	factor   float64
 	stats    Stats
 	observer func(node int)
+	// overlay is the optional fault-injection seam (see SetOverlay);
+	// overlayScale is the largest delay multiplier it may apply, folded
+	// into the horizon hint.
+	overlay      FaultOverlay
+	overlayScale float64
 	// deliverCb is the single pre-bound delivery callback handed to
 	// Engine.ScheduleFn; allocating it once here keeps the per-hop
 	// scheduling path free of closure captures.
@@ -197,16 +203,17 @@ func New(cfg Config, engine *sim.Engine, handler Handler) (*Network, error) {
 	}
 	rng := engine.RNG("network.topology")
 	n := &Network{
-		cfg:     cfg,
-		engine:  engine,
-		rng:     engine.RNG("network.delays"),
-		peers:   buildTopology(cfg.N, cfg.Fanout, rng),
-		handler: handler,
-		relay:   make([]bool, cfg.N),
-		online:  make([]bool, cfg.N),
-		seen:    make([]dedupSet, cfg.N),
-		factor:  1,
+		cfg:          cfg,
+		engine:       engine,
+		rng:          engine.RNG("network.delays"),
+		peers:        buildTopology(cfg.N, cfg.Fanout, rng),
+		handler:      handler,
+		relay:        make([]bool, cfg.N),
+		online:       make([]bool, cfg.N),
+		factor:       1,
+		overlayScale: 1,
 	}
+	n.seen.init(cfg.N)
 	for i := 0; i < cfg.N; i++ {
 		n.relay[i] = true
 		n.online[i] = true
@@ -225,7 +232,7 @@ func New(cfg Config, engine *sim.Engine, handler Handler) (*Network, error) {
 func (n *Network) hintHorizon() {
 	if bd, ok := n.cfg.Delay.(BoundedDelay); ok {
 		if d := bd.MaxDelay(); d > 0 {
-			n.engine.HintHorizon(time.Duration(float64(d) * n.factor))
+			n.engine.HintHorizon(time.Duration(float64(d) * n.factor * n.overlayScale))
 		}
 	}
 }
@@ -308,9 +315,7 @@ func (n *Network) Stats() Stats { return n.stats }
 // entries are retired in place and the tables stay sized, so steady-state
 // rounds insert without growing.
 func (n *Network) ResetSeen() {
-	for i := range n.seen {
-		n.seen[i].reset()
-	}
+	n.seen.reset()
 }
 
 // Gossip injects msg at node origin and propagates it through the network.
@@ -320,7 +325,7 @@ func (n *Network) Gossip(origin int, msg Message) {
 	if origin < 0 || origin >= n.cfg.N || !n.online[origin] {
 		return
 	}
-	if !n.seen[origin].insert(&msg.ID) {
+	if !n.seen.mark(&msg.ID, origin) {
 		return
 	}
 	n.stats.Delivered++
@@ -341,11 +346,26 @@ func (n *Network) push(from int, msg *Message) {
 		n.observer(from)
 	}
 	for _, peer := range n.peers[from] {
+		var fault LinkFault
+		if n.overlay != nil {
+			fault = n.overlay.Link(from, peer)
+			if fault.Drop {
+				n.stats.DroppedFault++
+				continue
+			}
+		}
 		if n.cfg.LossProb > 0 && n.rng.Float64() < n.cfg.LossProb {
 			n.stats.DroppedLoss++
 			continue
 		}
+		if fault.Loss > 0 && n.rng.Float64() < fault.Loss {
+			n.stats.DroppedLoss++
+			continue
+		}
 		delay := time.Duration(float64(n.cfg.Delay.Sample(n.rng)) * n.factor)
+		if fault.DelayScale > 1 {
+			delay = time.Duration(float64(delay) * fault.DelayScale)
+		}
 		n.stats.Sent++
 		n.engine.ScheduleFn(delay, n.deliverCb, peer, msg)
 	}
@@ -356,7 +376,7 @@ func (n *Network) deliver(node int, msg *Message) {
 		n.stats.DroppedOffline++
 		return
 	}
-	if !n.seen[node].insert(&msg.ID) {
+	if !n.seen.mark(&msg.ID, node) {
 		n.stats.Duplicate++
 		return
 	}

@@ -1,0 +1,22 @@
+//go:build network_pernode_dedup
+
+package network
+
+// seenSet under the network_pernode_dedup build tag: the pre-inversion
+// per-node open-addressed dedup tables, kept as a differential oracle.
+// The whole test suite run under this tag must produce identical results
+// to the default delivered-bitmap build — CI pins the golden figure
+// outputs on both.
+type seenSet struct {
+	per []dedupSet
+}
+
+func (s *seenSet) init(n int) { s.per = make([]dedupSet, n) }
+
+func (s *seenSet) reset() {
+	for i := range s.per {
+		s.per[i].reset()
+	}
+}
+
+func (s *seenSet) mark(id *[32]byte, node int) bool { return s.per[node].insert(id) }

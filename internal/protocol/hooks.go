@@ -1,0 +1,104 @@
+package protocol
+
+import (
+	"math/rand"
+
+	"github.com/dsn2020-algorand/incentives/internal/ledger"
+)
+
+// Hooks are the adversary seams of a Runner: optional callbacks through
+// which an external controller (internal/adversary) scripts behaviour
+// changes, equivocation, selective silence, and adaptive corruption over
+// a run. Every field may be nil; a Runner with zero Hooks is bit-for-bit
+// identical to one built before the seams existed — no hook consumes
+// randomness, changes message identifiers, or perturbs scheduling when
+// absent, which is what lets the honest-baseline scenario reproduce the
+// golden figure outputs exactly.
+type Hooks struct {
+	// RoundStart runs at the top of every round, after per-round state is
+	// reset and before any node derives its seed or the phase events are
+	// scheduled. Controllers apply phase transitions here: behaviour
+	// flips (SetBehavior), crash/recover churn (Network().SetOnline), and
+	// network fault-overlay reconfiguration.
+	RoundStart func(round uint64)
+
+	// RoundEnd runs after the round finalised, catch-up completed, and
+	// the reward hook fired. Audit collectors read per-node outcomes via
+	// Runner.NodeOutcome here.
+	RoundEnd func(round uint64, report RoundReport)
+
+	// VoteValues intercepts one node's committee vote after sortition
+	// selected it and the honest value (post any Malicious transform) is
+	// known. Returning ok=false keeps the normal single-value vote.
+	// Returning ok=true replaces it with one vote per returned value —
+	// an empty slice is selective silence (the node pays the sortition
+	// cost but withholds its vote), two or more values is Byzantine
+	// equivocation: each value is gossiped under a distinct message ID
+	// with the same credential, so different peers count conflicting
+	// votes depending on arrival order. The returned slice is consumed
+	// before the hook is called again and may be reused by the caller.
+	VoteValues func(node int, round, step uint64, final bool, honest, empty ledger.Hash) (values []ledger.Hash, ok bool)
+
+	// ProposalFan intercepts one node's block proposal after sortition
+	// selected it as proposer. Return 1 for the normal single proposal,
+	// 0 to withhold it (selective silence), or k>1 to equivocate: k
+	// conflicting blocks (distinct seeds, hence distinct hashes) under
+	// the same proposer credential.
+	ProposalFan func(node int, round uint64) int
+
+	// StepDone runs after each phase's cast loop with the nodes whose
+	// sortition credential was revealed in that step (step 0 is the
+	// proposal phase). Adaptive adversaries corrupt committee members
+	// here — after the lottery exposed them, mirroring the "targeted
+	// corruption once roles are public" threat model. The slice is
+	// reused across steps; copy it to retain.
+	StepDone func(round, step uint64, revealed []int)
+}
+
+// SetHooks installs the adversary seams. It must be called before the
+// first round runs; installing hooks mid-run would let a controller see
+// a half-initialised round.
+func (r *Runner) SetHooks(h Hooks) { r.hooks = h }
+
+// SetBehavior flips node i's behaviour class mid-run, keeping the
+// network-layer consequences consistent with construction: selfish nodes
+// stop relaying, faulty nodes go offline, and restoring an honest
+// behaviour restores both. The adversary engine uses it for scripted
+// behaviour phases and adaptive corruption.
+func (r *Runner) SetBehavior(i int, b Behavior) {
+	if i < 0 || i >= len(r.nodes) {
+		return
+	}
+	nd := r.nodes[i]
+	if nd.behavior == b {
+		return
+	}
+	nd.behavior = b
+	r.net.SetRelay(i, b != Selfish)
+	r.net.SetOnline(i, b != Faulty)
+}
+
+// Behavior returns node i's current behaviour class.
+func (r *Runner) Behavior(i int) Behavior {
+	if i < 0 || i >= len(r.nodes) {
+		return 0
+	}
+	return r.nodes[i].behavior
+}
+
+// NodeOutcome reports what node i extracted from the most recently
+// finalised round: its outcome class and the block hash it committed to
+// (zero for none). Valid between rounds; audit collectors read it from
+// the RoundEnd hook to detect conflicting finalisations.
+func (r *Runner) NodeOutcome(i int) (Outcome, ledger.Hash) {
+	if i < 0 || i >= len(r.nodes) {
+		return OutcomeNone, ledger.Hash{}
+	}
+	nd := r.nodes[i]
+	return nd.outcome, nd.outcomeHash
+}
+
+// RNG exposes the engine's labelled deterministic stream factory so
+// attached controllers draw reproducible randomness without perturbing
+// any existing stream.
+func (r *Runner) RNG(label string) *rand.Rand { return r.engine.RNG(label) }

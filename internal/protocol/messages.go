@@ -41,6 +41,21 @@ func proposalID(round uint64, proposer int) [32]byte {
 	return sha256.Sum256(buf[:])
 }
 
+// proposalVariantID identifies the variant'th equivocating proposal from
+// one proposer. Variant 0 is the historical proposalID byte-for-byte, so
+// hook-free runs keep their exact gossip identifiers.
+func proposalVariantID(round uint64, proposer, variant int) [32]byte {
+	if variant == 0 {
+		return proposalID(round, proposer)
+	}
+	var buf [25]byte
+	buf[0] = byte('Q') // distinct domain from the primary proposal
+	binary.BigEndian.PutUint64(buf[1:], round)
+	binary.BigEndian.PutUint64(buf[9:], uint64(int64(proposer)))
+	binary.BigEndian.PutUint64(buf[17:], uint64(int64(variant)))
+	return sha256.Sum256(buf[:])
+}
+
 // votePayload is a signed committee vote for a block hash at a given
 // (round, step), carrying the sortition proof of committee membership.
 type votePayload struct {
@@ -62,5 +77,24 @@ func voteID(round, step uint64, final bool, voter int) [32]byte {
 	binary.BigEndian.PutUint64(buf[2:], round)
 	binary.BigEndian.PutUint64(buf[10:], step)
 	binary.BigEndian.PutUint64(buf[18:], uint64(int64(voter)))
+	return sha256.Sum256(buf[:])
+}
+
+// voteVariantID identifies the variant'th equivocating vote from one
+// voter at a (round, step). Variant 0 is the historical voteID
+// byte-for-byte.
+func voteVariantID(round, step uint64, final bool, voter, variant int) [32]byte {
+	if variant == 0 {
+		return voteID(round, step, final, voter)
+	}
+	var buf [34]byte
+	buf[0] = byte('W') // distinct domain from the primary vote
+	if final {
+		buf[1] = 1
+	}
+	binary.BigEndian.PutUint64(buf[2:], round)
+	binary.BigEndian.PutUint64(buf[10:], step)
+	binary.BigEndian.PutUint64(buf[18:], uint64(int64(voter)))
+	binary.BigEndian.PutUint64(buf[26:], uint64(int64(variant)))
 	return sha256.Sum256(buf[:])
 }

@@ -75,6 +75,9 @@ type Config struct {
 	LossProb float64
 	Seed     int64
 	Reward   RewardHook
+	// Hooks are the optional adversary seams (see Hooks); the zero value
+	// leaves the run bit-for-bit identical to a hook-free build.
+	Hooks Hooks
 }
 
 // DefaultLossProb is the effective per-hop gossip loss used when
@@ -131,6 +134,13 @@ type Runner struct {
 	// handed to the reward hook.
 	roleTaken   []bool
 	roleScratch []RoleStake
+
+	// hooks are the adversary seams; all-nil for ordinary runs.
+	// stepRevealed stages the nodes whose sortition credential was
+	// revealed in the current step, for the StepDone hook; it is only
+	// populated when that hook is installed.
+	hooks        Hooks
+	stepRevealed []int
 }
 
 // NewRunner validates cfg and builds the simulation.
@@ -167,6 +177,7 @@ func NewRunner(cfg Config) (*Runner, error) {
 		proposers: make(map[int]float64),
 		voters:    make(map[int]float64),
 		roleTaken: make([]bool, len(cfg.Stakes)),
+		hooks:     cfg.Hooks,
 	}
 	for i := range r.nodes {
 		acct, err := canonical.Account(i)
@@ -314,6 +325,13 @@ func (r *Runner) runRound() RoundReport {
 	r.votePool.reset()
 	r.propPool.reset()
 
+	// Adversary phase transitions happen here, before nodes derive seeds
+	// or pay sortition costs, so behaviour flips and crash churn apply to
+	// the whole round.
+	if r.hooks.RoundStart != nil {
+		r.hooks.RoundStart(round)
+	}
+
 	for _, nd := range r.nodes {
 		nd.synced = nd.ledger.Round() == round && nd.ledger.Tip() == r.canonical.Tip()
 		nd.beginRound(round)
@@ -348,6 +366,9 @@ func (r *Runner) runRound() RoundReport {
 	report.Desynced = r.countDesynced()
 	if r.reward != nil {
 		r.reward(r.collectRoles(round), report)
+	}
+	if r.hooks.RoundEnd != nil {
+		r.hooks.RoundEnd(round, report)
 	}
 	return report
 }
@@ -392,21 +413,57 @@ func (r *Runner) proposePhase(round uint64) {
 		}
 		r.proposers[nd.id] = float64(res.SubUsers)
 		r.meter.of(nd.id).Propose++
-		block := r.assembleBlock(nd, round)
-		payload := r.propPool.take()
-		*payload = proposalPayload{
-			Block:      block,
-			BlockHash:  block.Hash(),
-			Credential: res,
-			Proposer:   nd.id,
+		r.reveal(nd.id)
+		fan := 1
+		if r.hooks.ProposalFan != nil {
+			fan = r.hooks.ProposalFan(nd.id, round)
 		}
-		r.net.Gossip(nd.id, network.Message{
-			ID:      proposalID(round, nd.id),
-			Kind:    network.KindProposal,
-			Origin:  nd.id,
-			Payload: payload,
-		})
+		if fan < 1 {
+			continue // withheld proposal: selected and assembled, never sent
+		}
+		block := r.assembleBlock(nd, round)
+		for v := 0; v < fan; v++ {
+			variant := block
+			if v > 0 {
+				// Equivocating variants perturb the seed field, which the
+				// block hash covers but chain validation does not pin, so
+				// each variant is a distinct structurally-valid block under
+				// the same proposer credential.
+				variant.Seed[0] ^= byte(v)
+			}
+			payload := r.propPool.take()
+			*payload = proposalPayload{
+				Block:      variant,
+				BlockHash:  variant.Hash(),
+				Credential: res,
+				Proposer:   nd.id,
+			}
+			r.net.Gossip(nd.id, network.Message{
+				ID:      proposalVariantID(round, nd.id, v),
+				Kind:    network.KindProposal,
+				Origin:  nd.id,
+				Payload: payload,
+			})
+		}
 	}
+	r.stepDone(round, 0)
+}
+
+// reveal stages a node whose sortition credential just became public, for
+// the StepDone adaptive-corruption seam. No-op unless the hook is set.
+func (r *Runner) reveal(id int) {
+	if r.hooks.StepDone != nil {
+		r.stepRevealed = append(r.stepRevealed, id)
+	}
+}
+
+// stepDone flushes the revealed set to the StepDone hook.
+func (r *Runner) stepDone(round, step uint64) {
+	if r.hooks.StepDone == nil {
+		return
+	}
+	r.hooks.StepDone(round, step, r.stepRevealed)
+	r.stepRevealed = r.stepRevealed[:0]
 }
 
 // assembleBlock packs pending valid transactions into a proposal. A
@@ -448,6 +505,7 @@ func (r *Runner) reductionStep1(round uint64) {
 		r.meter.of(nd.id).SelectBlock++
 		r.castVote(nd, round, 1, false, value)
 	}
+	r.stepDone(round, 1)
 }
 
 func (r *Runner) reductionStep2(round uint64) {
@@ -462,6 +520,7 @@ func (r *Runner) reductionStep2(round uint64) {
 		}
 		r.castVote(nd, round, 2, false, value)
 	}
+	r.stepDone(round, 2)
 }
 
 // binaryStep first evaluates the previous step's tally and then, if the
@@ -488,6 +547,7 @@ func (r *Runner) binaryStep(round, step uint64) {
 		}
 		r.castVote(nd, round, step, false, nd.value)
 	}
+	r.stepDone(round, step)
 }
 
 // evaluateBinaryTally applies the BinaryBA* decision rule to one tally.
@@ -495,12 +555,13 @@ func (r *Runner) evaluateBinaryTally(nd *node, t *stepTally, quorum float64, ste
 	empty := nd.emptyHash()
 	var bestNonEmpty ledger.Hash
 	bestW := 0.0
-	for v, w := range t.weights {
-		if v == empty {
+	for i := range t.slots {
+		e := &t.slots[i]
+		if !e.live || e.key == empty {
 			continue
 		}
-		if w > bestW || (w == bestW && hashLess(v, bestNonEmpty)) {
-			bestNonEmpty, bestW = v, w
+		if e.w > bestW || (e.w == bestW && hashLess(e.key, bestNonEmpty)) {
+			bestNonEmpty, bestW = e.key, e.w
 		}
 	}
 	switch {
@@ -536,9 +597,28 @@ func (r *Runner) castVote(nd *node, round, step uint64, final bool, value ledger
 	}
 	r.voters[nd.id] = r.voters[nd.id] + float64(res.SubUsers)
 	r.meter.of(nd.id).Vote++
+	r.reveal(nd.id)
 	if nd.behavior == Malicious {
 		value = r.maliciousValue(nd, value)
 	}
+	if r.hooks.VoteValues != nil {
+		if values, ok := r.hooks.VoteValues(nd.id, round, step, final, value, nd.emptyHash()); ok {
+			// Equivocation (or, for an empty slice, selective silence): one
+			// vote per value, each under its own message ID but the same
+			// revealed credential.
+			for v, val := range values {
+				r.emitVote(nd, round, step, final, val, v, res)
+			}
+			return
+		}
+	}
+	r.emitVote(nd, round, step, final, value, 0, res)
+}
+
+// emitVote gossips one committee vote. variant distinguishes equivocating
+// votes from the same (round, step, voter); variant 0 reproduces the
+// historical message ID byte-for-byte.
+func (r *Runner) emitVote(nd *node, round, step uint64, final bool, value ledger.Hash, variant int, res sortition.Result) {
 	payload := r.votePool.take()
 	*payload = votePayload{
 		Round:      round,
@@ -549,7 +629,7 @@ func (r *Runner) castVote(nd *node, round, step uint64, final bool, value ledger
 		Credential: res,
 	}
 	r.net.Gossip(nd.id, network.Message{
-		ID:      voteID(round, step, final, nd.id),
+		ID:      voteVariantID(round, step, final, nd.id, variant),
 		Kind:    network.KindVote,
 		Origin:  nd.id,
 		Payload: payload,

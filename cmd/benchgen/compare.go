@@ -22,11 +22,16 @@ import (
 //     ↔ BenchmarkFig3) — enforced only when baseline and candidate ran
 //     on the same hardware (goos/goarch/cpu count), advisory otherwise:
 //     wall time on a different machine says nothing about the code;
-//   - allocs/op may not regress at all on gated workloads — the gated
-//     workloads measure a fixed, seeded iteration window (see genBench),
-//     so their allocation counts are deterministic and any increase is a
-//     real code change, not noise (a Go toolchain bump can also shift
-//     runtime allocations: regenerate the baseline in that case);
+//   - allocs/op may not regress beyond a small absolute slack on gated
+//     workloads — the gated workloads measure a fixed, seeded iteration
+//     window (see genBench), so the simulation's own allocation sequence
+//     is deterministic; the runtime still contributes a few background
+//     allocations per window (GC workers, timer wakeups), measured at
+//     ±3/op on identical binaries, which the slack absorbs. Any real
+//     per-call regression adds at least one alloc per iteration (+100/op
+//     on the 100x windows) and still trips the gate. A Go toolchain bump
+//     can shift runtime allocations past the slack: regenerate the
+//     baseline in that case;
 //   - headline figure metrics must match the baseline bit-for-bit: they
 //     are seed-pinned, so a diff is a behaviour change that must go
 //     through the golden-figure update flow instead.
@@ -34,6 +39,16 @@ import (
 // maxNsRegression is the tolerated fractional ns/op increase on gated
 // workloads (noise margin for shared CI runners).
 const maxNsRegression = 0.20
+
+// allocSlack returns the tolerated allocs/op increase for a baseline
+// value: the greater of 4 allocations and 0.1%, covering the runtime's
+// background-allocation jitter without masking per-iteration leaks.
+func allocSlack(base int64) int64 {
+	if s := base / 1000; s > 4 {
+		return s
+	}
+	return 4
+}
 
 // gatedWorkloads maps persisted workload keys to the benchmark names
 // developers know them by.
@@ -43,6 +58,14 @@ var gatedWorkloads = []struct{ key, bench string }{
 	// The adversary-engine + fault-overlay path; absent from baselines
 	// older than PR 4, where the gate reports it skipped.
 	{"scenario_eclipse_100", "cmd/scenario eclipse_equivocation"},
+	// The resync-heavy -full grid workload on COW ledger views; absent
+	// from baselines older than PR 5. Its _deepclone companion is
+	// informational only (it measures the oracle path, which is slower
+	// by design) and deliberately not gated.
+	{"crash_churn_500", "cmd/scenario crash_churn -fullNodes 500"},
+	// The isolated per-desync catch-up cost (clone + one write); pinned
+	// so resync never silently regresses to O(accounts) again.
+	{"ledger_resync_4096", "ledger.CloneView + Credit"},
 }
 
 func loadBench(path string) (*BenchFile, error) {
@@ -139,9 +162,9 @@ func runCompare(baselinePath, candidatePath string) error {
 				fmt.Printf("warning: %s ns/op +%.1f%% vs baseline, not gated across differing hardware\n", g.key, delta*100)
 			}
 		}
-		if c.AllocsPerOp > b.AllocsPerOp {
-			failures = append(failures, fmt.Sprintf("%s (%s): allocs/op regressed %d -> %d (any increase fails)",
-				g.key, g.bench, b.AllocsPerOp, c.AllocsPerOp))
+		if c.AllocsPerOp > b.AllocsPerOp+allocSlack(b.AllocsPerOp) {
+			failures = append(failures, fmt.Sprintf("%s (%s): allocs/op regressed %d -> %d (slack %d)",
+				g.key, g.bench, b.AllocsPerOp, c.AllocsPerOp, allocSlack(b.AllocsPerOp)))
 		}
 	}
 

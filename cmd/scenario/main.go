@@ -6,12 +6,23 @@
 //	scenario -list
 //	scenario [-nodes N] [-rounds N] [-runs N] [-seed N] [-workers N] [-trim F] [-out DIR] [name ...]
 //	scenario -all
+//	scenario -full [-fullNodes N] [-fullRounds N] [-fullSeeds N] [name ...]
 //
 // With no names and no -all, the bundled eclipse_equivocation scenario
 // runs. Each scenario writes two CSVs to -out: scenario_<name>.csv with
 // the per-round outcome fractions and scenario_<name>_audit.csv with the
 // merged audit counters. Every sweep goes through the deterministic run
 // pool: any -workers value yields bit-for-bit identical output.
+//
+// -full switches to the paper-scale robustness grid: every named (or,
+// by default, every registered) scenario crossed with -fullSeeds seeds
+// at -fullNodes nodes, one independent simulation per cell. Each cell
+// writes full_<name>_s<seed>.csv (per-round outcome fractions) and
+// full_<name>_s<seed>_audit.csv; full_grid_summary.csv collects one row
+// per cell. The grid rides the copy-on-write ledger views and the
+// run-pool arenas — the two mechanisms that make 500+-node cells
+// affordable — and the process exits non-zero if any cell's audit
+// observes a safety violation.
 package main
 
 import (
@@ -36,6 +47,10 @@ func main() {
 	workers := flag.Int("workers", 0, "run-pool workers (0 = GOMAXPROCS); results are identical for every value")
 	trim := flag.Float64("trim", 0.20, "trimmed-mean fraction for per-round aggregation")
 	outDir := flag.String("out", "results", "output directory for CSV files")
+	full := flag.Bool("full", false, "run the paper-scale scenario×seed grid instead of per-scenario sweeps")
+	fullNodes := flag.Int("fullNodes", 500, "-full: network size per grid cell")
+	fullRounds := flag.Int("fullRounds", 12, "-full: rounds per grid cell")
+	fullSeeds := flag.Int("fullSeeds", 3, "-full: number of seeds (1..N) forming the grid's second axis")
 	flag.Parse()
 
 	if *list {
@@ -46,6 +61,27 @@ func main() {
 	}
 
 	names := flag.Args()
+	if *full {
+		// The grid has its own axes (-fullNodes/-fullRounds/-fullSeeds);
+		// silently ignoring the per-sweep flags would hand the user a
+		// 500-node grid they did not configure, so reject the mix loudly.
+		conflicting := map[string]bool{
+			"nodes": true, "rounds": true, "runs": true,
+			"seed": true, "trim": true, "all": true,
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if conflicting[f.Name] {
+				log.Fatalf("-%s does not apply to -full (use -fullNodes/-fullRounds/-fullSeeds; the grid always runs seeds 1..N)", f.Name)
+			}
+		})
+		if len(names) == 0 {
+			names = adversary.Names()
+		}
+		if err := runFullGrid(names, *fullNodes, *fullRounds, *fullSeeds, *workers, *outDir); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *all {
 		names = adversary.Names()
 	} else if len(names) == 0 {
@@ -54,6 +90,52 @@ func main() {
 	if err := run(names, *nodes, *rounds, *runs, *seed, *workers, *trim, *outDir); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// runFullGrid executes the paper-scale scenario×seed grid and writes the
+// per-cell CSVs plus the grid summary.
+func runFullGrid(names []string, nodes, rounds, seeds, workers int, outDir string) error {
+	if seeds < 1 {
+		return fmt.Errorf("-fullSeeds must be >= 1, got %d", seeds)
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	cfg := experiments.FullScenarioGridConfig()
+	cfg.Scenarios = names
+	cfg.Nodes = nodes
+	cfg.Rounds = rounds
+	cfg.Workers = workers
+	cfg.Seeds = make([]int64, seeds)
+	for i := range cfg.Seeds {
+		cfg.Seeds[i] = int64(i + 1)
+	}
+	fmt.Printf("==> full grid: %d scenarios x %d seeds at %d nodes, %d rounds/cell\n",
+		len(cfg.Scenarios), seeds, nodes, rounds)
+	res, err := experiments.RunScenarioGrid(cfg)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteSummary(os.Stdout); err != nil {
+		return err
+	}
+	for i := range res.Cells {
+		cell := &res.Cells[i]
+		base := fmt.Sprintf("full_%s_s%d", cell.Scenario, cell.Seed)
+		if err := writeCSV(outDir, base+".csv", cell.Table()); err != nil {
+			return err
+		}
+		if err := writeCSV(outDir, base+"_audit.csv", cell.AuditTable()); err != nil {
+			return err
+		}
+	}
+	if err := writeCSV(outDir, "full_grid_summary.csv", res.SummaryTable()); err != nil {
+		return err
+	}
+	if v := res.SafetyViolations(); v > 0 {
+		return fmt.Errorf("safety audit failed: %d conflicting-finalisation round(s) across the grid", v)
+	}
+	return nil
 }
 
 func run(names []string, nodes, rounds, runs int, seed int64, workers int, trim float64, outDir string) error {

@@ -115,53 +115,58 @@ type fig3Run struct {
 }
 
 func runFig3Rate(cfg Fig3Config, rate float64) (Fig3Series, error) {
-	runs, err := runpool.Sweep(cfg.Runs, cfg.Workers, func(run int) (fig3Run, error) {
-		seed := cfg.Seed + int64(run)*7919 + int64(rate*1e4)
-		rng := sim.NewRNG(seed, "fig3.setup")
-		pop, err := stake.SamplePopulation(cfg.StakeDist, cfg.Nodes, rng)
-		if err != nil {
-			return fig3Run{}, err
-		}
-		behaviors := make([]protocol.Behavior, cfg.Nodes)
-		for i := range behaviors {
-			behaviors[i] = protocol.Honest
-		}
-		// Random uniform choice of defectors, as in the paper.
-		defectors := int(rate * float64(cfg.Nodes))
-		for _, idx := range rng.Perm(cfg.Nodes)[:defectors] {
-			behaviors[idx] = protocol.Selfish
-		}
-		runner, err := protocol.NewRunner(protocol.Config{
-			Params:    cfg.Params,
-			Stakes:    pop.Stakes,
-			Behaviors: behaviors,
-			Fanout:    cfg.Fanout,
-			Seed:      seed,
-		})
-		if err != nil {
-			return fig3Run{}, err
-		}
-		if cfg.Scenario != "" {
-			scn, ok := adversary.Lookup(cfg.Scenario)
-			if !ok {
-				return fig3Run{}, fmt.Errorf("unknown scenario %q", cfg.Scenario)
-			}
-			if _, err := adversary.Attach(runner, scn); err != nil {
+	// All per-run aggregation rows are carved from one slab (3 rows per
+	// run), and each run-pool worker carries a protocol.Arena so Runner
+	// construction is amortised across its runs; neither changes any
+	// output bit (see the golden tests and the arena contract).
+	slab := runpool.NewFloatSlab(3*cfg.Runs, cfg.Rounds)
+	runs, err := runpool.SweepWithState(cfg.Runs, cfg.Workers,
+		func(int) *protocol.Arena { return protocol.NewArena() },
+		func(run int, arena *protocol.Arena) (fig3Run, error) {
+			seed := cfg.Seed + int64(run)*7919 + int64(rate*1e4)
+			rng := sim.NewRNG(seed, "fig3.setup")
+			pop, err := stake.SamplePopulation(cfg.StakeDist, cfg.Nodes, rng)
+			if err != nil {
 				return fig3Run{}, err
 			}
-		}
-		out := fig3Run{
-			final:     make([]float64, cfg.Rounds),
-			tentative: make([]float64, cfg.Rounds),
-			none:      make([]float64, cfg.Rounds),
-		}
-		for round, report := range runner.RunRounds(cfg.Rounds) {
-			out.final[round] = report.FinalFrac()
-			out.tentative[round] = report.TentativeFrac()
-			out.none[round] = report.NoneFrac()
-		}
-		return out, nil
-	})
+			behaviors := arena.BehaviorBuf(cfg.Nodes)
+			// Random uniform choice of defectors, as in the paper.
+			defectors := int(rate * float64(cfg.Nodes))
+			for _, idx := range rng.Perm(cfg.Nodes)[:defectors] {
+				behaviors[idx] = protocol.Selfish
+			}
+			runner, err := protocol.NewRunner(protocol.Config{
+				Params:    cfg.Params,
+				Stakes:    pop.Stakes,
+				Behaviors: behaviors,
+				Fanout:    cfg.Fanout,
+				Seed:      seed,
+				Arena:     arena,
+			})
+			if err != nil {
+				return fig3Run{}, err
+			}
+			if cfg.Scenario != "" {
+				scn, ok := adversary.Lookup(cfg.Scenario)
+				if !ok {
+					return fig3Run{}, fmt.Errorf("unknown scenario %q", cfg.Scenario)
+				}
+				if _, err := adversary.Attach(runner, scn); err != nil {
+					return fig3Run{}, err
+				}
+			}
+			out := fig3Run{
+				final:     slab.Row(3 * run),
+				tentative: slab.Row(3*run + 1),
+				none:      slab.Row(3*run + 2),
+			}
+			for round, report := range runner.RunRounds(cfg.Rounds) {
+				out.final[round] = report.FinalFrac()
+				out.tentative[round] = report.TentativeFrac()
+				out.none[round] = report.NoneFrac()
+			}
+			return out, nil
+		})
 	if err != nil {
 		return Fig3Series{}, err
 	}

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"github.com/dsn2020-algorand/incentives/internal/adversary"
+	"github.com/dsn2020-algorand/incentives/internal/protocol"
+	"github.com/dsn2020-algorand/incentives/internal/runpool"
+	"github.com/dsn2020-algorand/incentives/internal/sim"
+	"github.com/dsn2020-algorand/incentives/internal/stake"
+	"github.com/dsn2020-algorand/incentives/internal/stats"
+)
+
+// ScenarioGridConfig parameterises the paper-scale robustness sweep the
+// `cmd/scenario -full` path runs: a scenario×seed grid where every cell
+// is one independent simulation at fig-scale node counts. Cells fan out
+// through the deterministic run pool with a per-worker protocol.Arena,
+// so Runner construction (topology, genesis, sortition cache) is
+// amortised across the grid — the reuse that, together with
+// copy-on-write ledger views, makes 500+-node grids affordable.
+type ScenarioGridConfig struct {
+	// Scenarios are the registered scenario names forming the grid's
+	// first axis.
+	Scenarios []string
+	// Seeds form the second axis: each (scenario, seed) cell runs once
+	// with that seed.
+	Seeds []int64
+	// Nodes is the network size per cell (the -full default is 500).
+	Nodes int
+	// Rounds is the number of simulated rounds per cell.
+	Rounds int
+	// Fanout is the gossip fan-out (paper: 5).
+	Fanout int
+	// Params overrides the protocol constants.
+	Params protocol.Params
+	// StakeDist draws per-node stakes (paper: U{1..50}).
+	StakeDist stake.Distribution
+	// Workers bounds the run pool's parallelism (0 = GOMAXPROCS). The
+	// result is identical for every worker count.
+	Workers int
+}
+
+// FullScenarioGridConfig is the paper-scale default: every registered
+// scenario at 500 nodes across three seeds.
+func FullScenarioGridConfig() ScenarioGridConfig {
+	return ScenarioGridConfig{
+		Scenarios: adversary.Names(),
+		Seeds:     []int64{1, 2, 3},
+		Nodes:     500,
+		Rounds:    12,
+		Fanout:    5,
+		Params:    protocol.DefaultParams(),
+		StakeDist: stake.UniformInt{A: 1, B: 50},
+	}
+}
+
+// GridCell is one completed (scenario, seed) simulation: per-round
+// outcome fractions plus the cell's safety/liveness audit.
+type GridCell struct {
+	Scenario string
+	Seed     int64
+	// Final/Tentative/None are the per-round outcome fractions.
+	Final, Tentative, None []float64
+	// Audit is this cell's safety/liveness report.
+	Audit adversary.Report
+}
+
+// ScenarioGridResult is the completed grid, cells in scenario-major
+// order (matching Config.Scenarios × Config.Seeds).
+type ScenarioGridResult struct {
+	Config ScenarioGridConfig
+	Cells  []GridCell
+}
+
+// RunScenarioGrid executes every cell through the deterministic run
+// pool and returns them in grid order.
+func RunScenarioGrid(cfg ScenarioGridConfig) (*ScenarioGridResult, error) {
+	if len(cfg.Scenarios) == 0 || len(cfg.Seeds) == 0 {
+		return nil, errors.New("experiments: grid needs at least one scenario and one seed")
+	}
+	if cfg.Nodes < 10 || cfg.Rounds < 1 {
+		return nil, errors.New("experiments: grid needs >=10 nodes and >=1 round")
+	}
+	if cfg.StakeDist == nil {
+		cfg.StakeDist = stake.UniformInt{A: 1, B: 50}
+	}
+	// Resolve every scenario up front so an unknown name fails before any
+	// cell burns cycles.
+	scenarios := make([]adversary.Scenario, len(cfg.Scenarios))
+	for i, name := range cfg.Scenarios {
+		scn, ok := adversary.Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: unknown scenario %q", name)
+		}
+		scenarios[i] = scn
+	}
+
+	cells := len(cfg.Scenarios) * len(cfg.Seeds)
+	slab := runpool.NewFloatSlab(3*cells, cfg.Rounds)
+	results, err := runpool.SweepWithState(cells, cfg.Workers,
+		func(int) *protocol.Arena { return protocol.NewArena() },
+		func(cell int, arena *protocol.Arena) (GridCell, error) {
+			si, ki := cell/len(cfg.Seeds), cell%len(cfg.Seeds)
+			seed := cfg.Seeds[ki]
+			out := GridCell{Scenario: cfg.Scenarios[si], Seed: seed}
+			rng := sim.NewRNG(seed, "scenario.setup")
+			pop, err := stake.SamplePopulation(cfg.StakeDist, cfg.Nodes, rng)
+			if err != nil {
+				return out, err
+			}
+			runner, err := protocol.NewRunner(protocol.Config{
+				Params:    cfg.Params,
+				Stakes:    pop.Stakes,
+				Behaviors: arena.BehaviorBuf(cfg.Nodes),
+				Fanout:    cfg.Fanout,
+				Seed:      seed,
+				Arena:     arena,
+			})
+			if err != nil {
+				return out, err
+			}
+			eng, err := adversary.Attach(runner, scenarios[si])
+			if err != nil {
+				return out, err
+			}
+			out.Final = slab.Row(3 * cell)
+			out.Tentative = slab.Row(3*cell + 1)
+			out.None = slab.Row(3*cell + 2)
+			for round, report := range runner.RunRounds(cfg.Rounds) {
+				out.Final[round] = report.FinalFrac()
+				out.Tentative[round] = report.TentativeFrac()
+				out.None[round] = report.NoneFrac()
+			}
+			out.Audit = eng.Audit().Report()
+			return out, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &ScenarioGridResult{Config: cfg, Cells: results}, nil
+}
+
+// SafetyViolations sums conflicting-finalisation rounds across the grid.
+func (r *ScenarioGridResult) SafetyViolations() int {
+	total := 0
+	for _, c := range r.Cells {
+		total += c.Audit.SafetyViolations
+	}
+	return total
+}
+
+// Table renders one cell's per-round outcome fractions.
+func (c *GridCell) Table() *stats.Table {
+	t := &stats.Table{}
+	roundCol := make([]float64, len(c.Final))
+	for i := range roundCol {
+		roundCol[i] = float64(i + 1)
+	}
+	t.AddColumn("round", roundCol)
+	t.AddColumn("final", c.Final)
+	t.AddColumn("tentative", c.Tentative)
+	t.AddColumn("none", c.None)
+	return t
+}
+
+// auditColumns appends one audit report's counters to the table column
+// set, prefixing nothing: the caller controls row multiplicity by
+// passing aligned slices.
+func auditTableColumns(t *stats.Table, reports []adversary.Report) {
+	col := func(name string, pick func(adversary.Report) float64) {
+		vals := make([]float64, len(reports))
+		for i, rep := range reports {
+			vals[i] = pick(rep)
+		}
+		t.AddColumn(name, vals)
+	}
+	col("rounds", func(a adversary.Report) float64 { return float64(a.Rounds) })
+	col("decided", func(a adversary.Report) float64 { return float64(a.Decided) })
+	col("empty_decided", func(a adversary.Report) float64 { return float64(a.EmptyDecided) })
+	col("stalls", func(a adversary.Report) float64 { return float64(a.Stalls) })
+	col("max_stall_run", func(a adversary.Report) float64 { return float64(a.MaxStallRun) })
+	col("safety_violations", func(a adversary.Report) float64 { return float64(a.SafetyViolations) })
+	col("corruptions", func(a adversary.Report) float64 { return float64(a.Corruptions) })
+	col("mean_final", func(a adversary.Report) float64 { return a.MeanFinalFrac })
+	col("mean_none", func(a adversary.Report) float64 { return a.MeanNoneFrac })
+	col("mean_desynced", func(a adversary.Report) float64 { return a.MeanDesynced })
+}
+
+// AuditTable renders one cell's audit as a one-row table with its seed,
+// the per-cell CSV the -full driver writes.
+func (c *GridCell) AuditTable() *stats.Table {
+	t := &stats.Table{}
+	t.AddColumn("seed", []float64{float64(c.Seed)})
+	auditTableColumns(t, []adversary.Report{c.Audit})
+	return t
+}
+
+// SummaryTable renders the whole grid, one row per cell: the scenario's
+// grid index, the seed, and the audit counters. Scenario names map to
+// indices in Config.Scenarios order (stats tables are numeric); the
+// textual summary carries the names.
+func (r *ScenarioGridResult) SummaryTable() *stats.Table {
+	t := &stats.Table{}
+	idx := make([]float64, len(r.Cells))
+	seeds := make([]float64, len(r.Cells))
+	reports := make([]adversary.Report, len(r.Cells))
+	for i, c := range r.Cells {
+		idx[i] = float64(i / len(r.Config.Seeds))
+		seeds[i] = float64(c.Seed)
+		reports[i] = c.Audit
+	}
+	t.AddColumn("scenario_idx", idx)
+	t.AddColumn("seed", seeds)
+	auditTableColumns(t, reports)
+	return t
+}
+
+// WriteSummary prints one line per cell plus the grid verdict.
+func (r *ScenarioGridResult) WriteSummary(w io.Writer) error {
+	for _, c := range r.Cells {
+		if _, err := fmt.Fprintf(w, "%-22s seed %-3d ", c.Scenario, c.Seed); err != nil {
+			return err
+		}
+		if err := c.Audit.WriteSummary(w); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "grid: %d cells (%d scenarios x %d seeds), %d nodes, %d rounds/cell, safety violations %d\n",
+		len(r.Cells), len(r.Config.Scenarios), len(r.Config.Seeds),
+		r.Config.Nodes, r.Config.Rounds, r.SafetyViolations())
+	return err
+}

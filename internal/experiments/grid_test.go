@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"testing"
+
+	"github.com/dsn2020-algorand/incentives/internal/adversary"
+	"github.com/dsn2020-algorand/incentives/internal/ledger"
+)
+
+func smallGridConfig() ScenarioGridConfig {
+	cfg := FullScenarioGridConfig()
+	cfg.Scenarios = []string{adversary.HonestBaseline, "crash_churn"}
+	cfg.Seeds = []int64{1, 2}
+	cfg.Nodes = 40
+	cfg.Rounds = 5
+	return cfg
+}
+
+func gridDigest(t *testing.T, res *ScenarioGridResult) string {
+	t.Helper()
+	out := ""
+	for _, c := range res.Cells {
+		table, err := marshalTable(c.Table())
+		if err != nil {
+			t.Fatal(err)
+		}
+		audit, err := marshalTable(c.AuditTable())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out += c.Scenario + ":" + string(table) + string(audit)
+	}
+	return out
+}
+
+// TestScenarioGridShapeAndSafety runs a small grid end to end: every
+// cell present in grid order, every round observed, no safety
+// violations on the bundled scenarios.
+func TestScenarioGridShapeAndSafety(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol simulation")
+	}
+	cfg := smallGridConfig()
+	res, err := RunScenarioGrid(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("got %d cells, want 4", len(res.Cells))
+	}
+	for i, c := range res.Cells {
+		wantScn := cfg.Scenarios[i/2]
+		wantSeed := cfg.Seeds[i%2]
+		if c.Scenario != wantScn || c.Seed != wantSeed {
+			t.Fatalf("cell %d is (%s, %d), want (%s, %d)", i, c.Scenario, c.Seed, wantScn, wantSeed)
+		}
+		if c.Audit.Rounds != cfg.Rounds {
+			t.Fatalf("cell %d observed %d rounds, want %d", i, c.Audit.Rounds, cfg.Rounds)
+		}
+		if len(c.Final) != cfg.Rounds {
+			t.Fatalf("cell %d has %d per-round rows, want %d", i, len(c.Final), cfg.Rounds)
+		}
+	}
+	if v := res.SafetyViolations(); v != 0 {
+		t.Fatalf("safety violated %d times on bundled scenarios", v)
+	}
+	if got := res.SummaryTable().Columns[0].Name; got != "scenario_idx" {
+		t.Fatalf("summary table first column %q", got)
+	}
+}
+
+// TestScenarioGridDeterministicAcrossWorkers pins the grid's run-pool
+// contract: any worker count yields bit-identical cells, which also
+// proves the per-worker arenas leak no state between cells (workers pick
+// up different cell subsets at different widths).
+func TestScenarioGridDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol simulation")
+	}
+	cfg := smallGridConfig()
+	var first string
+	for _, workers := range []int{1, 2, 3, 8} {
+		cfg.Workers = workers
+		res, err := RunScenarioGrid(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		digest := gridDigest(t, res)
+		if first == "" {
+			first = digest
+		} else if digest != first {
+			t.Fatalf("workers=%d grid differs from workers=1", workers)
+		}
+	}
+}
+
+// TestScenarioGridUnknownScenario fails fast.
+func TestScenarioGridUnknownScenario(t *testing.T) {
+	cfg := smallGridConfig()
+	cfg.Scenarios = []string{"no_such_scenario"}
+	if _, err := RunScenarioGrid(cfg); err == nil {
+		t.Fatal("unknown scenario did not error")
+	}
+}
+
+// TestCrashChurnCOWMatchesDeepCloneOracle is the system-level
+// differential oracle for the copy-on-write ledger: a desync-heavy
+// crash-churn sweep (many catch-up clones per round) must be
+// bit-identical whether views are COW overlays or the legacy deep
+// copies. It flips the process-wide clone switch, so it must not run in
+// parallel with other tests.
+func TestCrashChurnCOWMatchesDeepCloneOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol simulation")
+	}
+	run := func() string {
+		cfg := DefaultScenarioConfig("crash_churn")
+		cfg.Nodes = 50
+		cfg.Rounds = 8
+		cfg.Runs = 3
+		cfg.Workers = 2
+		res, err := RunScenario(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		table, err := marshalTable(res.Table())
+		if err != nil {
+			t.Fatal(err)
+		}
+		audit, err := marshalTable(res.AuditTable())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(table) + string(audit)
+	}
+	cow := run()
+	prev := ledger.SetDeepCloneViews(true)
+	deep := run()
+	ledger.SetDeepCloneViews(prev)
+	if cow != deep {
+		t.Fatal("crash_churn output diverges between COW views and the deep-clone oracle")
+	}
+}
+
+// TestEclipseArenaDeterministicAcrossWorkers extends the eclipse
+// determinism pin to odd worker counts, exercising arena reuse under
+// maximally uneven run-to-worker assignments.
+func TestEclipseArenaDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol simulation")
+	}
+	run := func(workers int) string {
+		cfg := DefaultScenarioConfig(adversary.EclipseEquivocation)
+		cfg.Nodes = 50
+		cfg.Rounds = 6
+		cfg.Runs = 5
+		cfg.Workers = workers
+		res, err := RunScenario(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		table, err := marshalTable(res.Table())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(table)
+	}
+	first := run(1)
+	for _, workers := range []int{2, 3, 5} {
+		if got := run(workers); got != first {
+			t.Fatalf("workers=%d eclipse output differs from workers=1", workers)
+		}
+	}
+}

@@ -89,44 +89,46 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		return nil, fmt.Errorf("experiments: unknown scenario %q", cfg.Scenario)
 	}
 
-	runs, err := runpool.Sweep(cfg.Runs, cfg.Workers, func(run int) (scenarioRun, error) {
-		seed := cfg.Seed + int64(run)*7919
-		rng := sim.NewRNG(seed, "scenario.setup")
-		pop, err := stake.SamplePopulation(cfg.StakeDist, cfg.Nodes, rng)
-		if err != nil {
-			return scenarioRun{}, err
-		}
-		behaviors := make([]protocol.Behavior, cfg.Nodes)
-		for i := range behaviors {
-			behaviors[i] = protocol.Honest
-		}
-		runner, err := protocol.NewRunner(protocol.Config{
-			Params:    cfg.Params,
-			Stakes:    pop.Stakes,
-			Behaviors: behaviors,
-			Fanout:    cfg.Fanout,
-			Seed:      seed,
+	// Aggregation rows come from one slab and each worker reuses a
+	// protocol.Arena across its runs — output-neutral, see RunFig3.
+	slab := runpool.NewFloatSlab(3*cfg.Runs, cfg.Rounds)
+	runs, err := runpool.SweepWithState(cfg.Runs, cfg.Workers,
+		func(int) *protocol.Arena { return protocol.NewArena() },
+		func(run int, arena *protocol.Arena) (scenarioRun, error) {
+			seed := cfg.Seed + int64(run)*7919
+			rng := sim.NewRNG(seed, "scenario.setup")
+			pop, err := stake.SamplePopulation(cfg.StakeDist, cfg.Nodes, rng)
+			if err != nil {
+				return scenarioRun{}, err
+			}
+			runner, err := protocol.NewRunner(protocol.Config{
+				Params:    cfg.Params,
+				Stakes:    pop.Stakes,
+				Behaviors: arena.BehaviorBuf(cfg.Nodes),
+				Fanout:    cfg.Fanout,
+				Seed:      seed,
+				Arena:     arena,
+			})
+			if err != nil {
+				return scenarioRun{}, err
+			}
+			eng, err := adversary.Attach(runner, scn)
+			if err != nil {
+				return scenarioRun{}, err
+			}
+			out := scenarioRun{
+				final:     slab.Row(3 * run),
+				tentative: slab.Row(3*run + 1),
+				none:      slab.Row(3*run + 2),
+			}
+			for round, report := range runner.RunRounds(cfg.Rounds) {
+				out.final[round] = report.FinalFrac()
+				out.tentative[round] = report.TentativeFrac()
+				out.none[round] = report.NoneFrac()
+			}
+			out.audit = eng.Audit().Report()
+			return out, nil
 		})
-		if err != nil {
-			return scenarioRun{}, err
-		}
-		eng, err := adversary.Attach(runner, scn)
-		if err != nil {
-			return scenarioRun{}, err
-		}
-		out := scenarioRun{
-			final:     make([]float64, cfg.Rounds),
-			tentative: make([]float64, cfg.Rounds),
-			none:      make([]float64, cfg.Rounds),
-		}
-		for round, report := range runner.RunRounds(cfg.Rounds) {
-			out.final[round] = report.FinalFrac()
-			out.tentative[round] = report.TentativeFrac()
-			out.none[round] = report.NoneFrac()
-		}
-		out.audit = eng.Audit().Report()
-		return out, nil
-	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,9 @@
+//go:build ledger_deepclone
+
+package ledger
+
+// Building with -tags ledger_deepclone forces every CloneView through the
+// historical deep-copy path process-wide. CI runs the golden figure tests
+// under this tag: identical outputs prove the copy-on-write overlay is
+// observably equivalent to independent full replicas.
+func init() { deepCloneViews = true }

@@ -129,15 +129,86 @@ var (
 	ErrBadAmount       = errors.New("ledger: non-positive transaction amount")
 )
 
+// Account pages: the account table is stored as fixed-span pages so a
+// view can be cloned by sharing page pointers instead of copying every
+// Account. A page shared with another view is frozen; the first write
+// through either side materializes a private copy of just that page
+// (copy-on-write), so a catch-up resync costs O(pages touched) instead of
+// O(accounts).
+const (
+	pageShift = 6
+	pageSize  = 1 << pageShift
+)
+
+// accountPage is one fixed-span slice of the account table. frozen marks
+// the page as shared with at least one other view: it must be copied
+// before the next write. The flag is monotonic per page object — it is
+// never cleared, a writer installs a fresh unfrozen page instead.
+type accountPage struct {
+	frozen bool
+	accts  []Account
+}
+
+// copyForWrite returns a private, unfrozen copy of p.
+func (p *accountPage) copyForWrite() *accountPage {
+	np := &accountPage{accts: make([]Account, len(p.accts))}
+	copy(np.accts, p.accts)
+	return np
+}
+
+// newPagedAccounts builds an unfrozen page table for n accounts, carving
+// every page's span from one backing allocation.
+func newPagedAccounts(n int) []*accountPage {
+	numPages := (n + pageSize - 1) / pageSize
+	pages := make([]*accountPage, numPages)
+	headers := make([]accountPage, numPages)
+	backing := make([]Account, n)
+	for pi := range pages {
+		lo := pi * pageSize
+		hi := lo + pageSize
+		if hi > n {
+			hi = n
+		}
+		headers[pi].accts = backing[lo:hi:hi]
+		pages[pi] = &headers[pi]
+	}
+	return pages
+}
+
 // Ledger is one node's view of the chain plus the account table. The
 // simulator shares a single genesis account table across nodes and lets
-// each node maintain its own chain replica.
+// each node maintain its own chain replica. Views are copy-on-write: see
+// CloneView for the sharing contract.
 type Ledger struct {
-	accounts []Account
-	blocks   []Block
-	seed     Hash
-	tip      Hash // memoised hash of the last block; zero at genesis
-	fees     float64
+	// nAccounts is the account count; pages is the COW page table.
+	nAccounts int
+	pages     []*accountPage
+	// blockPrefix is the committed chain inherited from the clone source:
+	// an immutable, capacity-clamped shared slice this view never appends
+	// to or mutates. blocks holds the blocks this view committed itself.
+	blockPrefix []Block
+	blocks      []Block
+	seed        Hash
+	tip         Hash // memoised hash of the last block; zero at genesis
+	fees        float64
+}
+
+// acctAt returns a read-only pointer to account id; the caller must not
+// write through it (the page may be frozen).
+func (l *Ledger) acctAt(id int) *Account {
+	return &l.pages[id>>pageShift].accts[id&(pageSize-1)]
+}
+
+// mutableAcct returns a writable pointer to account id, materializing a
+// private copy of its page first when the page is shared.
+func (l *Ledger) mutableAcct(id int) *Account {
+	pi := id >> pageShift
+	p := l.pages[pi]
+	if p.frozen {
+		p = p.copyForWrite()
+		l.pages[pi] = p
+	}
+	return &p.accts[id&(pageSize-1)]
 }
 
 // FeesCollected returns the cumulative transaction fees deducted by
@@ -148,69 +219,145 @@ func (l *Ledger) FeesCollected() float64 { return l.fees }
 // whose keys derive from rng. The genesis seed Q_0 derives from the seed
 // material of rng too, so two ledgers built with identical streams agree.
 func Genesis(stakes []float64, rng *rand.Rand) *Ledger {
-	accounts := make([]Account, len(stakes))
+	l := &Ledger{nAccounts: len(stakes), pages: newPagedAccounts(len(stakes))}
 	for i, s := range stakes {
-		accounts[i] = Account{ID: i, Keys: vrf.GenerateKey(rng), Stake: s}
+		*l.acctAt(i) = Account{ID: i, Keys: vrf.GenerateKey(rng), Stake: s}
 	}
 	var seed Hash
 	for i := 0; i < len(seed); i += 8 {
 		binary.LittleEndian.PutUint64(seed[i:], rng.Uint64())
 	}
-	return &Ledger{accounts: accounts, seed: seed}
+	l.seed = seed
+	return l
 }
 
-// CloneView returns an independent replica sharing the same genesis state.
-// Each node in the network simulator holds its own view.
+// deepCloneViews routes CloneView to the historical full-copy
+// implementation, the differential oracle for the copy-on-write overlay.
+// Build with -tags ledger_deepclone to force it process-wide, or flip it
+// from a test with SetDeepCloneViews.
+var deepCloneViews = false
+
+// SetDeepCloneViews toggles the deep-clone oracle path for every
+// subsequent CloneView and returns the previous setting. It exists for
+// differential tests; it must not be flipped while simulations run
+// concurrently.
+func SetDeepCloneViews(on bool) (previous bool) {
+	previous = deepCloneViews
+	deepCloneViews = on
+	return previous
+}
+
+// CloneView returns an independent replica of this view. The replica is
+// observably a snapshot — later writes on either side are invisible to
+// the other — but shares storage copy-on-write: account pages are frozen
+// and materialized privately on first write (Credit or a block's
+// transaction apply), and the committed chain is inherited as an
+// immutable shared prefix. Cloning is therefore O(pages), not
+// O(accounts + blocks); the historical deep copy survives behind the
+// ledger_deepclone build tag / SetDeepCloneViews as a differential
+// oracle.
 func (l *Ledger) CloneView() *Ledger {
-	accounts := make([]Account, len(l.accounts))
-	copy(accounts, l.accounts)
-	blocks := make([]Block, len(l.blocks))
-	copy(blocks, l.blocks)
-	return &Ledger{accounts: accounts, blocks: blocks, seed: l.seed, tip: l.tip, fees: l.fees}
+	if deepCloneViews {
+		return l.deepClone()
+	}
+	pages := make([]*accountPage, len(l.pages))
+	copy(pages, l.pages)
+	for _, p := range l.pages {
+		p.frozen = true
+	}
+	v := &Ledger{
+		nAccounts: l.nAccounts,
+		pages:     pages,
+		seed:      l.seed,
+		tip:       l.tip,
+		fees:      l.fees,
+	}
+	switch {
+	case len(l.blocks) == 0:
+		v.blockPrefix = l.blockPrefix
+	case len(l.blockPrefix) == 0:
+		// Clamp capacity so the source's future appends (which may write
+		// the backing array beyond this length) stay invisible here.
+		v.blockPrefix = l.blocks[:len(l.blocks):len(l.blocks)]
+	default:
+		// The source both inherited a prefix and appended its own blocks:
+		// flatten once into a fresh immutable prefix. The runner only
+		// clones the canonical chain (prefix always empty there), so this
+		// path is cold.
+		flat := make([]Block, 0, len(l.blockPrefix)+len(l.blocks))
+		flat = append(flat, l.blockPrefix...)
+		flat = append(flat, l.blocks...)
+		v.blockPrefix = flat
+	}
+	return v
+}
+
+// deepClone is the pre-COW CloneView: full private copies of the account
+// table and the block list, sharing nothing.
+func (l *Ledger) deepClone() *Ledger {
+	v := &Ledger{
+		nAccounts: l.nAccounts,
+		pages:     newPagedAccounts(l.nAccounts),
+		seed:      l.seed,
+		tip:       l.tip,
+		fees:      l.fees,
+	}
+	for i := 0; i < l.nAccounts; i++ {
+		*v.acctAt(i) = *l.acctAt(i)
+	}
+	total := len(l.blockPrefix) + len(l.blocks)
+	if total > 0 {
+		v.blocks = make([]Block, 0, total)
+		v.blocks = append(v.blocks, l.blockPrefix...)
+		v.blocks = append(v.blocks, l.blocks...)
+	}
+	return v
 }
 
 // NumAccounts returns the number of accounts.
-func (l *Ledger) NumAccounts() int { return len(l.accounts) }
+func (l *Ledger) NumAccounts() int { return l.nAccounts }
 
 // Account returns account id, or an error when out of range.
 func (l *Ledger) Account(id int) (Account, error) {
-	if id < 0 || id >= len(l.accounts) {
+	if id < 0 || id >= l.nAccounts {
 		return Account{}, ErrUnknownAccount
 	}
-	return l.accounts[id], nil
+	return *l.acctAt(id), nil
 }
 
 // Stake returns the balance of account id (0 when unknown).
 func (l *Ledger) Stake(id int) float64 {
-	if id < 0 || id >= len(l.accounts) {
+	if id < 0 || id >= l.nAccounts {
 		return 0
 	}
-	return l.accounts[id].Stake
+	return l.acctAt(id).Stake
 }
 
 // TotalStake returns S_N, the total stake across accounts.
 func (l *Ledger) TotalStake() float64 {
 	sum := 0.0
-	for _, a := range l.accounts {
-		sum += a.Stake
+	for _, p := range l.pages {
+		for i := range p.accts {
+			sum += p.accts[i].Stake
+		}
 	}
 	return sum
 }
 
 // Credit adds amount Algos to account id; used by reward disbursement.
 func (l *Ledger) Credit(id int, amount float64) error {
-	if id < 0 || id >= len(l.accounts) {
+	if id < 0 || id >= l.nAccounts {
 		return ErrUnknownAccount
 	}
 	if amount < 0 {
 		return ErrBadAmount
 	}
-	l.accounts[id].Stake += amount
+	l.mutableAcct(id).Stake += amount
 	return nil
 }
 
 // Round returns the next round to be agreed on (1 + number of blocks).
-func (l *Ledger) Round() uint64 { return uint64(len(l.blocks)) + 1 }
+func (l *Ledger) Round() uint64 { return uint64(len(l.blockPrefix)+len(l.blocks)) + 1 }
 
 // Tip returns the hash of the last agreed block, or the zero hash at
 // genesis. The hash is memoised at Append time: consensus consults the
@@ -243,10 +390,10 @@ func (l *Ledger) ValidateTx(tx Transaction) error {
 	if tx.Amount <= 0 || tx.Fee < 0 {
 		return ErrBadAmount
 	}
-	if tx.From < 0 || tx.From >= len(l.accounts) || tx.To < 0 || tx.To >= len(l.accounts) {
+	if tx.From < 0 || tx.From >= l.nAccounts || tx.To < 0 || tx.To >= l.nAccounts {
 		return ErrUnknownAccount
 	}
-	if l.accounts[tx.From].Stake < tx.Amount+tx.Fee {
+	if l.acctAt(tx.From).Stake < tx.Amount+tx.Fee {
 		return ErrInsufficientBal
 	}
 	return nil
@@ -284,8 +431,8 @@ func (l *Ledger) Append(b Block) error {
 			if err := l.ValidateTx(tx); err != nil {
 				continue // invalid-at-apply transactions are skipped, not fatal
 			}
-			l.accounts[tx.From].Stake -= tx.Amount + tx.Fee
-			l.accounts[tx.To].Stake += tx.Amount
+			l.mutableAcct(tx.From).Stake -= tx.Amount + tx.Fee
+			l.mutableAcct(tx.To).Stake += tx.Amount
 			l.fees += tx.Fee
 		}
 	}
@@ -297,22 +444,38 @@ func (l *Ledger) Append(b Block) error {
 
 // BlockAt returns the agreed block for round r (1-based).
 func (l *Ledger) BlockAt(r uint64) (Block, bool) {
-	if r < 1 || r > uint64(len(l.blocks)) {
+	if r < 1 || r > uint64(len(l.blockPrefix)+len(l.blocks)) {
 		return Block{}, false
 	}
-	return l.blocks[r-1], true
+	if p := uint64(len(l.blockPrefix)); r <= p {
+		return l.blockPrefix[r-1], true
+	}
+	return l.blocks[r-1-uint64(len(l.blockPrefix))], true
 }
 
 // Len returns the number of committed blocks.
-func (l *Ledger) Len() int { return len(l.blocks) }
+func (l *Ledger) Len() int { return len(l.blockPrefix) + len(l.blocks) }
 
 // Stakes returns a copy of all balances, indexed by account ID.
 func (l *Ledger) Stakes() []float64 {
-	out := make([]float64, len(l.accounts))
-	for i, a := range l.accounts {
-		out[i] = a.Stake
+	return l.StakesInto(nil)
+}
+
+// StakesInto fills dst with all balances indexed by account ID, growing
+// it as needed, and returns it; dst may be nil. Callers on the round hot
+// path reuse one buffer instead of allocating per call.
+func (l *Ledger) StakesInto(dst []float64) []float64 {
+	if cap(dst) < l.nAccounts {
+		dst = make([]float64, l.nAccounts)
 	}
-	return out
+	dst = dst[:l.nAccounts]
+	for pi, p := range l.pages {
+		base := pi * pageSize
+		for i := range p.accts {
+			dst[base+i] = p.accts[i].Stake
+		}
+	}
+	return dst
 }
 
 // ErrChainBroken reports a hash-chain integrity violation.
@@ -323,16 +486,20 @@ var ErrChainBroken = errors.New("ledger: hash chain broken")
 // hash. It is the integrity audit nodes would run after a catch-up.
 func (l *Ledger) VerifyChain() error {
 	prev := Hash{}
-	for i, b := range l.blocks {
-		if b.Round != uint64(i)+1 {
-			return fmt.Errorf("%w: block %d has round %d", ErrChainBroken, i, b.Round)
+	i := 0
+	for _, seg := range [2][]Block{l.blockPrefix, l.blocks} {
+		for _, b := range seg {
+			if b.Round != uint64(i)+1 {
+				return fmt.Errorf("%w: block %d has round %d", ErrChainBroken, i, b.Round)
+			}
+			if b.Prev != prev {
+				return fmt.Errorf("%w: block %d prev mismatch", ErrChainBroken, i)
+			}
+			prev = b.Hash()
+			i++
 		}
-		if b.Prev != prev {
-			return fmt.Errorf("%w: block %d prev mismatch", ErrChainBroken, i)
-		}
-		prev = b.Hash()
 	}
-	if len(l.blocks) > 0 && l.Tip() != prev {
+	if i > 0 && l.Tip() != prev {
 		return fmt.Errorf("%w: tip mismatch", ErrChainBroken)
 	}
 	return nil

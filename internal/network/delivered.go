@@ -9,21 +9,40 @@ import "encoding/binary"
 // network_pernode_dedup build tag) probed a distinct ~open-addressed
 // table per node, so the duplicate-heavy relay path took a random cache
 // miss across ~N tables for every delivery. Here a message's delivery
-// state is N/8 contiguous bytes — one cache line for N≤512 — and the
-// common duplicate case is a single bit test next to the slot the probe
-// already touched.
+// state is contiguous — one cache line for N≤512 — and the common
+// duplicate case is a single bit test next to the slot the probe already
+// touched.
 //
 // Probing follows dedupSet's scheme: the ID's first 8 bytes (SHA-256
 // output, already uniform) serve as probe key and hash, a prefix hit
 // pays the full-ID confirm, and epoch-stamped slots make the per-round
 // reset a counter bump. Bit words are zeroed lazily when a slot is
 // claimed for the current epoch.
+//
+// Beyond 512 nodes the per-slot bitmap no longer rides along inline:
+// pre-allocating slots×(N/64) words would grow as messages×N/8 bits and
+// dominates memory at paper-scale node counts (ROADMAP: cap the bitset
+// words per slot before -full scenario sweeps). Instead each slot keeps
+// deliveredMaxInlineWords inline words covering nodes [0, 512) and
+// spills deliveries to higher node IDs into a per-slot overflow: first a
+// compact node-ID list (most messages reach only a handful of the high
+// nodes before the round drains), promoted to a full extension bitmap
+// from a recycled pool once the list saturates. Table memory is then
+// slots×8 words plus extensions for the hot slots only.
 type deliveredSet struct {
 	slots []deliveredSlot
-	// bits holds words per-slot delivery bitsets: slot i owns
-	// bits[i*words : (i+1)*words].
-	bits  []uint64
-	words int
+	// bits holds the inline per-slot delivery bitsets: slot i owns
+	// bits[i*inlineWords : (i+1)*inlineWords].
+	bits []uint64
+	// words is the total word count a full bitmap for n nodes needs;
+	// inlineWords = min(words, deliveredMaxInlineWords) of them live
+	// inline, the rest in per-slot extensions.
+	words       int
+	inlineWords int
+	// exts is the extension pool; extLive entries are claimed by slots of
+	// the current epoch. reset recycles the pool wholesale.
+	exts    []deliveredExt
+	extLive int
 	// count is the number of live (current-epoch) slots, i.e. distinct
 	// messages seen this round.
 	count int
@@ -37,13 +56,35 @@ type deliveredSlot struct {
 	// prefix is the ID's first 8 bytes: probe key and hash in one.
 	prefix uint64
 	epoch  uint32
+	// ext is the 1-based index of this slot's overflow extension in exts;
+	// 0 means none claimed yet.
+	ext int32
 	// id is the full message ID, compared only on a prefix hit.
 	id [32]byte
+}
+
+// deliveredExt tracks deliveries to nodes beyond the inline window for
+// one slot: a compact ID list until it saturates, then a dense bitmap
+// over the overflow range. list and bits keep their capacity across
+// epochs via the pool.
+type deliveredExt struct {
+	list     []int32
+	bits     []uint64
+	promoted bool
 }
 
 // deliveredMinSlots is the initial table size; steady-state rounds reuse
 // the grown table.
 const deliveredMinSlots = 64
+
+// deliveredMaxInlineWords caps the inline per-slot bitmap at 8 words
+// (512 nodes) — one cache line, and exactly the historical layout for
+// every network that fits.
+const deliveredMaxInlineWords = 8
+
+// deliveredOverflowCap is the compact-list length at which an overflow
+// promotes to the dense extension bitmap.
+const deliveredOverflowCap = 24
 
 // init sizes the bitset geometry for n nodes. Must be called before the
 // first mark.
@@ -52,14 +93,19 @@ func (s *deliveredSet) init(n int) {
 		n = 1
 	}
 	s.words = (n + 63) / 64
+	s.inlineWords = s.words
+	if s.inlineWords > deliveredMaxInlineWords {
+		s.inlineWords = deliveredMaxInlineWords
+	}
 }
 
-// reset retires every entry by bumping the epoch; table and bitset
-// memory is retained, and stale bit words are re-zeroed only when their
-// slot is reclaimed.
+// reset retires every entry by bumping the epoch; table, bitset, and
+// extension memory is retained, and stale state is re-initialised only
+// when its slot is reclaimed.
 func (s *deliveredSet) reset() {
 	s.epoch++
 	s.count = 0
+	s.extLive = 0
 	if s.epoch == 0 {
 		// uint32 wrap (once per 4 billion rounds): stale slots could now
 		// alias the restarted epoch sequence, so clear them for real.
@@ -77,6 +123,10 @@ func (s *deliveredSet) mark(id *[32]byte, node int) bool {
 	if s.epoch == 0 {
 		s.epoch = 1 // lazy init: a zeroed slot must never look live
 	}
+	if s.inlineWords == 0 {
+		s.inlineWords = 1 // tolerate a zero-value set in tests
+		s.words = 1
+	}
 	if s.count*4 >= len(s.slots)*3 {
 		s.grow()
 	}
@@ -86,20 +136,27 @@ func (s *deliveredSet) mark(id *[32]byte, node int) bool {
 		sl := &s.slots[i]
 		if sl.epoch != s.epoch {
 			// First sighting of this message this round: claim the slot
-			// and zero its delivery words before setting node's bit.
+			// and zero its inline delivery words before recording node.
 			sl.prefix = prefix
 			sl.epoch = s.epoch
 			sl.id = *id
+			sl.ext = 0
 			s.count++
-			w := s.bits[int(i)*s.words : (int(i)+1)*s.words]
+			w := s.bits[int(i)*s.inlineWords : (int(i)+1)*s.inlineWords]
 			for j := range w {
 				w[j] = 0
+			}
+			if node>>6 >= s.inlineWords {
+				return s.markOverflow(sl, node)
 			}
 			w[node>>6] = 1 << (uint(node) & 63)
 			return true
 		}
 		if sl.prefix == prefix && sl.id == *id {
-			w := &s.bits[int(i)*s.words+node>>6]
+			if node>>6 >= s.inlineWords {
+				return s.markOverflow(sl, node)
+			}
+			w := &s.bits[int(i)*s.inlineWords+node>>6]
 			bit := uint64(1) << (uint(node) & 63)
 			if *w&bit != 0 {
 				return false
@@ -110,12 +167,69 @@ func (s *deliveredSet) mark(id *[32]byte, node int) bool {
 	}
 }
 
+// markOverflow records a delivery to a node beyond the inline window,
+// claiming this slot's extension on first use.
+func (s *deliveredSet) markOverflow(sl *deliveredSlot, node int) bool {
+	if sl.ext == 0 {
+		if s.extLive == len(s.exts) {
+			s.exts = append(s.exts, deliveredExt{})
+		}
+		s.extLive++
+		sl.ext = int32(s.extLive)
+		e := &s.exts[s.extLive-1]
+		e.list = append(e.list[:0], int32(node))
+		e.promoted = false
+		return true
+	}
+	e := &s.exts[sl.ext-1]
+	off := node - s.inlineWords*64
+	if e.promoted {
+		w := &e.bits[off>>6]
+		bit := uint64(1) << (uint(off) & 63)
+		if *w&bit != 0 {
+			return false
+		}
+		*w |= bit
+		return true
+	}
+	for _, id := range e.list {
+		if int(id) == node {
+			return false
+		}
+	}
+	if len(e.list) < deliveredOverflowCap {
+		e.list = append(e.list, int32(node))
+		return true
+	}
+	// The compact list saturated: promote to the dense bitmap covering
+	// the overflow range and replay the list into it.
+	need := s.words - s.inlineWords
+	if cap(e.bits) < need {
+		e.bits = make([]uint64, need)
+	} else {
+		e.bits = e.bits[:need]
+		for j := range e.bits {
+			e.bits[j] = 0
+		}
+	}
+	base := s.inlineWords * 64
+	for _, id := range e.list {
+		o := int(id) - base
+		e.bits[o>>6] |= 1 << (uint(o) & 63)
+	}
+	e.bits[off>>6] |= 1 << (uint(off) & 63)
+	e.promoted = true
+	return true
+}
+
 // grow doubles the table (allocating the initial table on first use),
-// re-inserting the live epoch's slots and moving their bit words; stale
-// entries are dropped.
+// re-inserting the live epoch's slots and moving their inline bit words;
+// extension indices stay valid because the pool is table-independent.
+// Stale entries are dropped.
 func (s *deliveredSet) grow() {
 	if s.words == 0 {
 		s.words = 1 // tolerate a zero-value set in tests
+		s.inlineWords = 1
 	}
 	n := len(s.slots) * 2
 	if n == 0 {
@@ -124,7 +238,7 @@ func (s *deliveredSet) grow() {
 	oldSlots := s.slots
 	oldBits := s.bits
 	s.slots = make([]deliveredSlot, n)
-	s.bits = make([]uint64, n*s.words)
+	s.bits = make([]uint64, n*s.inlineWords)
 	mask := uint64(n - 1)
 	for i := range oldSlots {
 		sl := &oldSlots[i]
@@ -136,6 +250,7 @@ func (s *deliveredSet) grow() {
 			j = (j + 1) & mask
 		}
 		s.slots[j] = *sl
-		copy(s.bits[int(j)*s.words:(int(j)+1)*s.words], oldBits[i*s.words:(i+1)*s.words])
+		copy(s.bits[int(j)*s.inlineWords:(int(j)+1)*s.inlineWords],
+			oldBits[i*s.inlineWords:(i+1)*s.inlineWords])
 	}
 }

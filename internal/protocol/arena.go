@@ -1,0 +1,118 @@
+package protocol
+
+import (
+	"github.com/dsn2020-algorand/incentives/internal/sortition"
+	"github.com/dsn2020-algorand/incentives/internal/vrf"
+)
+
+// Arena is a per-worker construction pool that amortises Runner setup
+// across the runs of a sweep. Building a Runner from scratch allocates
+// the node table (each node carrying tally tables, block maps and a
+// ledger view), the key table, the cost meter, and a cold sortition
+// cache; a sweep at -full scale pays that hundreds of times. An Arena
+// recycles those structures between consecutive runs of one run-pool
+// worker: pass it via Config.Arena, typically from a
+// runpool.SweepWithState worker-state hook.
+//
+// The arena is semantically transparent — results are bit-for-bit
+// identical with and without one, which the golden figure tests and the
+// cross-worker determinism tests pin. Two rules make that hold:
+//
+//   - Recycled memory is fully re-initialised before reuse (takeNodes
+//     resets every node, counters are zeroed, behaviour buffers are
+//     overwritten by the caller).
+//   - The shared sortition cache is a pure memoisation keyed on
+//     (stake, probability): carrying entries across runs changes no
+//     Select/Verify outcome, only their cost.
+//
+// An Arena is owned by one goroutine at a time: a Runner built from it
+// borrows its storage, so the arena must not be handed to a second
+// Runner until the first is done. One arena per run-pool worker (never
+// shared across workers) satisfies both.
+type Arena struct {
+	cache     *sortition.Cache
+	nodes     []*node
+	keys      []vrf.KeyPair
+	roleTaken []bool
+	meter     *costMeter
+	behaviors []Behavior
+}
+
+// NewArena returns an empty arena; pools grow on first use.
+func NewArena() *Arena {
+	return &Arena{cache: sortition.NewCache()}
+}
+
+// takeNodes returns n recycled node structs, fully reset except for
+// their retained containers (tally tables, block maps, vote-dedup maps),
+// which the per-round reset machinery clears before first use.
+func (a *Arena) takeNodes(n int) []*node {
+	if cap(a.nodes) < n {
+		grown := make([]*node, n)
+		copy(grown, a.nodes[:cap(a.nodes)])
+		a.nodes = grown
+	}
+	a.nodes = a.nodes[:n]
+	for i, nd := range a.nodes {
+		if nd == nil {
+			a.nodes[i] = &node{}
+			continue
+		}
+		// Preserve the allocated containers, drop everything else. The
+		// maps still hold the previous run's entries; beginRound clears
+		// them (and resets the pooled tallies) before any read.
+		*nd = node{
+			blocks:     nd.blocks,
+			tallies:    nd.tallies,
+			tallyPool:  nd.tallyPool,
+			finalTally: nd.finalTally,
+		}
+	}
+	return a.nodes
+}
+
+// takeKeys returns a zeroed key table of length n.
+func (a *Arena) takeKeys(n int) []vrf.KeyPair {
+	if cap(a.keys) < n {
+		a.keys = make([]vrf.KeyPair, n)
+	}
+	a.keys = a.keys[:n]
+	clear(a.keys)
+	return a.keys
+}
+
+// takeRoleTaken returns a cleared role-scratch table of length n.
+func (a *Arena) takeRoleTaken(n int) []bool {
+	if cap(a.roleTaken) < n {
+		a.roleTaken = make([]bool, n)
+	}
+	a.roleTaken = a.roleTaken[:n]
+	clear(a.roleTaken)
+	return a.roleTaken
+}
+
+// takeMeter returns a zeroed cost meter for n nodes.
+func (a *Arena) takeMeter(n int) *costMeter {
+	if a.meter == nil || cap(a.meter.counts) < n {
+		a.meter = &costMeter{counts: make([]TaskCounts, n)}
+		return a.meter
+	}
+	a.meter.counts = a.meter.counts[:n]
+	clear(a.meter.counts)
+	return a.meter
+}
+
+// BehaviorBuf returns a length-n behaviour buffer owned by the arena,
+// initialised to Honest. Experiment drivers fill it and pass it as
+// Config.Behaviors; NewRunner copies the values out, so the buffer is
+// free for the worker's next run.
+func (a *Arena) BehaviorBuf(n int) []Behavior {
+	if cap(a.behaviors) < n {
+		a.behaviors = make([]Behavior, n)
+	}
+	a.behaviors = a.behaviors[:n]
+	for i := range a.behaviors {
+		a.behaviors[i] = Honest
+	}
+	return a.behaviors
+}

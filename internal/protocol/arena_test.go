@@ -1,0 +1,78 @@
+package protocol
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// runReportsDigest runs rounds and summarises every observable of the
+// reports plus the runner's cost counters.
+func runReportsDigest(t *testing.T, cfg Config, rounds int) string {
+	t.Helper()
+	r, err := NewRunner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := ""
+	for _, rep := range r.RunRounds(rounds) {
+		out += fmt.Sprintf("%d:%d/%d/%d:%s:%v:%d;", rep.Round, rep.FinalCount,
+			rep.TentativeCount, rep.NoneCount, rep.CanonicalHash, rep.Decided, rep.Desynced)
+	}
+	out += fmt.Sprintf("tip=%s fees=%v counts=%v", r.Canonical().Tip(), r.FeesCollected(), r.TaskCounts())
+	return out
+}
+
+// TestArenaRunnersMatchFreshRunners pins the arena's transparency
+// contract: a Runner built from a warm arena — one that already carried
+// a different run, with a populated sortition cache and dirty recycled
+// node state — must produce bit-identical reports to a fresh build.
+func TestArenaRunnersMatchFreshRunners(t *testing.T) {
+	mkCfg := func(n int, seed int64) Config {
+		stakes := make([]float64, n)
+		behaviors := make([]Behavior, n)
+		for i := range stakes {
+			stakes[i] = float64(1 + i%50)
+			behaviors[i] = Honest
+			if i%9 == 0 {
+				behaviors[i] = Selfish
+			}
+		}
+		return Config{Params: DefaultParams(), Stakes: stakes, Behaviors: behaviors, Seed: seed}
+	}
+
+	fresh := map[string]string{}
+	for _, n := range []int{40, 60} {
+		for seed := int64(1); seed <= 3; seed++ {
+			fresh[fmt.Sprintf("%d/%d", n, seed)] = runReportsDigest(t, mkCfg(n, seed), 4)
+		}
+	}
+
+	// One arena carries every run back to back, including population-size
+	// changes mid-stream (the grid driver does exactly this).
+	ar := NewArena()
+	for _, n := range []int{60, 40} { // reversed order: maximally stale reuse
+		for seed := int64(3); seed >= 1; seed-- {
+			cfg := mkCfg(n, seed)
+			cfg.Arena = ar
+			got := runReportsDigest(t, cfg, 4)
+			if want := fresh[fmt.Sprintf("%d/%d", n, seed)]; got != want {
+				t.Fatalf("arena runner diverged from fresh runner at n=%d seed=%d\narena: %s\nfresh: %s", n, seed, got, want)
+			}
+		}
+	}
+}
+
+// TestArenaBuffersReinitialised pins the helper-buffer contract: buffers
+// come back sized and defaulted, regardless of what the previous run
+// left in them.
+func TestArenaBuffersReinitialised(t *testing.T) {
+	ar := NewArena()
+	b := ar.BehaviorBuf(8)
+	for i := range b {
+		b[i] = Faulty
+	}
+	if !reflect.DeepEqual(ar.BehaviorBuf(4), []Behavior{Honest, Honest, Honest, Honest}) {
+		t.Fatal("BehaviorBuf not reset to Honest on reuse")
+	}
+}

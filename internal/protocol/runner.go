@@ -78,6 +78,11 @@ type Config struct {
 	// Hooks are the optional adversary seams (see Hooks); the zero value
 	// leaves the run bit-for-bit identical to a hook-free build.
 	Hooks Hooks
+	// Arena optionally recycles construction-heavy Runner state (node
+	// tables, key tables, the sortition cache) across consecutive runs of
+	// one run-pool worker. See Arena for the ownership and determinism
+	// contract; nil builds everything fresh.
+	Arena *Arena
 }
 
 // DefaultLossProb is the effective per-hop gossip loss used when
@@ -164,33 +169,43 @@ func NewRunner(cfg Config) (*Runner, error) {
 	engine := sim.NewEngine(cfg.Seed)
 	canonical := ledger.Genesis(cfg.Stakes, engine.RNG("ledger.genesis"))
 
+	n := len(cfg.Stakes)
 	r := &Runner{
 		params:    cfg.Params,
 		engine:    engine,
 		canonical: canonical,
 		rng:       engine.RNG("runner"),
 		reward:    cfg.Reward,
-		nodes:     make([]*node, len(cfg.Stakes)),
-		keys:      make([]vrf.KeyPair, len(cfg.Stakes)),
-		meter:     newCostMeter(len(cfg.Stakes)),
-		cache:     sortition.NewCache(),
 		proposers: make(map[int]float64),
 		voters:    make(map[int]float64),
-		roleTaken: make([]bool, len(cfg.Stakes)),
 		hooks:     cfg.Hooks,
 	}
-	for i := range r.nodes {
+	if ar := cfg.Arena; ar != nil {
+		r.nodes = ar.takeNodes(n)
+		r.keys = ar.takeKeys(n)
+		r.meter = ar.takeMeter(n)
+		r.roleTaken = ar.takeRoleTaken(n)
+		r.cache = ar.cache
+	} else {
+		r.nodes = make([]*node, n)
+		for i := range r.nodes {
+			r.nodes[i] = &node{}
+		}
+		r.keys = make([]vrf.KeyPair, n)
+		r.meter = newCostMeter(n)
+		r.roleTaken = make([]bool, n)
+		r.cache = sortition.NewCache()
+	}
+	for i, nd := range r.nodes {
 		acct, err := canonical.Account(i)
 		if err != nil {
 			return nil, fmt.Errorf("protocol: genesis account %d: %w", i, err)
 		}
 		r.keys[i] = acct.Keys
-		r.nodes[i] = &node{
-			id:       i,
-			behavior: cfg.Behaviors[i],
-			ledger:   canonical.CloneView(),
-			synced:   true,
-		}
+		nd.id = i
+		nd.behavior = cfg.Behaviors[i]
+		nd.ledger = canonical.CloneView()
+		nd.synced = true
 	}
 
 	loss := cfg.LossProb
@@ -293,7 +308,9 @@ const finalVoteStep = 1 << 20 // sortition step id reserved for final votes
 
 func (r *Runner) runRound() RoundReport {
 	round := r.canonical.Round()
-	r.roundStakes = r.canonical.Stakes()
+	// Refresh the per-round stake snapshot in place; reports and role
+	// collections copy values out, so the buffer is private to the round.
+	r.roundStakes = r.canonical.StakesInto(r.roundStakes)
 	r.roundTotal = r.canonical.TotalStake()
 	r.roundSeed = r.canonical.Seed()
 	r.tauStepAbs = resolveTau(r.params.TauStep, r.roundTotal)

@@ -36,11 +36,33 @@ func Resolve(workers int) int {
 // attempted even when some fail, and the error reported is always the
 // lowest-indexed one, so failures are as deterministic as successes.
 func Sweep[T any](runs, workers int, fn func(run int) (T, error)) ([]T, error) {
+	if fn == nil {
+		return nil, fmt.Errorf("runpool: nil run function")
+	}
+	return SweepWithState(runs, workers, nil,
+		func(run int, _ struct{}) (T, error) { return fn(run) })
+}
+
+// SweepWithState is Sweep with a per-worker state hook: newState is
+// invoked once per worker (with the worker's index) and its value is
+// threaded into every fn call that worker executes. Experiment drivers
+// use it to hold a reusable arena — memory and memoisation pools that
+// amortise per-run setup across the hundreds of runs of a sweep.
+//
+// The determinism contract is unchanged and puts one obligation on the
+// state: runs are distributed to workers dynamically, so the state must
+// be semantically transparent — recycled buffers fully overwritten,
+// caches pure — or results would depend on which worker ran which run.
+// A nil newState supplies the zero value.
+func SweepWithState[T, S any](runs, workers int, newState func(worker int) S, fn func(run int, state S) (T, error)) ([]T, error) {
 	if runs < 0 {
 		return nil, fmt.Errorf("runpool: negative run count %d", runs)
 	}
 	if fn == nil {
 		return nil, fmt.Errorf("runpool: nil run function")
+	}
+	if newState == nil {
+		newState = func(int) S { var zero S; return zero }
 	}
 	results := make([]T, runs)
 	errs := make([]error, runs)
@@ -50,22 +72,25 @@ func Sweep[T any](runs, workers int, fn func(run int) (T, error)) ([]T, error) {
 		workers = runs
 	}
 	if workers <= 1 {
+		state := newState(0)
 		for run := 0; run < runs; run++ {
-			results[run], errs[run] = fn(run)
+			results[run], errs[run] = fn(run, state)
 		}
 	} else {
 		var next atomic.Int64
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		for w := 0; w < workers; w++ {
+			w := w
 			go func() {
 				defer wg.Done()
+				state := newState(w)
 				for {
 					run := int(next.Add(1)) - 1
 					if run >= runs {
 						return
 					}
-					results[run], errs[run] = fn(run)
+					results[run], errs[run] = fn(run, state)
 				}
 			}()
 		}
@@ -78,6 +103,33 @@ func Sweep[T any](runs, workers int, fn func(run int) (T, error)) ([]T, error) {
 		}
 	}
 	return results, nil
+}
+
+// FloatSlab carves equal-width float64 rows out of one contiguous
+// allocation. Sweeps that aggregate per-run series previously allocated
+// a handful of small slices per run (the ~14 MB/run fig3 aggregation
+// buffers at -full scale); carving them from a slab costs one allocation
+// per sweep and keeps rows cache-adjacent for the column-wise reductions
+// that follow. Rows are disjoint and capacity-clamped, so concurrent
+// workers writing different rows never share an element and rows can be
+// retained or appended to safely.
+type FloatSlab struct {
+	backing []float64
+	width   int
+}
+
+// NewFloatSlab allocates a slab of rows×width float64s.
+func NewFloatSlab(rows, width int) *FloatSlab {
+	if rows < 0 || width < 0 {
+		rows, width = 0, 0
+	}
+	return &FloatSlab{backing: make([]float64, rows*width), width: width}
+}
+
+// Row returns row i: a zeroed []float64 of the slab's width.
+func (s *FloatSlab) Row(i int) []float64 {
+	lo := i * s.width
+	return s.backing[lo : lo+s.width : lo+s.width]
 }
 
 // Accumulate folds per-run results in run-index order. It exists to make

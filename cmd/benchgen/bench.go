@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 
 	"github.com/dsn2020-algorand/incentives/internal/adversary"
@@ -15,6 +16,7 @@ import (
 	"github.com/dsn2020-algorand/incentives/internal/sim"
 	"github.com/dsn2020-algorand/incentives/internal/sortition"
 	"github.com/dsn2020-algorand/incentives/internal/vrf"
+	"github.com/dsn2020-algorand/incentives/internal/weight"
 )
 
 // BenchResult is one measured workload in the persisted benchmark file.
@@ -36,12 +38,35 @@ type BenchFile struct {
 	GoOS   string `json:"goos"`
 	GoArch string `json:"goarch"`
 	NumCPU int    `json:"num_cpu"`
+	// CPU is the processor model string (from /proc/cpuinfo on Linux;
+	// empty when unavailable). goos/goarch/count alone collide across
+	// very different machines — every 1-vCPU amd64 cloud runner matches —
+	// so the ns/op gate only trusts baselines whose model string matches
+	// too; files without one compare as unknown hardware (advisory).
+	CPU string `json:"cpu,omitempty"`
 	// Benchmarks maps workload name to its measurement.
 	Benchmarks map[string]BenchResult `json:"benchmarks"`
 	// Headline pins the figure metrics the paper reproduction is judged
 	// by; they are seed-deterministic, so an unexpected diff here means a
 	// behaviour change, not noise.
 	Headline map[string]float64 `json:"headline"`
+}
+
+// cpuModel reads the processor model string from /proc/cpuinfo; it
+// returns "" on other platforms or when the field is absent.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
 }
 
 func toResult(r testing.BenchmarkResult) BenchResult {
@@ -93,6 +118,7 @@ func genBench(path string, pr int) error {
 		GoOS:       runtime.GOOS,
 		GoArch:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
+		CPU:        cpuModel(),
 		Benchmarks: map[string]BenchResult{},
 		Headline:   map[string]float64{},
 	}
@@ -304,6 +330,51 @@ func genBench(path string, pr int) error {
 	prevClone = ledger.SetDeepCloneViews(true)
 	out.Benchmarks["ledger_resync_4096_deepclone"] = toResult(testing.Benchmark(resyncBench))
 	ledger.SetDeepCloneViews(prevClone)
+
+	// Per-round weight refresh on a 4096-account ledger: 16 scattered
+	// credits (a busy round's reward mutations) followed by the runner's
+	// refresh — WeightsInto plus TotalWeight. On the indexed backend the
+	// StakeObserver already folded the credits in, so the refresh is a
+	// dense copy and an O(1) total read; the _direct companion re-walks
+	// the account pages every round and is informational (it measures
+	// the default path, gated via protocol_round_100, not here). Fixed
+	// windows keep allocs/op deterministic, like the round workload.
+	if err := setBenchtime("1000x"); err != nil {
+		return err
+	}
+	refreshBench := func(backend weight.Backend) func(b *testing.B) {
+		stakes := make([]float64, 4096)
+		for i := range stakes {
+			stakes[i] = float64(1 + i%50)
+		}
+		l := ledger.Genesis(stakes, sim.NewRNG(1, "benchgen.weight"))
+		oracle, err := weight.ForLedger(l, backend)
+		if err != nil {
+			panic(err)
+		}
+		rng := sim.NewRNG(1, "benchgen.weight.credits")
+		buf := make([]float64, 0, 4096)
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			var total float64
+			for i := 0; i < b.N; i++ {
+				for k := 0; k < 16; k++ {
+					if err := l.Credit(rng.Intn(4096), 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+				buf = oracle.WeightsInto(uint64(i), buf)
+				total = oracle.TotalWeight(uint64(i))
+			}
+			if total <= 0 {
+				b.Fatal("weight refresh lost the total")
+			}
+		}
+	}
+	fmt.Println("measuring weight_oracle_refresh ...")
+	out.Benchmarks["weight_oracle_refresh"] = bestOf(3, refreshBench(weight.BackendIndexed))
+	fmt.Println("measuring weight_oracle_refresh_direct ...")
+	out.Benchmarks["weight_oracle_refresh_direct"] = bestOf(3, refreshBench(weight.BackendLedgerDirect))
 
 	// Headline figure metrics at the pinned seeds (deterministic).
 	fig3.Seed = 1

@@ -19,9 +19,10 @@ import (
 //
 //   - ns/op may not regress by more than maxNsRegression on the gated
 //     workloads (protocol_round_100 ↔ BenchmarkProtocolRound, fig3_small
-//     ↔ BenchmarkFig3) — enforced only when baseline and candidate ran
-//     on the same hardware (goos/goarch/cpu count), advisory otherwise:
-//     wall time on a different machine says nothing about the code;
+//     ↔ BenchmarkFig3) — enforced only when baseline and candidate
+//     provably ran on the same hardware (goos/goarch/cpu count AND a
+//     matching, non-empty cpu model string), advisory otherwise: wall
+//     time on a different machine says nothing about the code;
 //   - allocs/op may not regress beyond a small absolute slack on gated
 //     workloads — the gated workloads measure a fixed, seeded iteration
 //     window (see genBench), so the simulation's own allocation sequence
@@ -66,6 +67,11 @@ var gatedWorkloads = []struct{ key, bench string }{
 	// The isolated per-desync catch-up cost (clone + one write); pinned
 	// so resync never silently regresses to O(accounts) again.
 	{"ledger_resync_4096", "ledger.CloneView + Credit"},
+	// The incremental weight index's per-round refresh (16 credits +
+	// WeightsInto + TotalWeight on 4096 accounts); absent from baselines
+	// older than PR 6. Its _direct companion measures the page-walking
+	// default and is informational, not gated.
+	{"weight_oracle_refresh", "weight.Index refresh, 4096 accounts"},
 }
 
 func loadBench(path string) (*BenchFile, error) {
@@ -131,11 +137,17 @@ func runCompare(baselinePath, candidatePath string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("baseline:  %s (PR %d, %s/%s, %d cpu)\n", baselinePath, base.PR, base.GoOS, base.GoArch, base.NumCPU)
-	fmt.Printf("candidate: %s (PR %d, %s/%s, %d cpu)\n\n", candidatePath, cand.PR, cand.GoOS, cand.GoArch, cand.NumCPU)
-	sameHardware := base.GoOS == cand.GoOS && base.GoArch == cand.GoArch && base.NumCPU == cand.NumCPU
+	fmt.Printf("baseline:  %s (PR %d, %s/%s, %d cpu, %q)\n", baselinePath, base.PR, base.GoOS, base.GoArch, base.NumCPU, base.CPU)
+	fmt.Printf("candidate: %s (PR %d, %s/%s, %d cpu, %q)\n\n", candidatePath, cand.PR, cand.GoOS, cand.GoArch, cand.NumCPU, cand.CPU)
+	// The ns/op gate only fires on provably identical hardware. The
+	// goos/goarch/count triple is not enough — every 1-vCPU amd64 cloud
+	// runner matches every other — so the processor model string must
+	// match too, and files that never recorded one (pre-PR 6 baselines,
+	// or platforms without /proc/cpuinfo) compare as unknown hardware.
+	sameHardware := base.GoOS == cand.GoOS && base.GoArch == cand.GoArch &&
+		base.NumCPU == cand.NumCPU && base.CPU == cand.CPU && base.CPU != ""
 	if !sameHardware {
-		fmt.Println("warning: baseline and candidate ran on different hardware; the ns/op gate is advisory here (allocs and headline gates still apply)")
+		fmt.Println("warning: baseline and candidate hardware differ or cannot be proven identical; the ns/op gate is advisory here (allocs and headline gates still apply)")
 	}
 
 	var failures []string

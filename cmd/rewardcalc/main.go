@@ -24,6 +24,7 @@ import (
 	"github.com/dsn2020-algorand/incentives/internal/game"
 	"github.com/dsn2020-algorand/incentives/internal/sim"
 	"github.com/dsn2020-algorand/incentives/internal/stake"
+	"github.com/dsn2020-algorand/incentives/internal/weight"
 )
 
 func main() {
@@ -34,7 +35,7 @@ func main() {
 
 func run() error {
 	var (
-		distName  = flag.String("dist", "u200", "stake distribution: u200, n100-20, n100-10, n2000-25, pareto")
+		distName  = flag.String("dist", "u200", "stake distribution: u200, n100-20, n100-10, n2000-25, pareto, zipf[:exponent]")
 		nodes     = flag.Int("nodes", 100_000, "population size when sampling")
 		stakeFile = flag.String("stakes", "", "file with one stake per line (overrides -dist)")
 		floor     = flag.Float64("floor", 0, "ignore sync-set stakes below this value (paper's s*_k floor)")
@@ -79,6 +80,22 @@ func run() error {
 func loadPopulation(file, dist string, nodes int, seed int64) (*stake.Population, error) {
 	if file != "" {
 		return readStakes(file)
+	}
+	// "zipf[:exponent]" draws from the synthetic weight-oracle profile
+	// (rank-based heavy tail at mean stake 100), so Algorithm 1 can be
+	// priced on the same distribution the simulator's Zipf runs use.
+	if body, ok := strings.CutPrefix(dist, "zipf"); ok {
+		exponent := 1.1
+		if e, ok := strings.CutPrefix(body, ":"); ok {
+			var err error
+			if exponent, err = strconv.ParseFloat(e, 64); err != nil {
+				return nil, fmt.Errorf("bad zipf exponent %q: %w", e, err)
+			}
+		} else if body != "" {
+			return nil, fmt.Errorf("unknown distribution %q", dist)
+		}
+		oracle := weight.NewZipf(nodes, exponent, 100*float64(nodes), seed)
+		return &stake.Population{Stakes: weight.Snapshot(oracle, 0)}, nil
 	}
 	var d stake.Distribution
 	switch dist {

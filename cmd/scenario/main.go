@@ -4,7 +4,8 @@
 // Usage:
 //
 //	scenario -list
-//	scenario [-nodes N] [-rounds N] [-runs N] [-seed N] [-workers N] [-trim F] [-out DIR] [name ...]
+//	scenario [-nodes N] [-rounds N] [-runs N] [-seed N] [-workers N] [-trim F] [-out DIR]
+//	         [-weightBackend direct|indexed] [-weights SPEC] [name ...]
 //	scenario -all
 //	scenario -full [-fullNodes N] [-fullRounds N] [-fullSeeds N] [name ...]
 //
@@ -13,6 +14,14 @@
 // the per-round outcome fractions and scenario_<name>_audit.csv with the
 // merged audit counters. Every sweep goes through the deterministic run
 // pool: any -workers value yields bit-for-bit identical output.
+//
+// -weightBackend selects the ledger-backed weight oracle each run's
+// sortition reads ("direct" is bit-identical to reading the ledger;
+// "indexed" maintains an incremental stake index). -weights replaces
+// ledger weights entirely with a synthetic per-run profile, e.g.
+// "zipf:1.3:40;churn@6:0.2:0.5" — Zipf exponent 1.3, mean stake 40,
+// and at round 6 a random 20% of nodes rescaled to half weight. Both
+// apply to -full grids too; see internal/weight.
 //
 // -full switches to the paper-scale robustness grid: every named (or,
 // by default, every registered) scenario crossed with -fullSeeds seeds
@@ -35,6 +44,7 @@ import (
 	"github.com/dsn2020-algorand/incentives/internal/adversary"
 	"github.com/dsn2020-algorand/incentives/internal/experiments"
 	"github.com/dsn2020-algorand/incentives/internal/stats"
+	"github.com/dsn2020-algorand/incentives/internal/weight"
 )
 
 func main() {
@@ -51,7 +61,18 @@ func main() {
 	fullNodes := flag.Int("fullNodes", 500, "-full: network size per grid cell")
 	fullRounds := flag.Int("fullRounds", 12, "-full: rounds per grid cell")
 	fullSeeds := flag.Int("fullSeeds", 3, "-full: number of seeds (1..N) forming the grid's second axis")
+	weightBackend := flag.String("weightBackend", "direct", "ledger-backed weight oracle: direct (bit-identical reads) or indexed (incremental stake index)")
+	weightProfile := flag.String("weights", "", "synthetic weight profile, e.g. zipf:1.1 or zipf:1.1;churn@6:0.2:0 (empty = ledger weights)")
 	flag.Parse()
+
+	backend, err := experiments.ParseWeightBackend(*weightBackend)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, err := experiments.ParseWeightProfile(*weightProfile)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *list {
 		for _, s := range adversary.Builtin() {
@@ -77,7 +98,7 @@ func main() {
 		if len(names) == 0 {
 			names = adversary.Names()
 		}
-		if err := runFullGrid(names, *fullNodes, *fullRounds, *fullSeeds, *workers, *outDir); err != nil {
+		if err := runFullGrid(names, *fullNodes, *fullRounds, *fullSeeds, *workers, *outDir, backend, profile); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -87,14 +108,14 @@ func main() {
 	} else if len(names) == 0 {
 		names = []string{adversary.EclipseEquivocation}
 	}
-	if err := run(names, *nodes, *rounds, *runs, *seed, *workers, *trim, *outDir); err != nil {
+	if err := run(names, *nodes, *rounds, *runs, *seed, *workers, *trim, *outDir, backend, profile); err != nil {
 		log.Fatal(err)
 	}
 }
 
 // runFullGrid executes the paper-scale scenario×seed grid and writes the
 // per-cell CSVs plus the grid summary.
-func runFullGrid(names []string, nodes, rounds, seeds, workers int, outDir string) error {
+func runFullGrid(names []string, nodes, rounds, seeds, workers int, outDir string, backend weight.Backend, profile experiments.WeightProfile) error {
 	if seeds < 1 {
 		return fmt.Errorf("-fullSeeds must be >= 1, got %d", seeds)
 	}
@@ -106,6 +127,8 @@ func runFullGrid(names []string, nodes, rounds, seeds, workers int, outDir strin
 	cfg.Nodes = nodes
 	cfg.Rounds = rounds
 	cfg.Workers = workers
+	cfg.WeightBackend = backend
+	cfg.WeightProfile = profile
 	cfg.Seeds = make([]int64, seeds)
 	for i := range cfg.Seeds {
 		cfg.Seeds[i] = int64(i + 1)
@@ -138,7 +161,7 @@ func runFullGrid(names []string, nodes, rounds, seeds, workers int, outDir strin
 	return nil
 }
 
-func run(names []string, nodes, rounds, runs int, seed int64, workers int, trim float64, outDir string) error {
+func run(names []string, nodes, rounds, runs int, seed int64, workers int, trim float64, outDir string, backend weight.Backend, profile experiments.WeightProfile) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
@@ -151,6 +174,8 @@ func run(names []string, nodes, rounds, runs int, seed int64, workers int, trim 
 		cfg.Seed = seed
 		cfg.Workers = workers
 		cfg.TrimFrac = trim
+		cfg.WeightBackend = backend
+		cfg.WeightProfile = profile
 		fmt.Printf("==> %s\n", name)
 		res, err := experiments.RunScenario(cfg)
 		if err != nil {

@@ -16,6 +16,7 @@ import (
 	"github.com/dsn2020-algorand/incentives/internal/protocol"
 	"github.com/dsn2020-algorand/incentives/internal/rewards"
 	"github.com/dsn2020-algorand/incentives/internal/stake"
+	"github.com/dsn2020-algorand/incentives/internal/weight"
 )
 
 func main() {
@@ -76,7 +77,7 @@ func run() error {
 
 	// 3. Algorithm 1 on the post-simulation stakes: the minimum reward and
 	//    optimal (α, β, γ) that make cooperation a Nash equilibrium.
-	live := &stake.Population{Stakes: runner.Canonical().Stakes()}
+	live := &stake.Population{Stakes: weight.Snapshot(runner.Weights(), runner.Canonical().Round())}
 	in, err := core.InputsFromPopulation(live, costs, core.Options{
 		Committee: core.CommitteeConfig{TauProposer: 5, SStep: 100, Steps: 3, SFinal: 200},
 	})

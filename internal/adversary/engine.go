@@ -10,6 +10,7 @@ import (
 	"github.com/dsn2020-algorand/incentives/internal/ledger"
 	"github.com/dsn2020-algorand/incentives/internal/network"
 	"github.com/dsn2020-algorand/incentives/internal/protocol"
+	"github.com/dsn2020-algorand/incentives/internal/weight"
 )
 
 // Engine binds one Scenario to one Runner. It implements the protocol
@@ -79,7 +80,7 @@ func Attach(r *protocol.Runner, scn Scenario) (*Engine, error) {
 		rng:          r.RNG("adversary.targets"),
 		audit:        newAudit(n),
 		baseline:     make([]protocol.Behavior, n),
-		stakes:       r.Canonical().Stakes(),
+		stakes:       weight.Snapshot(r.Weights(), r.Canonical().Round()),
 		targets:      make([][]int, len(scn.Phases)),
 		resolved:     make([]bool, len(scn.Phases)),
 		down:         make([]bool, n),

@@ -15,6 +15,7 @@ import (
 	"github.com/dsn2020-algorand/incentives/internal/sim"
 	"github.com/dsn2020-algorand/incentives/internal/stake"
 	"github.com/dsn2020-algorand/incentives/internal/stats"
+	"github.com/dsn2020-algorand/incentives/internal/weight"
 )
 
 // Fig3Config parameterises the defection experiment of Fig. 3: the share
@@ -49,6 +50,14 @@ type Fig3Config struct {
 	// leaves the figure bit-for-bit identical to an unscripted run — the
 	// golden tests pin that equivalence.
 	Scenario string
+	// WeightBackend selects the ledger-backed weight oracle per run; the
+	// zero value (ledger-direct) reads stakes exactly as before the
+	// oracle seam.
+	WeightBackend weight.Backend
+	// WeightProfile, when set, replaces ledger weights with a synthetic
+	// oracle built per run (see ZipfProfile); StakeDist still seeds the
+	// on-chain balances, but sortition no longer reads them.
+	WeightProfile WeightProfile
 }
 
 // DefaultFig3Config is a laptop-scale configuration that preserves the
@@ -135,14 +144,19 @@ func runFig3Rate(cfg Fig3Config, rate float64) (Fig3Series, error) {
 			for _, idx := range rng.Perm(cfg.Nodes)[:defectors] {
 				behaviors[idx] = protocol.Selfish
 			}
-			runner, err := protocol.NewRunner(protocol.Config{
-				Params:    cfg.Params,
-				Stakes:    pop.Stakes,
-				Behaviors: behaviors,
-				Fanout:    cfg.Fanout,
-				Seed:      seed,
-				Arena:     arena,
-			})
+			pcfg := protocol.Config{
+				Params:        cfg.Params,
+				Stakes:        pop.Stakes,
+				Behaviors:     behaviors,
+				Fanout:        cfg.Fanout,
+				Seed:          seed,
+				Arena:         arena,
+				WeightBackend: cfg.WeightBackend,
+			}
+			if cfg.WeightProfile != nil {
+				pcfg.Weights = cfg.WeightProfile(cfg.Nodes, seed)
+			}
+			runner, err := protocol.NewRunner(pcfg)
 			if err != nil {
 				return fig3Run{}, err
 			}

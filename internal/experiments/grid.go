@@ -11,6 +11,7 @@ import (
 	"github.com/dsn2020-algorand/incentives/internal/sim"
 	"github.com/dsn2020-algorand/incentives/internal/stake"
 	"github.com/dsn2020-algorand/incentives/internal/stats"
+	"github.com/dsn2020-algorand/incentives/internal/weight"
 )
 
 // ScenarioGridConfig parameterises the paper-scale robustness sweep the
@@ -40,6 +41,12 @@ type ScenarioGridConfig struct {
 	// Workers bounds the run pool's parallelism (0 = GOMAXPROCS). The
 	// result is identical for every worker count.
 	Workers int
+	// WeightBackend selects the ledger-backed weight oracle per cell
+	// (zero value: ledger-direct, the pre-seam reads).
+	WeightBackend weight.Backend
+	// WeightProfile, when set, replaces ledger weights with a synthetic
+	// per-cell oracle (see ZipfProfile).
+	WeightProfile WeightProfile
 }
 
 // FullScenarioGridConfig is the paper-scale default: every registered
@@ -110,14 +117,19 @@ func RunScenarioGrid(cfg ScenarioGridConfig) (*ScenarioGridResult, error) {
 			if err != nil {
 				return out, err
 			}
-			runner, err := protocol.NewRunner(protocol.Config{
-				Params:    cfg.Params,
-				Stakes:    pop.Stakes,
-				Behaviors: arena.BehaviorBuf(cfg.Nodes),
-				Fanout:    cfg.Fanout,
-				Seed:      seed,
-				Arena:     arena,
-			})
+			pcfg := protocol.Config{
+				Params:        cfg.Params,
+				Stakes:        pop.Stakes,
+				Behaviors:     arena.BehaviorBuf(cfg.Nodes),
+				Fanout:        cfg.Fanout,
+				Seed:          seed,
+				Arena:         arena,
+				WeightBackend: cfg.WeightBackend,
+			}
+			if cfg.WeightProfile != nil {
+				pcfg.Weights = cfg.WeightProfile(cfg.Nodes, seed)
+			}
+			runner, err := protocol.NewRunner(pcfg)
 			if err != nil {
 				return out, err
 			}

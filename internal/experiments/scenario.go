@@ -11,6 +11,7 @@ import (
 	"github.com/dsn2020-algorand/incentives/internal/sim"
 	"github.com/dsn2020-algorand/incentives/internal/stake"
 	"github.com/dsn2020-algorand/incentives/internal/stats"
+	"github.com/dsn2020-algorand/incentives/internal/weight"
 )
 
 // ScenarioConfig parameterises one adversary-scenario sweep: Runs
@@ -39,6 +40,12 @@ type ScenarioConfig struct {
 	// Workers bounds the run pool's parallelism (0 = GOMAXPROCS). The
 	// result is identical for every worker count.
 	Workers int
+	// WeightBackend selects the ledger-backed weight oracle per run (zero
+	// value: ledger-direct, the pre-seam reads).
+	WeightBackend weight.Backend
+	// WeightProfile, when set, replaces ledger weights with a synthetic
+	// per-run oracle (see ZipfProfile).
+	WeightProfile WeightProfile
 }
 
 // DefaultScenarioConfig is a laptop-scale sweep of the named scenario.
@@ -101,14 +108,19 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 			if err != nil {
 				return scenarioRun{}, err
 			}
-			runner, err := protocol.NewRunner(protocol.Config{
-				Params:    cfg.Params,
-				Stakes:    pop.Stakes,
-				Behaviors: arena.BehaviorBuf(cfg.Nodes),
-				Fanout:    cfg.Fanout,
-				Seed:      seed,
-				Arena:     arena,
-			})
+			pcfg := protocol.Config{
+				Params:        cfg.Params,
+				Stakes:        pop.Stakes,
+				Behaviors:     arena.BehaviorBuf(cfg.Nodes),
+				Fanout:        cfg.Fanout,
+				Seed:          seed,
+				Arena:         arena,
+				WeightBackend: cfg.WeightBackend,
+			}
+			if cfg.WeightProfile != nil {
+				pcfg.Weights = cfg.WeightProfile(cfg.Nodes, seed)
+			}
+			runner, err := protocol.NewRunner(pcfg)
 			if err != nil {
 				return scenarioRun{}, err
 			}

@@ -191,7 +191,23 @@ type Ledger struct {
 	seed        Hash
 	tip         Hash // memoised hash of the last block; zero at genesis
 	fees        float64
+	// observer, when set, is notified of every account-stake mutation on
+	// THIS ledger (views never inherit it — CloneView and deepClone build
+	// fresh structs). The incremental weight index (internal/weight)
+	// registers here to keep its mirror current in O(1) per mutation.
+	observer StakeObserver
 }
+
+// StakeObserver receives one notification per account-stake mutation:
+// the account id, its balance before the write, and its balance after.
+// Called synchronously from Credit and from Append's transaction apply;
+// implementations must not mutate the ledger re-entrantly.
+type StakeObserver func(id int, old, new float64)
+
+// SetStakeObserver installs fn as this ledger's mutation observer
+// (nil uninstalls). Cloned views never inherit the observer: a view's
+// private writes are invisible to the source's stake index by design.
+func (l *Ledger) SetStakeObserver(fn StakeObserver) { l.observer = fn }
 
 // acctAt returns a read-only pointer to account id; the caller must not
 // write through it (the page may be frozen).
@@ -352,7 +368,12 @@ func (l *Ledger) Credit(id int, amount float64) error {
 	if amount < 0 {
 		return ErrBadAmount
 	}
-	l.mutableAcct(id).Stake += amount
+	a := l.mutableAcct(id)
+	old := a.Stake
+	a.Stake = old + amount
+	if l.observer != nil {
+		l.observer(id, old, a.Stake)
+	}
 	return nil
 }
 
@@ -431,8 +452,18 @@ func (l *Ledger) Append(b Block) error {
 			if err := l.ValidateTx(tx); err != nil {
 				continue // invalid-at-apply transactions are skipped, not fatal
 			}
-			l.mutableAcct(tx.From).Stake -= tx.Amount + tx.Fee
-			l.mutableAcct(tx.To).Stake += tx.Amount
+			from := l.mutableAcct(tx.From)
+			oldFrom := from.Stake
+			from.Stake = oldFrom - (tx.Amount + tx.Fee)
+			if l.observer != nil {
+				l.observer(tx.From, oldFrom, from.Stake)
+			}
+			to := l.mutableAcct(tx.To)
+			oldTo := to.Stake
+			to.Stake = oldTo + tx.Amount
+			if l.observer != nil {
+				l.observer(tx.To, oldTo, to.Stake)
+			}
 			l.fees += tx.Fee
 		}
 	}

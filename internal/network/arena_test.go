@@ -1,0 +1,74 @@
+package network
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/dsn2020-algorand/incentives/internal/sim"
+)
+
+// TestArenaTopologyBitIdentical pins the arena transparency contract at
+// the topology level: a network built on a warm arena (carrying a
+// previous, differently-sized run's slabs) must draw exactly the peer
+// lists a fresh build does, because duplicate and self picks burn rng
+// draws identically in both paths.
+func TestArenaTopologyBitIdentical(t *testing.T) {
+	h := func(int, Message) {}
+	delay := UniformDelay{Min: time.Millisecond, Max: 10 * time.Millisecond}
+
+	ar := &Arena{}
+	// Warm the arena with a larger run so recycled slabs carry stale data.
+	if _, err := New(Config{N: 120, Fanout: 7, Delay: delay, Arena: ar}, sim.NewEngine(9), h); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh, err := New(Config{N: 60, Fanout: 5, Delay: delay}, sim.NewEngine(42), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recycled, err := New(Config{N: 60, Fanout: 5, Delay: delay, Arena: ar}, sim.NewEngine(42), h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		if !reflect.DeepEqual(fresh.Peers(i), recycled.Peers(i)) {
+			t.Fatalf("node %d peers diverge: fresh %v, recycled %v", i, fresh.Peers(i), recycled.Peers(i))
+		}
+	}
+}
+
+// TestArenaGossipBitIdentical runs a full gossip wave on fresh and
+// recycled networks and compares delivery traces and stats.
+func TestArenaGossipBitIdentical(t *testing.T) {
+	run := func(ar *Arena) (*recorder, Stats) {
+		engine := sim.NewEngine(7)
+		rec := newRecorder()
+		net, err := New(Config{
+			N:        80,
+			Fanout:   5,
+			Delay:    UniformDelay{Min: time.Millisecond, Max: 10 * time.Millisecond},
+			LossProb: 0.1,
+			Arena:    ar,
+		}, engine, rec.handle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net.Gossip(3, Message{ID: [32]byte{1}, Kind: KindProposal, Origin: 3})
+		if err := engine.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return rec, net.Stats()
+	}
+
+	ar := &Arena{}
+	run(ar) // warm pass populates the arena
+	freshRec, freshStats := run(nil)
+	recycledRec, recycledStats := run(ar)
+	if !reflect.DeepEqual(freshRec.delivered, recycledRec.delivered) {
+		t.Fatal("delivery traces diverge between fresh and recycled networks")
+	}
+	if freshStats != recycledStats {
+		t.Fatalf("stats diverge: fresh %+v, recycled %+v", freshStats, recycledStats)
+	}
+}

@@ -140,6 +140,36 @@ type Config struct {
 	// percolation process whose branching factor shrinks as defectors stop
 	// relaying — the coupling through which defection degrades synchrony.
 	LossProb float64
+	// Arena optionally recycles construction-heavy network state (the
+	// topology's peer lists, the relay/online tables) across consecutive
+	// runs of one run-pool worker. Nil builds everything fresh; see Arena
+	// for the determinism contract.
+	Arena *Arena
+}
+
+// Arena is a per-worker pool recycling a Network's construction-time
+// allocations between the runs of a sweep: the peer-list backing store
+// (one flat slab instead of N small slices) and the relay/online tables.
+// It is semantically transparent — every recycled buffer is fully
+// overwritten before first read, and topology generation consumes the
+// exact same rng draw sequence with or without an arena, so results stay
+// bit-for-bit identical. Like protocol.Arena, an Arena is owned by one
+// goroutine and must not back two live Networks at once.
+type Arena struct {
+	peers  [][]int
+	flat   []int
+	relay  []bool
+	online []bool
+}
+
+// takeBools returns a length-n buffer from store, growing it as needed.
+// Contents are unspecified: callers overwrite every slot.
+func takeBools(store *[]bool, n int) []bool {
+	if cap(*store) < n {
+		*store = make([]bool, n)
+	}
+	*store = (*store)[:n]
+	return *store
 }
 
 // Stats counts network activity for the cost model and for debugging.
@@ -202,14 +232,20 @@ func New(cfg Config, engine *sim.Engine, handler Handler) (*Network, error) {
 		cfg.Fanout = cfg.N - 1
 	}
 	rng := engine.RNG("network.topology")
+	relay := make([]bool, cfg.N)
+	online := make([]bool, cfg.N)
+	if ar := cfg.Arena; ar != nil {
+		relay = takeBools(&ar.relay, cfg.N)
+		online = takeBools(&ar.online, cfg.N)
+	}
 	n := &Network{
 		cfg:          cfg,
 		engine:       engine,
 		rng:          engine.RNG("network.delays"),
-		peers:        buildTopology(cfg.N, cfg.Fanout, rng),
+		peers:        buildTopology(cfg.N, cfg.Fanout, rng, cfg.Arena),
 		handler:      handler,
-		relay:        make([]bool, cfg.N),
-		online:       make([]bool, cfg.N),
+		relay:        relay,
+		online:       online,
 		factor:       1,
 		overlayScale: 1,
 	}
@@ -237,28 +273,55 @@ func (n *Network) hintHorizon() {
 	}
 }
 
-func buildTopology(n, fanout int, rng *rand.Rand) [][]int {
+// buildTopology draws each node's fanout distinct outbound peers. The
+// duplicate check is a linear scan over the node's (at most fanout-1)
+// picks so far: at gossip fanouts a scan beats a throwaway map per node,
+// and it lets an arena recycle one flat slab for every peer list.
+// Draw-consumption is load-bearing — a duplicate or self pick burns one
+// rng draw without extending the list, exactly as the original map
+// version did, so topologies are bit-identical across both versions and
+// with or without an arena.
+func buildTopology(n, fanout int, rng *rand.Rand, ar *Arena) [][]int {
 	peers := make([][]int, n)
+	flat := make([]int, 0, n*fanout)
+	if ar != nil {
+		if cap(ar.peers) < n {
+			ar.peers = make([][]int, n)
+		}
+		peers = ar.peers[:n]
+		if cap(ar.flat) < n*fanout {
+			ar.flat = make([]int, 0, n*fanout)
+		}
+		flat = ar.flat[:0]
+	}
 	for i := range peers {
-		chosen := make(map[int]struct{}, fanout)
-		for len(chosen) < fanout {
+		start := len(flat)
+	draw:
+		for len(flat)-start < fanout {
 			p := rng.Intn(n)
 			if p == i {
 				continue
 			}
-			chosen[p] = struct{}{}
+			for _, q := range flat[start:] {
+				if q == p {
+					continue draw
+				}
+			}
+			flat = append(flat, p)
 		}
-		list := make([]int, 0, fanout)
-		for p := range chosen {
-			list = append(list, p)
-		}
-		// Deterministic order: map iteration is random, so sort by index.
+		list := flat[start:len(flat):len(flat)]
+		// Deterministic order: sort by index (the map-based predecessor
+		// sorted too, so recycled and fresh topologies line up exactly).
 		for a := 1; a < len(list); a++ {
 			for b := a; b > 0 && list[b] < list[b-1]; b-- {
 				list[b], list[b-1] = list[b-1], list[b]
 			}
 		}
 		peers[i] = list
+	}
+	if ar != nil {
+		ar.peers = peers
+		ar.flat = flat
 	}
 	return peers
 }

@@ -1,6 +1,8 @@
 package protocol
 
 import (
+	"github.com/dsn2020-algorand/incentives/internal/network"
+	"github.com/dsn2020-algorand/incentives/internal/sim"
 	"github.com/dsn2020-algorand/incentives/internal/sortition"
 	"github.com/dsn2020-algorand/incentives/internal/vrf"
 )
@@ -36,6 +38,15 @@ type Arena struct {
 	roleTaken []bool
 	meter     *costMeter
 	behaviors []Behavior
+	// engine is the recycled simulation engine: the first run through the
+	// arena stashes its engine here, later runs rewind it with
+	// sim.Engine.Reset instead of re-growing the calendar queue's rings
+	// from scratch. Reset keeps the scheduler geometry but pops in the
+	// same strict (time, seq) order, so recycling is output-invisible.
+	engine *sim.Engine
+	// net recycles the gossip layer's topology slab and node tables; see
+	// network.Arena.
+	net network.Arena
 }
 
 // NewArena returns an empty arena; pools grow on first use.

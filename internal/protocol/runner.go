@@ -11,6 +11,7 @@ import (
 	"github.com/dsn2020-algorand/incentives/internal/sim"
 	"github.com/dsn2020-algorand/incentives/internal/sortition"
 	"github.com/dsn2020-algorand/incentives/internal/vrf"
+	"github.com/dsn2020-algorand/incentives/internal/weight"
 )
 
 // RoleStake identifies one participant of a round together with its stake
@@ -83,6 +84,17 @@ type Config struct {
 	// one run-pool worker. See Arena for the ownership and determinism
 	// contract; nil builds everything fresh.
 	Arena *Arena
+	// Weights overrides the round weight source with an external oracle
+	// (e.g. a synthetic Zipf/churn profile); its NumNodes must equal
+	// len(Stakes). Nil — the default — derives the oracle from the
+	// canonical ledger per WeightBackend. An external oracle decouples
+	// sortition weights from ledger balances: rewards still accrue on
+	// chain but no longer feed back into committee selection.
+	Weights weight.Oracle
+	// WeightBackend selects the ledger-backed oracle when Weights is nil;
+	// the zero value is weight.BackendLedgerDirect, bit-identical to
+	// reading the ledger directly.
+	WeightBackend weight.Backend
 }
 
 // DefaultLossProb is the effective per-hop gossip loss used when
@@ -98,6 +110,7 @@ type Runner struct {
 	engine                   *sim.Engine
 	net                      *network.Network
 	canonical                *ledger.Ledger
+	weights                  weight.Oracle
 	nodes                    []*node
 	keys                     []vrf.KeyPair
 	rng                      *rand.Rand
@@ -166,14 +179,36 @@ func NewRunner(cfg Config) (*Runner, error) {
 		cfg.Delay = HeavyTailDefault()
 	}
 
-	engine := sim.NewEngine(cfg.Seed)
+	var engine *sim.Engine
+	if ar := cfg.Arena; ar != nil && ar.engine != nil {
+		engine = ar.engine
+		engine.Reset(cfg.Seed)
+	} else {
+		engine = sim.NewEngine(cfg.Seed)
+		if ar != nil {
+			ar.engine = engine
+		}
+	}
 	canonical := ledger.Genesis(cfg.Stakes, engine.RNG("ledger.genesis"))
+
+	weights := cfg.Weights
+	if weights == nil {
+		var err error
+		weights, err = weight.ForLedger(canonical, cfg.WeightBackend)
+		if err != nil {
+			return nil, err
+		}
+	} else if weights.NumNodes() != len(cfg.Stakes) {
+		return nil, fmt.Errorf("protocol: weight oracle covers %d nodes, population has %d",
+			weights.NumNodes(), len(cfg.Stakes))
+	}
 
 	n := len(cfg.Stakes)
 	r := &Runner{
 		params:    cfg.Params,
 		engine:    engine,
 		canonical: canonical,
+		weights:   weights,
 		rng:       engine.RNG("runner"),
 		reward:    cfg.Reward,
 		proposers: make(map[int]float64),
@@ -215,12 +250,16 @@ func NewRunner(cfg Config) (*Runner, error) {
 	if loss < 0 {
 		loss = 0
 	}
-	net, err := network.New(network.Config{
+	netCfg := network.Config{
 		N:        len(cfg.Stakes),
 		Fanout:   cfg.Fanout,
 		Delay:    cfg.Delay,
 		LossProb: loss,
-	}, engine, r.handleMessage)
+	}
+	if cfg.Arena != nil {
+		netCfg.Arena = &cfg.Arena.net
+	}
+	net, err := network.New(netCfg, engine, r.handleMessage)
 	if err != nil {
 		return nil, err
 	}
@@ -258,6 +297,12 @@ func HeavyTailDefault() network.DelayModel {
 // Canonical exposes the authoritative chain (what the synced quorum
 // agreed on); experiments read stakes and blocks from it.
 func (r *Runner) Canonical() *ledger.Ledger { return r.canonical }
+
+// Weights exposes the runner's weight oracle — the only sanctioned path
+// to sortition weights for adversaries, experiments and examples. Query
+// it for the runner's current round only: schedule-driven oracles
+// enforce monotonic round advance.
+func (r *Runner) Weights() weight.Oracle { return r.weights }
 
 // Network exposes the gossip fabric, e.g. for stats.
 func (r *Runner) Network() *network.Network { return r.net }
@@ -308,10 +353,11 @@ const finalVoteStep = 1 << 20 // sortition step id reserved for final votes
 
 func (r *Runner) runRound() RoundReport {
 	round := r.canonical.Round()
-	// Refresh the per-round stake snapshot in place; reports and role
-	// collections copy values out, so the buffer is private to the round.
-	r.roundStakes = r.canonical.StakesInto(r.roundStakes)
-	r.roundTotal = r.canonical.TotalStake()
+	// Refresh the per-round weight snapshot in place via the oracle;
+	// reports and role collections copy values out, so the buffer is
+	// private to the round.
+	r.roundStakes = r.weights.WeightsInto(round, r.roundStakes)
+	r.roundTotal = r.weights.TotalWeight(round)
 	r.roundSeed = r.canonical.Seed()
 	r.tauStepAbs = resolveTau(r.params.TauStep, r.roundTotal)
 	r.tauFinalAbs = resolveTau(r.params.TauFinal, r.roundTotal)

@@ -105,10 +105,17 @@ type calendarQueue struct {
 // calBucket is one near-ring slot: an append-order event slice that gets
 // insertion-sorted by (at, seq) when the drain cursor reaches it, then
 // drained by advancing next.
+//
+// unsorted tracks, append by append, whether the slice has fallen out of
+// (at, seq) order since its last drain; gossip fan-outs schedule mostly
+// ascending timestamps, so most buckets arrive presorted and the drain
+// can skip the sortBucket verification walk entirely (its compares move
+// to one per append).
 type calBucket struct {
-	events []event
-	next   int32
-	sorted bool
+	events   []event
+	next     int32
+	sorted   bool
+	unsorted bool
 }
 
 // farBlock is one fixed-size chunk of a far day's unsorted event chain.
@@ -186,6 +193,42 @@ func (c *calendarQueue) init() {
 
 // len reports the total number of queued events.
 func (c *calendarQueue) len() int { return c.ring + c.farCount + len(c.overflow) }
+
+// reset empties the calendar back to its post-init state while keeping
+// every allocation and the current geometry: near buckets keep their
+// grown capacities (and slab-carved backings), far blocks return to the
+// freelist, and ring sizes/widths stay where resizes left them. Pop
+// order is strict (at, seq) regardless of geometry, so a reset calendar
+// schedules identically to a fresh one — it just skips the warm-up
+// growth. All closure/payload references are dropped.
+func (c *calendarQueue) reset() {
+	for i := range c.near {
+		b := &c.near[i]
+		clear(b.events)
+		b.events = b.events[:0]
+		b.next = 0
+		b.sorted = false
+		b.unsorted = false
+	}
+	c.cursor = 0
+	c.ring = 0
+	for i := range c.farHead {
+		c.farHead[i] = -1
+	}
+	c.farCursor = -1
+	c.farCount = 0
+	c.migrated = 0
+	c.freeBlk = -1
+	for i := range c.blocks {
+		blk := &c.blocks[i]
+		clear(blk.events[:blk.n])
+		blk.n = 0
+		blk.next = c.freeBlk
+		c.freeBlk = int32(i)
+	}
+	clear(c.overflow)
+	c.overflow = c.overflow[:0]
+}
 
 // ensureWindow advances the rung boundary after the clock jumped past it
 // (an overflow pop, or an idle stretch). Far days strictly before the
@@ -277,6 +320,9 @@ func (c *calendarQueue) insertNear(ev event) int {
 			i--
 		}
 		e[i] = ev
+	} else if !b.unsorted && len(e) > 1 && ev.before(&e[len(e)-2]) {
+		// Appends have broken ascending order: the drain must sort.
+		b.unsorted = true
 	}
 	b.events = e
 	c.ring++
@@ -372,7 +418,12 @@ func (c *calendarQueue) peekNear(now time.Duration) *event {
 	for {
 		if b := &c.near[c.cursor&c.nearMask]; int(b.next) < len(b.events) {
 			if !b.sorted {
-				sortBucket(b.events)
+				// Presorted buckets (the common case, tracked append by
+				// append) skip the verification walk.
+				if b.unsorted {
+					sortBucket(b.events)
+					b.unsorted = false
+				}
 				b.sorted = true
 			}
 			return &b.events[b.next]
@@ -467,6 +518,7 @@ func (c *calendarQueue) pop(now time.Duration) (event, bool) {
 		b.events = b.events[:0]
 		b.next = 0
 		b.sorted = false
+		b.unsorted = false
 	}
 	c.ring--
 	return ev, true

@@ -147,6 +147,28 @@ func (e *Engine) UseLegacyHeap() {
 	e.cal = calendarQueue{} // release the unused calendar rings
 }
 
+// Reset rewinds the engine to a fresh post-NewEngine state for seed,
+// keeping the scheduler's allocations and geometry: the calendar's
+// near/far rings stay at whatever widths and spans previous runs grew
+// them to, buckets keep their capacities, and far blocks return to the
+// free pool. Pop order is strict (at, seq) independent of geometry, so a
+// recycled engine is output-identical to NewEngine(seed) while skipping
+// the calendar warm-up — the run-pool arenas lean on that. Any still-
+// queued events are dropped. The scheduler selection (legacy heap vs
+// calendar) carries over.
+func (e *Engine) Reset(seed int64) {
+	e.now = 0
+	e.seq = 0
+	e.steps = 0
+	e.stopped = false
+	e.seed = seed
+	clear(e.queue)
+	e.queue = e.queue[:0]
+	if !e.legacy {
+		e.cal.reset()
+	}
+}
+
 // HintHorizon tells the scheduler that hot-path events arrive at most
 // horizon ahead of the clock, sizing the calendar ring so they all take
 // the O(1) bucket route. The hint is a pure optimisation: events beyond

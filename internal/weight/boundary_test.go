@@ -1,0 +1,76 @@
+package weight_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestNoDirectStakeReadsOutsideBackends enforces the oracle seam: no
+// non-test source file outside internal/ledger (the owner) and
+// internal/weight (the backends) may call the ledger's stake readers
+// directly. Everything else routes through a weight.Oracle.
+func TestNoDirectStakeReadsOutsideBackends(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Method-call patterns: plain identifiers (Params.TotalStake field
+	// literals, RoleStake.Stake fields) are fine, calls are not.
+	re := regexp.MustCompile(`\.(Stake|Stakes|StakesInto|TotalStake)\(`)
+	var offenders []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(root, path)
+		if d.IsDir() {
+			switch rel {
+			case ".git", "internal/ledger", "internal/weight":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for i, line := range strings.Split(string(src), "\n") {
+			if re.MatchString(line) {
+				offenders = append(offenders, rel+":"+strconv.Itoa(i+1)+": "+strings.TrimSpace(line))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offenders) > 0 {
+		t.Fatalf("direct ledger stake reads outside the weight seam:\n  %s",
+			strings.Join(offenders, "\n  "))
+	}
+}
+
+// moduleRoot walks up from the working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,23 @@
+//go:build !weight_ledgerdirect
+
+package weight
+
+// forceLedgerDirect routes every ForLedger selection to the ledger-direct
+// backend when true. The weight_ledgerdirect build tag flips the default,
+// turning the whole test suite into a differential-oracle run, mirroring
+// sim_legacy_heap and ledger_deepclone.
+var forceLedgerDirect = false
+
+// SetForceLedgerDirect toggles the forced ledger-direct selection for
+// every subsequent ForLedger call and returns the previous setting. It
+// exists for differential tests; it must not be flipped while simulations
+// run concurrently.
+func SetForceLedgerDirect(on bool) (previous bool) {
+	previous = forceLedgerDirect
+	forceLedgerDirect = on
+	return previous
+}
+
+// ForcedLedgerDirect reports whether ForLedger currently ignores the
+// backend selection.
+func ForcedLedgerDirect() bool { return forceLedgerDirect }

@@ -1,0 +1,16 @@
+//go:build weight_ledgerdirect
+
+package weight
+
+// Built with -tags weight_ledgerdirect: every ForLedger selection takes
+// the ledger-direct backend, the differential oracle for the incremental
+// index. CI runs the goldens and the weight suite under this tag.
+var forceLedgerDirect = true
+
+// SetForceLedgerDirect is a no-op under the weight_ledgerdirect tag: the
+// build pins the forced selection on.
+func SetForceLedgerDirect(bool) (previous bool) { return true }
+
+// ForcedLedgerDirect reports whether ForLedger currently ignores the
+// backend selection; always true under this tag.
+func ForcedLedgerDirect() bool { return true }

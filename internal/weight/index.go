@@ -1,0 +1,107 @@
+package weight
+
+import (
+	"github.com/dsn2020-algorand/incentives/internal/ledger"
+)
+
+// Index is the incremental ledger backend: a dense stake mirror plus a
+// Fenwick (binary-indexed) prefix-sum tree, both patched in O(log n) per
+// account mutation by the ledger's stake observer. Refreshing a round's
+// weights therefore costs O(changed accounts) ledger work instead of a
+// full account-table walk, and TotalWeight is a running scalar.
+//
+// Determinism: per-node weights are assignment-mirrored (dense[id] = new
+// balance), so Weight and WeightsInto are bit-identical to ledger-direct
+// reads. The running total accumulates deltas, which can drift from the
+// ledger's index-order page-walk sum by float ulps once mutations occur;
+// the differential suite pins per-node weights exactly and totals to a
+// 1e-9 relative band. In mutation-free runs the initial index-order sum
+// is never re-accumulated, so Index is bit-identical throughout.
+//
+// An Index registers itself as l's stake observer; a ledger carries at
+// most one observer, so build at most one Index per ledger and Detach it
+// before installing another.
+type Index struct {
+	l     *ledger.Ledger
+	dense []float64 // dense[id] mirrors account id's stake exactly
+	tree  []float64 // 1-indexed Fenwick tree over dense
+	total float64   // running sum of dense
+}
+
+var _ Oracle = (*Index)(nil)
+
+// NewIndex snapshots l's account table into a fresh index and registers
+// the index as l's stake observer so subsequent Credit/Append mutations
+// patch it incrementally.
+func NewIndex(l *ledger.Ledger) *Index {
+	n := l.NumAccounts()
+	x := &Index{
+		l:     l,
+		dense: l.StakesInto(make([]float64, 0, n)),
+		tree:  make([]float64, n+1),
+	}
+	// Initial total in index order — the same order TotalStake walks, so
+	// the starting point is bit-identical to the ledger's own sum.
+	for _, w := range x.dense {
+		x.total += w
+	}
+	for id, w := range x.dense {
+		x.treeAdd(id, w)
+	}
+	l.SetStakeObserver(x.observe)
+	return x
+}
+
+// Detach unregisters the index from its ledger; the mirror stops
+// tracking mutations from that point on.
+func (x *Index) Detach() { x.l.SetStakeObserver(nil) }
+
+// observe is the ledger mutation hook: assignment-mirror the new balance
+// and patch the prefix tree and running total by the delta.
+func (x *Index) observe(id int, old, new float64) {
+	x.dense[id] = new
+	delta := new - old
+	x.treeAdd(id, delta)
+	x.total += delta
+}
+
+func (x *Index) treeAdd(id int, delta float64) {
+	for i := id + 1; i < len(x.tree); i += i & -i {
+		x.tree[i] += delta
+	}
+}
+
+// NumNodes implements Oracle.
+func (x *Index) NumNodes() int { return len(x.dense) }
+
+// Weight implements Oracle; the round argument is advisory (the mirror
+// tracks the ledger's current round).
+func (x *Index) Weight(_ uint64, node int) float64 {
+	if node < 0 || node >= len(x.dense) {
+		return 0
+	}
+	return x.dense[node]
+}
+
+// TotalWeight implements Oracle.
+func (x *Index) TotalWeight(_ uint64) float64 { return x.total }
+
+// WeightsInto implements Oracle.
+func (x *Index) WeightsInto(_ uint64, dst []float64) []float64 {
+	dst = append(dst[:0], x.dense...)
+	return dst
+}
+
+// PrefixWeight returns the summed weight of nodes [0, k) from the
+// Fenwick tree in O(log n) — the cumulative-stake query stake-weighted
+// samplers bisect over.
+func (x *Index) PrefixWeight(k int) float64 {
+	if k > len(x.dense) {
+		k = len(x.dense)
+	}
+	var sum float64
+	for i := k; i > 0; i -= i & -i {
+		sum += x.tree[i]
+	}
+	return sum
+}

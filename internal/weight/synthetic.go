@@ -1,0 +1,145 @@
+package weight
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/dsn2020-algorand/incentives/internal/sim"
+)
+
+// ChurnStep rescales a seeded-random fraction of the population at one
+// round boundary: when the oracle first answers for a round >= Round,
+// floor(Frac*n) nodes (chosen by the oracle's churn stream) have their
+// weight multiplied by Scale. Scale 0 models departure, Scale > 1 a
+// whale arriving or a node consolidating stake.
+type ChurnStep struct {
+	Round uint64
+	Frac  float64
+	Scale float64
+}
+
+// Synthetic is a schedule-driven oracle, independent of any ledger: the
+// stake shape comes from a generator (Zipf rank weights, or an explicit
+// vector) and evolves only through its churn schedule. Queries must
+// advance monotonically in round — the runner's once-per-round refresh
+// satisfies that — and every draw comes from labelled streams of the
+// construction seed, so a given (profile, seed) pair answers identically
+// regardless of worker count or sweep order.
+type Synthetic struct {
+	weights []float64
+	total   float64
+	churn   []ChurnStep // sorted by Round; churn[:applied] already applied
+	applied int
+	rng     *rand.Rand // churn subset stream
+	round   uint64     // highest round seen, for the monotonic contract
+}
+
+var _ Oracle = (*Synthetic)(nil)
+
+// NewSynthetic wraps an explicit weight vector (copied) in an oracle.
+// Total weight starts as the index-order sum of weights.
+func NewSynthetic(weights []float64, seed int64) *Synthetic {
+	s := &Synthetic{
+		weights: append([]float64(nil), weights...),
+		rng:     sim.NewRNG(seed, "weight.synthetic.churn"),
+	}
+	for _, w := range s.weights {
+		s.total += w
+	}
+	return s
+}
+
+// NewZipf builds a rank-based Zipf stake profile over n nodes: the node
+// of rank r (1-based) holds weight proportional to r^-exponent, ranks are
+// dealt to node IDs by a seeded permutation so ID order carries no stake
+// information, and the whole vector is normalized to sum to total. An
+// exponent near 1 reproduces the heavy-tailed holdings observed on real
+// chains; exponent 0 degenerates to the uniform profile.
+func NewZipf(n int, exponent, total float64, seed int64) *Synthetic {
+	if n <= 0 {
+		panic(fmt.Sprintf("weight: NewZipf with n=%d", n))
+	}
+	raw := make([]float64, n)
+	var sum float64
+	for r := 0; r < n; r++ {
+		raw[r] = math.Pow(float64(r+1), -exponent)
+		sum += raw[r]
+	}
+	perm := sim.NewRNG(seed, "weight.synthetic.zipf").Perm(n)
+	weights := make([]float64, n)
+	scale := total / sum
+	for r, id := range perm {
+		weights[id] = raw[r] * scale
+	}
+	return NewSynthetic(weights, seed)
+}
+
+// WithChurn installs the churn schedule (sorted by round, stably) and
+// returns the oracle for chaining. Call before the first query.
+func (s *Synthetic) WithChurn(steps []ChurnStep) *Synthetic {
+	s.churn = append([]ChurnStep(nil), steps...)
+	sort.SliceStable(s.churn, func(i, j int) bool { return s.churn[i].Round < s.churn[j].Round })
+	return s
+}
+
+// advance applies every churn step due at or before round. The round
+// sequence across queries must be non-decreasing; re-querying an older
+// round after advancing would silently answer with newer weights, so it
+// panics instead.
+func (s *Synthetic) advance(round uint64) {
+	if round < s.round {
+		panic(fmt.Sprintf("weight: synthetic oracle queried for round %d after round %d", round, s.round))
+	}
+	s.round = round
+	for s.applied < len(s.churn) && s.churn[s.applied].Round <= round {
+		s.apply(s.churn[s.applied])
+		s.applied++
+	}
+}
+
+// apply rescales a seeded subset of floor(Frac*n) nodes by Scale. The
+// subset is drawn by Fisher–Yates-style index selection from the churn
+// stream; draws happen in schedule order, so the evolution is a pure
+// function of (weights, schedule, seed).
+func (s *Synthetic) apply(step ChurnStep) {
+	n := len(s.weights)
+	k := int(step.Frac * float64(n))
+	if k <= 0 {
+		return
+	}
+	if k > n {
+		k = n
+	}
+	for _, id := range s.rng.Perm(n)[:k] {
+		old := s.weights[id]
+		s.weights[id] = old * step.Scale
+		s.total += s.weights[id] - old
+	}
+}
+
+// NumNodes implements Oracle.
+func (s *Synthetic) NumNodes() int { return len(s.weights) }
+
+// Weight implements Oracle.
+func (s *Synthetic) Weight(round uint64, node int) float64 {
+	s.advance(round)
+	if node < 0 || node >= len(s.weights) {
+		return 0
+	}
+	return s.weights[node]
+}
+
+// TotalWeight implements Oracle.
+func (s *Synthetic) TotalWeight(round uint64) float64 {
+	s.advance(round)
+	return s.total
+}
+
+// WeightsInto implements Oracle.
+func (s *Synthetic) WeightsInto(round uint64, dst []float64) []float64 {
+	s.advance(round)
+	dst = append(dst[:0], s.weights...)
+	return dst
+}

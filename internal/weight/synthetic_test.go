@@ -1,0 +1,138 @@
+package weight_test
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"github.com/dsn2020-algorand/incentives/internal/sim"
+	"github.com/dsn2020-algorand/incentives/internal/weight"
+)
+
+// TestSyntheticTotalIsSumEveryRound is the core synthetic-backend
+// property: at every round of a randomized churn schedule, TotalWeight
+// must equal the sum of per-node Weights (to running-total tolerance).
+func TestSyntheticTotalIsSumEveryRound(t *testing.T) {
+	rng := sim.NewRNG(11, "weight.test.synthetic")
+	for trial := 0; trial < 20; trial++ {
+		n := 50 + rng.Intn(200)
+		var churn []weight.ChurnStep
+		for len(churn) < 5 {
+			churn = append(churn, weight.ChurnStep{
+				Round: uint64(1 + rng.Intn(30)),
+				Frac:  rng.Float64() * 0.4,
+				Scale: rng.Float64() * 3, // includes near-0 departures
+			})
+		}
+		o := weight.NewZipf(n, 0.5+rng.Float64(), 25.5*float64(n), int64(trial)).WithChurn(churn)
+		for round := uint64(1); round <= 32; round++ {
+			ws := o.WeightsInto(round, nil)
+			var sum float64
+			for _, w := range ws {
+				sum += w
+			}
+			total := o.TotalWeight(round)
+			if d := relDiff(total, sum); d > 1e-9 {
+				t.Fatalf("trial %d round %d: TotalWeight %v != sum %v (rel %g)", trial, round, total, sum, d)
+			}
+		}
+	}
+}
+
+// TestZipfTailExponent checks the generated profile really is Zipf: the
+// log-log slope of the rank-ordered weights recovers the requested
+// exponent (the ranks are exact powers, so the fit is tight).
+func TestZipfTailExponent(t *testing.T) {
+	for _, s := range []float64{0.6, 1.0, 1.4} {
+		const n = 500
+		o := weight.NewZipf(n, s, 25.5*n, 99)
+		ws := o.WeightsInto(1, nil)
+		sort.Sort(sort.Reverse(sort.Float64Slice(ws)))
+		// w_(r) = C * r^-s exactly, so s = log(w_1/w_r) / log(r) for any r.
+		for _, r := range []int{10, 100, n} {
+			got := math.Log(ws[0]/ws[r-1]) / math.Log(float64(r))
+			if math.Abs(got-s) > 1e-9 {
+				t.Fatalf("exponent %v: rank-%d slope %v", s, r, got)
+			}
+		}
+	}
+}
+
+// TestZipfPermutationDecorrelatesIDs guards the seeded rank deal: node 0
+// must not systematically hold the largest stake.
+func TestZipfPermutationDecorrelatesIDs(t *testing.T) {
+	const n = 200
+	topIsZero := 0
+	for seed := int64(0); seed < 20; seed++ {
+		o := weight.NewZipf(n, 1.0, 25.5*n, seed)
+		ws := o.WeightsInto(1, nil)
+		top := 0
+		for i, w := range ws {
+			if w > ws[top] {
+				top = i
+			}
+		}
+		if top == 0 {
+			topIsZero++
+		}
+	}
+	if topIsZero > 3 {
+		t.Fatalf("node 0 held the top stake in %d/20 seeds; ranks are not being shuffled", topIsZero)
+	}
+}
+
+// TestChurnScheduleDeterministic pins churn replay: two oracles built
+// from the same (profile, seed, schedule) must agree bit-for-bit at
+// every round, regardless of which query granularity advanced them.
+func TestChurnScheduleDeterministic(t *testing.T) {
+	churn := []weight.ChurnStep{
+		{Round: 3, Frac: 0.25, Scale: 0},
+		{Round: 7, Frac: 0.10, Scale: 4},
+		{Round: 7, Frac: 0.05, Scale: 0.5},
+	}
+	const n = 120
+	a := weight.NewZipf(n, 1.1, 25.5*n, 42).WithChurn(churn)
+	b := weight.NewZipf(n, 1.1, 25.5*n, 42).WithChurn(churn)
+	for round := uint64(1); round <= 10; round++ {
+		was := a.WeightsInto(round, nil)
+		for i := 0; i < n; i++ {
+			if w := b.Weight(round, i); w != was[i] {
+				t.Fatalf("round %d node %d: %v vs %v", round, i, was[i], w)
+			}
+		}
+		if a.TotalWeight(round) != b.TotalWeight(round) {
+			t.Fatalf("round %d: totals diverge", round)
+		}
+	}
+}
+
+// TestSyntheticMonotonicRounds pins the advance contract: querying an
+// older round after a newer one must panic, not silently answer with
+// post-churn weights.
+func TestSyntheticMonotonicRounds(t *testing.T) {
+	o := weight.NewZipf(50, 1.0, 1000, 1).WithChurn([]weight.ChurnStep{{Round: 4, Frac: 0.5, Scale: 2}})
+	o.TotalWeight(5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("regressing the round must panic")
+		}
+	}()
+	o.Weight(3, 0)
+}
+
+// TestSyntheticExplicitVector pins NewSynthetic: the oracle answers the
+// given vector verbatim and copies it defensively.
+func TestSyntheticExplicitVector(t *testing.T) {
+	src := []float64{5, 1, 3}
+	o := weight.NewSynthetic(src, 1)
+	src[1] = 99
+	if got := o.Weight(1, 1); got != 1 {
+		t.Fatalf("oracle aliased the caller's vector: Weight(1) = %v", got)
+	}
+	if got := o.TotalWeight(1); got != 9 {
+		t.Fatalf("TotalWeight = %v, want 9", got)
+	}
+	if got := o.Weight(1, 5); got != 0 {
+		t.Fatalf("out-of-range weight = %v, want 0", got)
+	}
+}

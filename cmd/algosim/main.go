@@ -8,17 +8,26 @@
 // pool; -workers caps the pool (0 = GOMAXPROCS) without changing any
 // output.
 //
+// -sparse selects the protocol round path: "auto" (default) switches to
+// the centralized sparse-committee sampler for populations of 4096+
+// nodes when the committee taus are absolute, "on" forces it, "off"
+// forces the dense per-node sweep. -tauStep/-tauFinal override the
+// committee sizes; values > 1 are absolute seat counts (required for
+// sparse runs), values in (0, 1] are fractions of total stake.
+//
 // Usage:
 //
 //	algosim [-nodes N] [-rounds R] [-runs M] [-workers W]
 //	        [-defect F] [-malicious F] [-faulty F]
 //	        [-fanout K] [-loss P] [-seed S] [-csv]
+//	        [-sparse auto|on|off] [-tauStep T] [-tauFinal T]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 
 	"github.com/dsn2020-algorand/incentives/internal/network"
@@ -30,8 +39,11 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
-		log.Fatal(err)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintln(os.Stderr, "algosim:", err)
+		}
+		os.Exit(1)
 	}
 }
 
@@ -44,26 +56,47 @@ type simRun struct {
 	netStats               network.Stats
 }
 
-func run() error {
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("algosim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		nodes     = flag.Int("nodes", 100, "network size")
-		rounds    = flag.Int("rounds", 30, "rounds to simulate")
-		runs      = flag.Int("runs", 1, "independent simulations to average")
-		workers   = flag.Int("workers", 0, "run-pool workers (0 = GOMAXPROCS); results are identical for every value")
-		defect    = flag.Float64("defect", 0.10, "fraction of honest-but-selfish nodes that defect")
-		malicious = flag.Float64("malicious", 0, "fraction of malicious nodes")
-		faulty    = flag.Float64("faulty", 0, "fraction of faulty (offline) nodes")
-		fanout    = flag.Int("fanout", 5, "gossip fan-out")
-		loss      = flag.Float64("loss", protocol.DefaultLossProb, "per-hop gossip loss probability")
-		seed      = flag.Int64("seed", 1, "random seed")
-		asCSV     = flag.Bool("csv", false, "emit CSV instead of a text table")
+		nodes      = fs.Int("nodes", 100, "network size")
+		rounds     = fs.Int("rounds", 30, "rounds to simulate")
+		runs       = fs.Int("runs", 1, "independent simulations to average")
+		workers    = fs.Int("workers", 0, "run-pool workers (0 = GOMAXPROCS); results are identical for every value")
+		defect     = fs.Float64("defect", 0.10, "fraction of honest-but-selfish nodes that defect")
+		malicious  = fs.Float64("malicious", 0, "fraction of malicious nodes")
+		faulty     = fs.Float64("faulty", 0, "fraction of faulty (offline) nodes")
+		fanout     = fs.Int("fanout", 5, "gossip fan-out")
+		loss       = fs.Float64("loss", protocol.DefaultLossProb, "per-hop gossip loss probability")
+		seed       = fs.Int64("seed", 1, "random seed")
+		asCSV      = fs.Bool("csv", false, "emit CSV instead of a text table")
+		sparseMode = fs.String("sparse", "auto", "protocol round path: auto, on (sparse committees) or off (dense per-node sweep)")
+		tauStep    = fs.Float64("tauStep", 0, "committee tau override: > 1 absolute seats, (0,1] fraction of stake, 0 = default")
+		tauFinal   = fs.Float64("tauFinal", 0, "final-committee tau override, same units as -tauStep, 0 = default")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	sparse, err := protocol.ParseSparseMode(*sparseMode)
+	if err != nil {
+		return err
+	}
 	if *defect+*malicious+*faulty > 1 {
 		return fmt.Errorf("behaviour fractions sum to %v > 1", *defect+*malicious+*faulty)
 	}
 	if *runs < 1 {
 		return fmt.Errorf("need at least one run, got %d", *runs)
+	}
+	params := protocol.DefaultParams()
+	if *tauStep != 0 {
+		params.TauStep = *tauStep
+	}
+	if *tauFinal != 0 {
+		params.TauFinal = *tauFinal
 	}
 
 	results, err := runpool.Sweep(*runs, *workers, func(run int) (simRun, error) {
@@ -92,12 +125,13 @@ func run() error {
 		assign(*faulty, protocol.Faulty)
 
 		runner, err := protocol.NewRunner(protocol.Config{
-			Params:    protocol.DefaultParams(),
+			Params:    params,
 			Stakes:    pop.Stakes,
 			Behaviors: behaviors,
 			Fanout:    *fanout,
 			LossProb:  *loss,
 			Seed:      runSeed,
+			Sparse:    sparse,
 		})
 		if err != nil {
 			return simRun{}, err
@@ -155,11 +189,11 @@ func run() error {
 		stats.Series{Name: "none", Values: noneCol},
 	)
 	if *asCSV {
-		if err := table.WriteCSV(os.Stdout); err != nil {
+		if err := table.WriteCSV(stdout); err != nil {
 			return err
 		}
 	} else {
-		if err := table.WriteText(os.Stdout); err != nil {
+		if err := table.WriteText(stdout); err != nil {
 			return err
 		}
 	}
@@ -168,11 +202,11 @@ func run() error {
 	meanDecided := runpool.MeanOf(results, func(r simRun) float64 { return float64(r.decidedRounds) })
 	meanHeight := runpool.MeanOf(results, func(r simRun) float64 { return float64(r.chainHeight) })
 	if *runs == 1 {
-		fmt.Fprintf(os.Stderr,
+		fmt.Fprintf(stderr,
 			"\n%d/%d rounds decided; mean final fraction %.1f%%; chain height %d; gossip: %+v\n",
 			results[0].decidedRounds, *rounds, 100*meanFinal, results[0].chainHeight, results[0].netStats)
 	} else {
-		fmt.Fprintf(os.Stderr,
+		fmt.Fprintf(stderr,
 			"\n%d runs: mean %.1f/%d rounds decided; mean final fraction %.1f%%; mean chain height %.1f\n",
 			*runs, meanDecided, *rounds, 100*meanFinal, meanHeight)
 	}

@@ -154,6 +154,42 @@ func genBench(path string, pr int) error {
 		}
 	})
 
+	// One sparse-committee BA* round at 50k nodes: absolute committee taus
+	// put the runner on the centralized-sampling path, where per-round cost
+	// tracks the committee (a few hundred seats), not the population. A
+	// fixed window, like the dense round workload, keeps allocs/op
+	// reproducible.
+	if err := setBenchtime("20x"); err != nil {
+		return err
+	}
+	sparseStakes := make([]float64, 50_000)
+	sparseBehaviors := make([]protocol.Behavior, 50_000)
+	for i := range sparseStakes {
+		sparseStakes[i] = float64(1 + i%50)
+		sparseBehaviors[i] = protocol.Honest
+	}
+	sparseParams := protocol.DefaultParams()
+	sparseParams.TauStep = 200
+	sparseParams.TauFinal = 300
+	sparseRunner, err := protocol.NewRunner(protocol.Config{
+		Params:    sparseParams,
+		Stakes:    sparseStakes,
+		Behaviors: sparseBehaviors,
+		Seed:      1,
+		Sparse:    protocol.SparseOn,
+	})
+	if err != nil {
+		return err
+	}
+	sparseRunner.RunRounds(6)
+	fmt.Println("measuring protocol_round_sparse_50k ...")
+	out.Benchmarks["protocol_round_sparse_50k"] = bestOf(3, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sparseRunner.RunRounds(1)
+		}
+	})
+
 	// One sortition selection, scalar vs cached threshold oracle. These
 	// are ~650 ns micro-ops: a time-based window gives them the iteration
 	// counts they need for stable ns/op (their allocs are pinned at zero

@@ -72,6 +72,10 @@ var gatedWorkloads = []struct{ key, bench string }{
 	// older than PR 6. Its _direct companion measures the page-walking
 	// default and is informational, not gated.
 	{"weight_oracle_refresh", "weight.Index refresh, 4096 accounts"},
+	// One sparse-committee round at 50k nodes — the O(committee) hot path
+	// that carries the 500k fig3 sweep; absent from baselines older than
+	// PR 7.
+	{"protocol_round_sparse_50k", "50k-node sparse BA* round"},
 }
 
 func loadBench(path string) (*BenchFile, error) {

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	benchgen [-out DIR] [-full] [-workers N] [-pr N] [-benchout FILE] [table3|fig3|fig5|fig6|fig7|equilibrium|bench|all]
+//	benchgen [-largeNodes N] [-largeRounds N] [-largeRuns N] fig3large
 //	benchgen [-baseline FILE] -candidate FILE compare
 //
 // With -full, the paper-scale configurations are used (500k nodes, 100-200
@@ -11,11 +12,19 @@
 // -workers caps the shared deterministic run pool (0 = GOMAXPROCS); every
 // worker count yields bit-for-bit identical CSVs.
 //
+// The fig3large target scales the defection experiment far beyond the
+// paper's 100 nodes via the sparse-committee round path (absolute
+// committee taus, see internal/protocol): -largeNodes picks the
+// population (default 500000), -largeRounds/-largeRuns trim the sweep for
+// CI smokes (0 keeps the LargeFig3Config defaults). It writes
+// fig3large_<nodes>.csv; the paper's fig3 target is untouched.
+//
 // The bench target measures the hot-path workloads (one BA* round, one
-// sortition selection, a Fig. 3-class simulation) plus the deterministic
-// headline figure metrics and writes them as JSON to -benchout (default
-// BENCH_<pr>.json, with <pr> from -pr), the persisted perf trajectory
-// future PRs compare against; see README "Benchmark pipeline".
+// sortition selection, a Fig. 3-class simulation, a 50k-node sparse
+// round) plus the deterministic headline figure metrics and writes them
+// as JSON to -benchout (default BENCH_<pr>.json, with <pr> from -pr),
+// the persisted perf trajectory future PRs compare against; see README
+// "Benchmark pipeline".
 //
 // The compare target is the CI benchmark-regression gate: it diffs the
 // -candidate BENCH file against -baseline (default: the newest
@@ -25,9 +34,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -38,14 +48,32 @@ import (
 )
 
 func main() {
-	outDir := flag.String("out", "results", "output directory for CSV files")
-	full := flag.Bool("full", false, "use paper-scale configurations")
-	workers := flag.Int("workers", 0, "run-pool workers (0 = GOMAXPROCS); results are identical for every value")
-	benchPR := flag.Int("pr", 0, "PR number recorded in the bench target's JSON (also names the default -benchout file); required by the bench target")
-	benchOut := flag.String("benchout", "", "output path for the bench target's JSON (default BENCH_<pr>.json)")
-	baseline := flag.String("baseline", "", "compare target: baseline BENCH file (default: highest-numbered BENCH_<n>.json in the working directory)")
-	candidate := flag.String("candidate", "", "compare target: candidate BENCH file (default: the -benchout/-pr path)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintln(os.Stderr, "benchgen:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("benchgen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		outDir      = fs.String("out", "results", "output directory for CSV files")
+		full        = fs.Bool("full", false, "use paper-scale configurations")
+		workers     = fs.Int("workers", 0, "run-pool workers (0 = GOMAXPROCS); results are identical for every value")
+		benchPR     = fs.Int("pr", 0, "PR number recorded in the bench target's JSON (also names the default -benchout file); required by the bench target")
+		benchOut    = fs.String("benchout", "", "output path for the bench target's JSON (default BENCH_<pr>.json)")
+		baseline    = fs.String("baseline", "", "compare target: baseline BENCH file (default: highest-numbered BENCH_<n>.json in the working directory)")
+		candidate   = fs.String("candidate", "", "compare target: candidate BENCH file (default: the -benchout/-pr path)")
+		largeNodes  = fs.Int("largeNodes", 500_000, "fig3large: population size")
+		largeRounds = fs.Int("largeRounds", 0, "fig3large: rounds per run (0 = LargeFig3Config default)")
+		largeRuns   = fs.Int("largeRuns", 0, "fig3large: runs per defection rate (0 = LargeFig3Config default)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *benchOut == "" && *benchPR > 0 {
 		*benchOut = fmt.Sprintf("BENCH_%d.json", *benchPR)
 	}
@@ -53,70 +81,67 @@ func main() {
 		*candidate = *benchOut
 	}
 
-	targets := flag.Args()
+	targets := fs.Args()
 	if len(targets) == 0 || (len(targets) == 1 && targets[0] == "all") {
 		targets = []string{
 			"table3", "fig3", "fig5", "fig6", "fig7", "equilibrium",
 			"evolution", "weaksync", "costs", "sensitivity", "mixed",
 		}
 	}
-	if err := run(*outDir, *full, *workers, *benchPR, *benchOut, *baseline, *candidate, targets); err != nil {
-		log.Fatal(err)
-	}
-}
 
-func run(outDir string, full bool, workers, benchPR int, benchOut, baseline, candidate string, targets []string) error {
-	if err := os.MkdirAll(outDir, 0o755); err != nil {
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
 	}
 	for _, target := range targets {
-		fmt.Printf("==> %s\n", target)
+		fmt.Fprintf(stdout, "==> %s\n", target)
 		var err error
 		switch target {
 		case "table3":
-			err = genTable3(outDir)
+			err = genTable3(stdout, *outDir)
 		case "fig3":
-			err = genFig3(outDir, full, workers)
+			err = genFig3(stdout, *outDir, *full, *workers)
+		case "fig3large":
+			err = genFig3Large(stdout, *outDir, *largeNodes, *largeRounds, *largeRuns, *workers)
 		case "fig5":
-			err = genFig5(outDir, workers)
+			err = genFig5(stdout, *outDir, *workers)
 		case "fig6":
-			err = genFig6(outDir, full, workers)
+			err = genFig6(stdout, *outDir, *full, *workers)
 		case "fig7":
-			err = genFig7(outDir, full, workers)
+			err = genFig7(stdout, *outDir, *full, *workers)
 		case "equilibrium":
-			err = genEquilibrium(outDir, workers)
+			err = genEquilibrium(stdout, *outDir, *workers)
 		case "evolution":
-			err = genEvolution(outDir)
+			err = genEvolution(stdout, *outDir)
 		case "weaksync":
-			err = genWeakSync(outDir, workers)
+			err = genWeakSync(stdout, *outDir, *workers)
 		case "costs":
-			err = genCosts(outDir)
+			err = genCosts(stdout, *outDir)
 		case "sensitivity":
-			err = genSensitivity(outDir)
+			err = genSensitivity(stdout, *outDir)
 		case "mixed":
-			err = genMixed(outDir, workers)
+			err = genMixed(stdout, *outDir, *workers)
 		case "bench":
 			// Refuse to guess the PR number: defaulting it would let a
 			// future PR silently overwrite an older BENCH_<pr>.json.
-			if benchPR <= 0 {
+			if *benchPR <= 0 {
 				err = fmt.Errorf("-pr is required (e.g. -pr 2 writes BENCH_2.json)")
 			} else {
-				err = genBench(benchOut, benchPR)
+				err = genBench(*benchOut, *benchPR)
 			}
 		case "compare":
-			err = runCompare(baseline, candidate)
+			err = runCompare(*baseline, *candidate)
 		default:
 			err = fmt.Errorf("unknown target %q", target)
 		}
 		if err != nil {
 			return fmt.Errorf("%s: %w", target, err)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	return nil
 }
 
-func writeCSV(outDir, name string, table *stats.Table) error {
+func writeCSV(stdout io.Writer, outDir, name string, table *stats.Table) error {
 	path := filepath.Join(outDir, name)
 	f, err := os.Create(path)
 	if err != nil {
@@ -126,22 +151,22 @@ func writeCSV(outDir, name string, table *stats.Table) error {
 	if err := table.WriteCSV(f); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s\n", path)
+	fmt.Fprintf(stdout, "wrote %s\n", path)
 	return nil
 }
 
-func genTable3(outDir string) error {
+func genTable3(stdout io.Writer, outDir string) error {
 	res, err := experiments.RunTable3()
 	if err != nil {
 		return err
 	}
-	if err := res.WriteSummary(os.Stdout); err != nil {
+	if err := res.WriteSummary(stdout); err != nil {
 		return err
 	}
-	return writeCSV(outDir, "table3.csv", res.Table())
+	return writeCSV(stdout, outDir, "table3.csv", res.Table())
 }
 
-func genFig3(outDir string, full bool, workers int) error {
+func genFig3(stdout io.Writer, outDir string, full bool, workers int) error {
 	cfg := experiments.DefaultFig3Config()
 	if full {
 		cfg = experiments.FullFig3Config()
@@ -151,26 +176,51 @@ func genFig3(outDir string, full bool, workers int) error {
 	if err != nil {
 		return err
 	}
-	if err := res.WriteSummary(os.Stdout); err != nil {
+	if err := res.WriteSummary(stdout); err != nil {
 		return err
 	}
-	return writeCSV(outDir, "fig3.csv", res.Table())
+	return writeCSV(stdout, outDir, "fig3.csv", res.Table())
 }
 
-func genFig5(outDir string, workers int) error {
+// genFig3Large is the beyond-paper-scale defection sweep: LargeFig3Config
+// sets absolute committee taus, so populations of 4096+ nodes take the
+// sparse-committee round path and per-round cost tracks the committee
+// size rather than the population.
+func genFig3Large(stdout io.Writer, outDir string, nodes, rounds, runs, workers int) error {
+	cfg := experiments.LargeFig3Config(nodes)
+	if rounds > 0 {
+		cfg.Rounds = rounds
+	}
+	if runs > 0 {
+		cfg.Runs = runs
+	}
+	cfg.Workers = workers
+	fmt.Fprintf(stdout, "fig3 at %d nodes (%d rounds, %d runs/rate, tauStep %.0f, tauFinal %.0f)\n",
+		cfg.Nodes, cfg.Rounds, cfg.Runs, cfg.Params.TauStep, cfg.Params.TauFinal)
+	res, err := experiments.RunFig3(cfg)
+	if err != nil {
+		return err
+	}
+	if err := res.WriteSummary(stdout); err != nil {
+		return err
+	}
+	return writeCSV(stdout, outDir, fmt.Sprintf("fig3large_%d.csv", cfg.Nodes), res.Table())
+}
+
+func genFig5(stdout io.Writer, outDir string, workers int) error {
 	cfg := experiments.DefaultFig5Config()
 	cfg.Workers = workers
 	res, err := experiments.RunFig5(cfg)
 	if err != nil {
 		return err
 	}
-	if err := res.WriteSummary(os.Stdout); err != nil {
+	if err := res.WriteSummary(stdout); err != nil {
 		return err
 	}
-	return writeCSV(outDir, "fig5.csv", res.Table())
+	return writeCSV(stdout, outDir, "fig5.csv", res.Table())
 }
 
-func genFig6(outDir string, full bool, workers int) error {
+func genFig6(stdout io.Writer, outDir string, full bool, workers int) error {
 	cfg := experiments.DefaultFig6Config()
 	if full {
 		cfg = experiments.FullFig6Config()
@@ -180,7 +230,7 @@ func genFig6(outDir string, full bool, workers int) error {
 	if err != nil {
 		return err
 	}
-	if err := res.WriteSummary(os.Stdout); err != nil {
+	if err := res.WriteSummary(stdout); err != nil {
 		return err
 	}
 	for _, panel := range res.Panels {
@@ -188,12 +238,12 @@ func genFig6(outDir string, full bool, workers int) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\nB_i distribution for %s:\n%s", panel.Distribution, h.Render(50))
+		fmt.Fprintf(stdout, "\nB_i distribution for %s:\n%s", panel.Distribution, h.Render(50))
 	}
-	return writeCSV(outDir, "fig6.csv", res.Table())
+	return writeCSV(stdout, outDir, "fig6.csv", res.Table())
 }
 
-func genFig7(outDir string, full bool, workers int) error {
+func genFig7(stdout io.Writer, outDir string, full bool, workers int) error {
 	cfg := experiments.DefaultFig7Config()
 	if full {
 		cfg = experiments.FullFig7Config()
@@ -203,56 +253,56 @@ func genFig7(outDir string, full bool, workers int) error {
 	if err != nil {
 		return err
 	}
-	if err := res.WriteSummary(os.Stdout); err != nil {
+	if err := res.WriteSummary(stdout); err != nil {
 		return err
 	}
-	return writeCSV(outDir, "fig7.csv", res.Table())
+	return writeCSV(stdout, outDir, "fig7.csv", res.Table())
 }
 
 // genWeakSync reproduces the Fig. 3-(c) asynchrony spike and recovery.
-func genWeakSync(outDir string, workers int) error {
+func genWeakSync(stdout io.Writer, outDir string, workers int) error {
 	cfg := experiments.DefaultWeakSyncConfig()
 	cfg.Workers = workers
 	res, err := experiments.RunWeakSync(cfg)
 	if err != nil {
 		return err
 	}
-	if err := res.WriteSummary(os.Stdout); err != nil {
+	if err := res.WriteSummary(stdout); err != nil {
 		return err
 	}
-	return writeCSV(outDir, "weaksync.csv", res.Table())
+	return writeCSV(stdout, outDir, "weaksync.csv", res.Table())
 }
 
 // genCosts compares measured protocol expenditure against the Eq. 1-2
 // cost model.
-func genCosts(outDir string) error {
+func genCosts(stdout io.Writer, outDir string) error {
 	res, err := experiments.RunCosts(experiments.DefaultCostsConfig())
 	if err != nil {
 		return err
 	}
-	if err := res.WriteSummary(os.Stdout); err != nil {
+	if err := res.WriteSummary(stdout); err != nil {
 		return err
 	}
-	return writeCSV(outDir, "costs.csv", res.Table())
+	return writeCSV(stdout, outDir, "costs.csv", res.Table())
 }
 
 // genMixed sweeps selfish / malicious / faulty behaviour mixes.
-func genMixed(outDir string, workers int) error {
+func genMixed(stdout io.Writer, outDir string, workers int) error {
 	cfg := experiments.DefaultMixedConfig()
 	cfg.Workers = workers
 	res, err := experiments.RunMixed(cfg)
 	if err != nil {
 		return err
 	}
-	if err := res.WriteSummary(os.Stdout); err != nil {
+	if err := res.WriteSummary(stdout); err != nil {
 		return err
 	}
-	return writeCSV(outDir, "mixed.csv", res.Table())
+	return writeCSV(stdout, outDir, "mixed.csv", res.Table())
 }
 
 // genSensitivity reports the elasticities of B* with respect to every
 // Algorithm 1 input.
-func genSensitivity(outDir string) error {
+func genSensitivity(stdout io.Writer, outDir string) error {
 	in := experiments.PaperFig5Inputs()
 	sens, err := analysis.MechanismSensitivities(in, 0.01)
 	if err != nil {
@@ -261,19 +311,19 @@ func genSensitivity(outDir string) error {
 	t := &stats.Table{}
 	elasticities := make([]float64, len(sens))
 	for i, s := range sens {
-		fmt.Printf("elasticity of B* wrt %-5s = %+.3f\n", s.Param, s.Elasticity)
+		fmt.Fprintf(stdout, "elasticity of B* wrt %-5s = %+.3f\n", s.Param, s.Elasticity)
 		elasticities[i] = s.Elasticity
 	}
 	t.AddColumn("elasticity", elasticities)
 	if top, ok := analysis.MostSensitive(sens); ok {
-		fmt.Printf("most sensitive input: %s (watch the %s cost gap)\n", top.Param, top.Param)
+		fmt.Fprintf(stdout, "most sensitive input: %s (watch the %s cost gap)\n", top.Param, top.Param)
 	}
-	return writeCSV(outDir, "sensitivity.csv", t)
+	return writeCSV(stdout, outDir, "sensitivity.csv", t)
 }
 
 // genEvolution runs the extension experiment: repeated-round best-response
 // dynamics under both reward schemes (see internal/evolution).
-func genEvolution(outDir string) error {
+func genEvolution(stdout io.Writer, outDir string) error {
 	t := &stats.Table{}
 	for _, scheme := range []evolution.SchemeKind{evolution.SchemeFoundation, evolution.SchemeRoleBased} {
 		res, err := evolution.Run(evolution.DefaultConfig(scheme))
@@ -281,7 +331,7 @@ func genEvolution(outDir string) error {
 			return err
 		}
 		pl, pm := res.PrefixStratCoop()
-		fmt.Printf("%-11s survival %3d rounds, block rate %.2f, producing-prefix dispositions: leaders %.3f committee %.3f\n",
+		fmt.Fprintf(stdout, "%-11s survival %3d rounds, block rate %.2f, producing-prefix dispositions: leaders %.3f committee %.3f\n",
 			scheme, res.SurvivalRounds(), res.BlockRate(), pl, pm)
 		rounds := make([]float64, len(res.Stats))
 		stratM := make([]float64, len(res.Stats))
@@ -303,17 +353,17 @@ func genEvolution(outDir string) error {
 		t.AddColumn(prefix+"strat_others", stratK)
 		t.AddColumn(prefix+"produced", produced)
 	}
-	return writeCSV(outDir, "evolution.csv", t)
+	return writeCSV(stdout, outDir, "evolution.csv", t)
 }
 
-func genEquilibrium(outDir string, workers int) error {
+func genEquilibrium(stdout io.Writer, outDir string, workers int) error {
 	cfg := experiments.DefaultEquilibriumConfig()
 	cfg.Workers = workers
 	res, err := experiments.RunEquilibrium(cfg)
 	if err != nil {
 		return err
 	}
-	if err := res.WriteSummary(os.Stdout); err != nil {
+	if err := res.WriteSummary(stdout); err != nil {
 		return err
 	}
 	t := &stats.Table{}
@@ -323,5 +373,5 @@ func genEquilibrium(outDir string, workers int) error {
 	t.AddColumn("lemma1", []float64{float64(res.Lemma1) / n})
 	t.AddColumn("theorem3", []float64{float64(res.Theorem3) / n})
 	t.AddColumn("tightness", []float64{float64(res.Tightness) / n})
-	return writeCSV(outDir, "equilibrium.csv", t)
+	return writeCSV(stdout, outDir, "equilibrium.csv", t)
 }

@@ -13,9 +13,10 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -28,26 +29,36 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
-		log.Fatal(err)
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintln(os.Stderr, "rewardcalc:", err)
+		}
+		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("rewardcalc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		distName  = flag.String("dist", "u200", "stake distribution: u200, n100-20, n100-10, n2000-25, pareto, zipf[:exponent]")
-		nodes     = flag.Int("nodes", 100_000, "population size when sampling")
-		stakeFile = flag.String("stakes", "", "file with one stake per line (overrides -dist)")
-		floor     = flag.Float64("floor", 0, "ignore sync-set stakes below this value (paper's s*_k floor)")
-		seed      = flag.Int64("seed", 1, "random seed")
+		distName  = fs.String("dist", "u200", "stake distribution: u200, n100-20, n100-10, n2000-25, pareto, zipf[:exponent]")
+		nodes     = fs.Int("nodes", 100_000, "population size when sampling")
+		stakeFile = fs.String("stakes", "", "file with one stake per line (overrides -dist)")
+		floor     = fs.Float64("floor", 0, "ignore sync-set stakes below this value (paper's s*_k floor)")
+		seed      = fs.Int64("seed", 1, "random seed")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
 
 	pop, err := loadPopulation(*stakeFile, *distName, *nodes, *seed)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("population: %d accounts, total %.1f Algos, min %.3f, max %.3f\n",
+	fmt.Fprintf(stdout, "population: %d accounts, total %.1f Algos, min %.3f, max %.3f\n",
 		pop.N(), pop.Total(), pop.Min(), pop.Max())
 
 	costs := game.DefaultRoleCosts()
@@ -61,19 +72,19 @@ func run() error {
 		return err
 	}
 
-	fmt.Printf("\nAlgorithm 1 output:\n")
-	fmt.Printf("  alpha = %.6g\n  beta  = %.6g\n  gamma = %.6g\n", params.Alpha, params.Beta, params.Gamma)
-	fmt.Printf("  B_i   = %.6g Algos per round (infimum %.6g, binding: %s)\n",
+	fmt.Fprintf(stdout, "\nAlgorithm 1 output:\n")
+	fmt.Fprintf(stdout, "  alpha = %.6g\n  beta  = %.6g\n  gamma = %.6g\n", params.Alpha, params.Beta, params.Gamma)
+	fmt.Fprintf(stdout, "  B_i   = %.6g Algos per round (infimum %.6g, binding: %s)\n",
 		params.B, params.MinB, params.Binding)
 
 	l, m, k := core.Bounds(in, params.Alpha, params.Beta)
-	fmt.Printf("\nTheorem 3 bounds at the optimum:\n")
-	fmt.Printf("  leader:    %.6g\n  committee: %.6g\n  others:    %.6g\n", l, m, k)
+	fmt.Fprintf(stdout, "\nTheorem 3 bounds at the optimum:\n")
+	fmt.Fprintf(stdout, "  leader:    %.6g\n  committee: %.6g\n  others:    %.6g\n", l, m, k)
 
 	if err := core.VerifyIncentiveCompatible(in, params); err != nil {
 		return fmt.Errorf("certification FAILED: %w", err)
 	}
-	fmt.Printf("\ncertified: cooperative profile is a Nash equilibrium at B_i\n")
+	fmt.Fprintf(stdout, "\ncertified: cooperative profile is a Nash equilibrium at B_i\n")
 	return nil
 }
 

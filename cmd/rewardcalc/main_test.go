@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	missing := filepath.Join(t.TempDir(), "no_such_file")
+	for name, args := range map[string][]string{
+		"unknown flag":       {"-no-such-flag"},
+		"positional args":    {"extra"},
+		"bad distribution":   {"-dist", "lognormal"},
+		"bad zipf exponent":  {"-dist", "zipf:xyz"},
+		"missing stake file": {"-stakes", missing},
+	} {
+		t.Run(name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if err := run(args, &stdout, &stderr); err == nil {
+				t.Fatalf("run(%v) succeeded, want error", args)
+			}
+		})
+	}
+}
+
+func TestRunCertifiesSmallPopulation(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	args := []string{"-dist", "u200", "-nodes", "1000"}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	if !strings.Contains(stdout.String(), "certified") {
+		t.Fatalf("output misses the certification line:\n%s", stdout.String())
+	}
+}

@@ -5,7 +5,8 @@
 //
 //	scenario -list
 //	scenario [-nodes N] [-rounds N] [-runs N] [-seed N] [-workers N] [-trim F] [-out DIR]
-//	         [-weightBackend direct|indexed] [-weights SPEC] [name ...]
+//	         [-weightBackend direct|indexed] [-weights SPEC]
+//	         [-sparse auto|on|off] [-tauStep T] [-tauFinal T] [name ...]
 //	scenario -all
 //	scenario -full [-fullNodes N] [-fullRounds N] [-fullSeeds N] [name ...]
 //
@@ -23,6 +24,13 @@
 // and at round 6 a random 20% of nodes rescaled to half weight. Both
 // apply to -full grids too; see internal/weight.
 //
+// -sparse selects the protocol round path ("auto" engages the
+// sparse-committee sampler for populations of 4096+ nodes when the
+// committee taus are absolute; "on" forces it, "off" forces the dense
+// per-node sweep). -tauStep/-tauFinal override the committee sizes —
+// values > 1 are absolute seat counts, which sparse runs require. All
+// three apply to -full grids too, so a grid cell can run at 5000+ nodes.
+//
 // -full switches to the paper-scale robustness grid: every named (or,
 // by default, every registered) scenario crossed with -fullSeeds seeds
 // at -fullNodes nodes, one independent simulation per cell. Each cell
@@ -35,53 +43,84 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"path/filepath"
 
 	"github.com/dsn2020-algorand/incentives/internal/adversary"
 	"github.com/dsn2020-algorand/incentives/internal/experiments"
+	"github.com/dsn2020-algorand/incentives/internal/protocol"
 	"github.com/dsn2020-algorand/incentives/internal/stats"
 	"github.com/dsn2020-algorand/incentives/internal/weight"
 )
 
 func main() {
-	list := flag.Bool("list", false, "list registered scenarios and exit")
-	all := flag.Bool("all", false, "run every registered scenario")
-	nodes := flag.Int("nodes", 100, "network size per run")
-	rounds := flag.Int("rounds", 12, "rounds per run")
-	runs := flag.Int("runs", 4, "independent runs per scenario")
-	seed := flag.Int64("seed", 1, "base seed; run i derives its own")
-	workers := flag.Int("workers", 0, "run-pool workers (0 = GOMAXPROCS); results are identical for every value")
-	trim := flag.Float64("trim", 0.20, "trimmed-mean fraction for per-round aggregation")
-	outDir := flag.String("out", "results", "output directory for CSV files")
-	full := flag.Bool("full", false, "run the paper-scale scenario×seed grid instead of per-scenario sweeps")
-	fullNodes := flag.Int("fullNodes", 500, "-full: network size per grid cell")
-	fullRounds := flag.Int("fullRounds", 12, "-full: rounds per grid cell")
-	fullSeeds := flag.Int("fullSeeds", 3, "-full: number of seeds (1..N) forming the grid's second axis")
-	weightBackend := flag.String("weightBackend", "direct", "ledger-backed weight oracle: direct (bit-identical reads) or indexed (incremental stake index)")
-	weightProfile := flag.String("weights", "", "synthetic weight profile, e.g. zipf:1.1 or zipf:1.1;churn@6:0.2:0 (empty = ledger weights)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if !errors.Is(err, flag.ErrHelp) {
+			fmt.Fprintln(os.Stderr, "scenario:", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("scenario", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		list          = fs.Bool("list", false, "list registered scenarios and exit")
+		all           = fs.Bool("all", false, "run every registered scenario")
+		nodes         = fs.Int("nodes", 100, "network size per run")
+		rounds        = fs.Int("rounds", 12, "rounds per run")
+		runs          = fs.Int("runs", 4, "independent runs per scenario")
+		seed          = fs.Int64("seed", 1, "base seed; run i derives its own")
+		workers       = fs.Int("workers", 0, "run-pool workers (0 = GOMAXPROCS); results are identical for every value")
+		trim          = fs.Float64("trim", 0.20, "trimmed-mean fraction for per-round aggregation")
+		outDir        = fs.String("out", "results", "output directory for CSV files")
+		full          = fs.Bool("full", false, "run the paper-scale scenario×seed grid instead of per-scenario sweeps")
+		fullNodes     = fs.Int("fullNodes", 500, "-full: network size per grid cell")
+		fullRounds    = fs.Int("fullRounds", 12, "-full: rounds per grid cell")
+		fullSeeds     = fs.Int("fullSeeds", 3, "-full: number of seeds (1..N) forming the grid's second axis")
+		weightBackend = fs.String("weightBackend", "direct", "ledger-backed weight oracle: direct (bit-identical reads) or indexed (incremental stake index)")
+		weightProfile = fs.String("weights", "", "synthetic weight profile, e.g. zipf:1.1 or zipf:1.1;churn@6:0.2:0 (empty = ledger weights)")
+		sparseMode    = fs.String("sparse", "auto", "protocol round path: auto, on (sparse committees) or off (dense per-node sweep)")
+		tauStep       = fs.Float64("tauStep", 0, "committee tau override: > 1 absolute seats, (0,1] fraction of stake, 0 = default")
+		tauFinal      = fs.Float64("tauFinal", 0, "final-committee tau override, same units as -tauStep, 0 = default")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	backend, err := experiments.ParseWeightBackend(*weightBackend)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	profile, err := experiments.ParseWeightProfile(*weightProfile)
 	if err != nil {
-		log.Fatal(err)
+		return err
+	}
+	sparse, err := protocol.ParseSparseMode(*sparseMode)
+	if err != nil {
+		return err
+	}
+	params := protocol.DefaultParams()
+	if *tauStep != 0 {
+		params.TauStep = *tauStep
+	}
+	if *tauFinal != 0 {
+		params.TauFinal = *tauFinal
 	}
 
 	if *list {
 		for _, s := range adversary.Builtin() {
-			fmt.Printf("%-22s %s\n", s.Name, s.Description)
+			fmt.Fprintf(stdout, "%-22s %s\n", s.Name, s.Description)
 		}
-		return
+		return nil
 	}
 
-	names := flag.Args()
+	names := fs.Args()
 	if *full {
 		// The grid has its own axes (-fullNodes/-fullRounds/-fullSeeds);
 		// silently ignoring the per-sweep flags would hand the user a
@@ -90,32 +129,31 @@ func main() {
 			"nodes": true, "rounds": true, "runs": true,
 			"seed": true, "trim": true, "all": true,
 		}
-		flag.Visit(func(f *flag.Flag) {
-			if conflicting[f.Name] {
-				log.Fatalf("-%s does not apply to -full (use -fullNodes/-fullRounds/-fullSeeds; the grid always runs seeds 1..N)", f.Name)
+		var conflict error
+		fs.Visit(func(f *flag.Flag) {
+			if conflicting[f.Name] && conflict == nil {
+				conflict = fmt.Errorf("-%s does not apply to -full (use -fullNodes/-fullRounds/-fullSeeds; the grid always runs seeds 1..N)", f.Name)
 			}
 		})
+		if conflict != nil {
+			return conflict
+		}
 		if len(names) == 0 {
 			names = adversary.Names()
 		}
-		if err := runFullGrid(names, *fullNodes, *fullRounds, *fullSeeds, *workers, *outDir, backend, profile); err != nil {
-			log.Fatal(err)
-		}
-		return
+		return runFullGrid(names, *fullNodes, *fullRounds, *fullSeeds, *workers, *outDir, backend, profile, sparse, params, stdout)
 	}
 	if *all {
 		names = adversary.Names()
 	} else if len(names) == 0 {
 		names = []string{adversary.EclipseEquivocation}
 	}
-	if err := run(names, *nodes, *rounds, *runs, *seed, *workers, *trim, *outDir, backend, profile); err != nil {
-		log.Fatal(err)
-	}
+	return runSweeps(names, *nodes, *rounds, *runs, *seed, *workers, *trim, *outDir, backend, profile, sparse, params, stdout)
 }
 
 // runFullGrid executes the paper-scale scenario×seed grid and writes the
 // per-cell CSVs plus the grid summary.
-func runFullGrid(names []string, nodes, rounds, seeds, workers int, outDir string, backend weight.Backend, profile experiments.WeightProfile) error {
+func runFullGrid(names []string, nodes, rounds, seeds, workers int, outDir string, backend weight.Backend, profile experiments.WeightProfile, sparse protocol.SparseMode, params protocol.Params, stdout io.Writer) error {
 	if seeds < 1 {
 		return fmt.Errorf("-fullSeeds must be >= 1, got %d", seeds)
 	}
@@ -129,30 +167,32 @@ func runFullGrid(names []string, nodes, rounds, seeds, workers int, outDir strin
 	cfg.Workers = workers
 	cfg.WeightBackend = backend
 	cfg.WeightProfile = profile
+	cfg.Sparse = sparse
+	cfg.Params = params
 	cfg.Seeds = make([]int64, seeds)
 	for i := range cfg.Seeds {
 		cfg.Seeds[i] = int64(i + 1)
 	}
-	fmt.Printf("==> full grid: %d scenarios x %d seeds at %d nodes, %d rounds/cell\n",
+	fmt.Fprintf(stdout, "==> full grid: %d scenarios x %d seeds at %d nodes, %d rounds/cell\n",
 		len(cfg.Scenarios), seeds, nodes, rounds)
 	res, err := experiments.RunScenarioGrid(cfg)
 	if err != nil {
 		return err
 	}
-	if err := res.WriteSummary(os.Stdout); err != nil {
+	if err := res.WriteSummary(stdout); err != nil {
 		return err
 	}
 	for i := range res.Cells {
 		cell := &res.Cells[i]
 		base := fmt.Sprintf("full_%s_s%d", cell.Scenario, cell.Seed)
-		if err := writeCSV(outDir, base+".csv", cell.Table()); err != nil {
+		if err := writeCSV(stdout, outDir, base+".csv", cell.Table()); err != nil {
 			return err
 		}
-		if err := writeCSV(outDir, base+"_audit.csv", cell.AuditTable()); err != nil {
+		if err := writeCSV(stdout, outDir, base+"_audit.csv", cell.AuditTable()); err != nil {
 			return err
 		}
 	}
-	if err := writeCSV(outDir, "full_grid_summary.csv", res.SummaryTable()); err != nil {
+	if err := writeCSV(stdout, outDir, "full_grid_summary.csv", res.SummaryTable()); err != nil {
 		return err
 	}
 	if v := res.SafetyViolations(); v > 0 {
@@ -161,7 +201,7 @@ func runFullGrid(names []string, nodes, rounds, seeds, workers int, outDir strin
 	return nil
 }
 
-func run(names []string, nodes, rounds, runs int, seed int64, workers int, trim float64, outDir string, backend weight.Backend, profile experiments.WeightProfile) error {
+func runSweeps(names []string, nodes, rounds, runs int, seed int64, workers int, trim float64, outDir string, backend weight.Backend, profile experiments.WeightProfile, sparse protocol.SparseMode, params protocol.Params, stdout io.Writer) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
@@ -176,22 +216,24 @@ func run(names []string, nodes, rounds, runs int, seed int64, workers int, trim 
 		cfg.TrimFrac = trim
 		cfg.WeightBackend = backend
 		cfg.WeightProfile = profile
-		fmt.Printf("==> %s\n", name)
+		cfg.Sparse = sparse
+		cfg.Params = params
+		fmt.Fprintf(stdout, "==> %s\n", name)
 		res, err := experiments.RunScenario(cfg)
 		if err != nil {
 			return fmt.Errorf("scenario %s: %w", name, err)
 		}
-		if err := res.WriteSummary(os.Stdout); err != nil {
+		if err := res.WriteSummary(stdout); err != nil {
 			return err
 		}
-		if err := writeCSV(outDir, "scenario_"+name+".csv", res.Table()); err != nil {
+		if err := writeCSV(stdout, outDir, "scenario_"+name+".csv", res.Table()); err != nil {
 			return err
 		}
-		if err := writeCSV(outDir, "scenario_"+name+"_audit.csv", res.AuditTable()); err != nil {
+		if err := writeCSV(stdout, outDir, "scenario_"+name+"_audit.csv", res.AuditTable()); err != nil {
 			return err
 		}
 		violations += res.Audit.SafetyViolations
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 	if violations > 0 {
 		return fmt.Errorf("safety audit failed: %d conflicting-finalisation round(s) observed", violations)
@@ -199,7 +241,7 @@ func run(names []string, nodes, rounds, runs int, seed int64, workers int, trim 
 	return nil
 }
 
-func writeCSV(outDir, name string, table *stats.Table) error {
+func writeCSV(stdout io.Writer, outDir, name string, table *stats.Table) error {
 	path := filepath.Join(outDir, name)
 	f, err := os.Create(path)
 	if err != nil {
@@ -209,6 +251,6 @@ func writeCSV(outDir, name string, table *stats.Table) error {
 	if err := table.WriteCSV(f); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s\n", path)
+	fmt.Fprintf(stdout, "wrote %s\n", path)
 	return nil
 }

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for name, args := range map[string][]string{
+		"unknown flag":          {"-no-such-flag"},
+		"bad weight backend":    {"-weightBackend", "psychic"},
+		"bad weights spec":      {"-weights", "zipf:not-a-number"},
+		"bad sparse mode":       {"-sparse", "never"},
+		"full conflicts nodes":  {"-full", "-nodes", "50"},
+		"full conflicts seed":   {"-full", "-seed", "9"},
+		"unknown scenario name": {"-out", t.TempDir(), "no_such_scenario"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if err := run(args, &stdout, &stderr); err == nil {
+				t.Fatalf("run(%v) succeeded, want error", args)
+			}
+		})
+	}
+}
+
+func TestRunList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if err := run([]string{"-list"}, &stdout, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "eclipse_equivocation") {
+		t.Fatalf("-list output misses the bundled scenario:\n%s", stdout.String())
+	}
+}
+
+// TestRunSparseSweep drives one tiny forced-sparse sweep end to end and
+// checks the CSV outputs land.
+func TestRunSparseSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	out := t.TempDir()
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"-nodes", "200", "-rounds", "3", "-runs", "1", "-out", out,
+		"-sparse", "on", "-tauStep", "30", "-tauFinal", "40",
+		"eclipse_equivocation",
+	}
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	for _, f := range []string{"scenario_eclipse_equivocation.csv", "scenario_eclipse_equivocation_audit.csv"} {
+		if m, _ := filepath.Glob(filepath.Join(out, f)); len(m) != 1 {
+			t.Fatalf("missing output %s", f)
+		}
+	}
+}

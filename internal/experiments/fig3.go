@@ -58,6 +58,12 @@ type Fig3Config struct {
 	// oracle built per run (see ZipfProfile); StakeDist still seeds the
 	// on-chain balances, but sortition no longer reads them.
 	WeightProfile WeightProfile
+	// Sparse selects the protocol round path per run. The zero value
+	// (SparseAuto) engages the sparse-committee path automatically for
+	// populations of protocol.SparseAutoThreshold and above when the
+	// committee taus are absolute — which is what LargeFig3Config sets —
+	// and keeps the dense, bit-identical path otherwise.
+	Sparse protocol.SparseMode
 }
 
 // DefaultFig3Config is a laptop-scale configuration that preserves the
@@ -81,6 +87,23 @@ func FullFig3Config() Fig3Config {
 	cfg := DefaultFig3Config()
 	cfg.Runs = 100
 	cfg.Rounds = 50
+	return cfg
+}
+
+// LargeFig3Config scales the defection experiment to populations far
+// beyond the paper's (50k, 500k): absolute committee taus replace the
+// fractional defaults — real Algorand committees are a few hundred seats
+// regardless of network size — which makes the run sparse-eligible, and
+// the run/round counts are trimmed so a 500k-node sweep completes on one
+// machine. Fractions, not counts, are reported, so results remain
+// directly comparable across population sizes.
+func LargeFig3Config(nodes int) Fig3Config {
+	cfg := DefaultFig3Config()
+	cfg.Nodes = nodes
+	cfg.Rounds = 20
+	cfg.Runs = 3
+	cfg.Params.TauStep = 200
+	cfg.Params.TauFinal = 300
 	return cfg
 }
 
@@ -152,6 +175,7 @@ func runFig3Rate(cfg Fig3Config, rate float64) (Fig3Series, error) {
 				Seed:          seed,
 				Arena:         arena,
 				WeightBackend: cfg.WeightBackend,
+				Sparse:        cfg.Sparse,
 			}
 			if cfg.WeightProfile != nil {
 				pcfg.Weights = cfg.WeightProfile(cfg.Nodes, seed)

@@ -47,6 +47,10 @@ type ScenarioGridConfig struct {
 	// WeightProfile, when set, replaces ledger weights with a synthetic
 	// per-cell oracle (see ZipfProfile).
 	WeightProfile WeightProfile
+	// Sparse selects the protocol round path per cell; combined with
+	// absolute committee taus in Params it lets a grid cell run at
+	// populations far beyond the -full default (e.g. 5000 nodes).
+	Sparse protocol.SparseMode
 }
 
 // FullScenarioGridConfig is the paper-scale default: every registered
@@ -125,6 +129,7 @@ func RunScenarioGrid(cfg ScenarioGridConfig) (*ScenarioGridResult, error) {
 				Seed:          seed,
 				Arena:         arena,
 				WeightBackend: cfg.WeightBackend,
+				Sparse:        cfg.Sparse,
 			}
 			if cfg.WeightProfile != nil {
 				pcfg.Weights = cfg.WeightProfile(cfg.Nodes, seed)

@@ -46,6 +46,10 @@ type ScenarioConfig struct {
 	// WeightProfile, when set, replaces ledger weights with a synthetic
 	// per-run oracle (see ZipfProfile).
 	WeightProfile WeightProfile
+	// Sparse selects the protocol round path per run; combined with
+	// absolute committee taus in Params it scales a sweep to populations
+	// far beyond the paper's 100 nodes.
+	Sparse protocol.SparseMode
 }
 
 // DefaultScenarioConfig is a laptop-scale sweep of the named scenario.
@@ -116,6 +120,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 				Seed:          seed,
 				Arena:         arena,
 				WeightBackend: cfg.WeightBackend,
+				Sparse:        cfg.Sparse,
 			}
 			if cfg.WeightProfile != nil {
 				pcfg.Weights = cfg.WeightProfile(cfg.Nodes, seed)

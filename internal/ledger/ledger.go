@@ -196,6 +196,11 @@ type Ledger struct {
 	// fresh structs). The incremental weight index (internal/weight)
 	// registers here to keep its mirror current in O(1) per mutation.
 	observer StakeObserver
+	// observerTok identifies the current observer installation so a
+	// stale owner cannot clear a successor (see ClearStakeObserver);
+	// observerSeq mints the tokens.
+	observerTok ObserverToken
+	observerSeq uint64
 }
 
 // StakeObserver receives one notification per account-stake mutation:
@@ -204,10 +209,43 @@ type Ledger struct {
 // implementations must not mutate the ledger re-entrantly.
 type StakeObserver func(id int, old, new float64)
 
+// ObserverToken identifies one SetStakeObserver installation. The zero
+// token never matches an installation, so holding one from a previous
+// owner is always safe.
+type ObserverToken uint64
+
 // SetStakeObserver installs fn as this ledger's mutation observer
-// (nil uninstalls). Cloned views never inherit the observer: a view's
-// private writes are invisible to the source's stake index by design.
-func (l *Ledger) SetStakeObserver(fn StakeObserver) { l.observer = fn }
+// (nil uninstalls) and returns the token identifying this installation.
+// Cloned views never inherit the observer: a view's private writes are
+// invisible to the source's stake index by design.
+//
+// An owner that may be replaced later must release with
+// ClearStakeObserver(token) rather than SetStakeObserver(nil):
+// unconditional nil-ing clobbers whatever observer was installed after
+// it, silently leaving that successor's mirror permanently stale.
+func (l *Ledger) SetStakeObserver(fn StakeObserver) ObserverToken {
+	l.observer = fn
+	if fn == nil {
+		l.observerTok = 0
+		return 0
+	}
+	l.observerSeq++
+	l.observerTok = ObserverToken(l.observerSeq)
+	return l.observerTok
+}
+
+// ClearStakeObserver uninstalls the observer only when tok identifies
+// the currently installed one (compare-and-clear). It reports whether
+// the observer was cleared; a stale token — the caller was already
+// replaced by a later SetStakeObserver — is a no-op.
+func (l *Ledger) ClearStakeObserver(tok ObserverToken) bool {
+	if tok == 0 || tok != l.observerTok {
+		return false
+	}
+	l.observer = nil
+	l.observerTok = 0
+	return true
+}
 
 // acctAt returns a read-only pointer to account id; the caller must not
 // write through it (the page may be frozen).

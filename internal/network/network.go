@@ -356,6 +356,25 @@ func (n *Network) Online(i int) bool {
 	return i >= 0 && i < len(n.online) && n.online[i]
 }
 
+// Relaying reports whether node i currently forwards gossip. The sparse
+// committee path reads it to derive the epidemic's effective relay
+// fraction (its mean-field branching factor) without touching the
+// per-hop machinery.
+func (n *Network) Relaying(i int) bool {
+	return i >= 0 && i < len(n.relay) && n.relay[i]
+}
+
+// Fault probes the installed fault overlay for the (from, to) hop; a
+// zero LinkFault means no overlay or a healthy link. Mean-field gossip
+// consults it so scripted partitions and loss bursts still bite when the
+// per-hop push path is bypassed.
+func (n *Network) Fault(from, to int) LinkFault {
+	if n.overlay == nil {
+		return LinkFault{}
+	}
+	return n.overlay.Link(from, to)
+}
+
 // SetDelayFactor scales all sampled delays; the protocol layer uses it to
 // inject weak-synchrony periods (factor >> 1) and recovery (factor 1).
 // The engine's scheduling horizon follows the factor so inflated delays

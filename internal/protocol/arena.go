@@ -47,6 +47,16 @@ type Arena struct {
 	// net recycles the gossip layer's topology slab and node tables; see
 	// network.Arena.
 	net network.Arena
+	// nilNodes is the sparse-mode node table: a length-n all-nil slice that
+	// beginRoundSparse links materialized nodes into. It is distinct from
+	// nodes so a worker alternating dense and sparse runs keeps both pools.
+	nilNodes []*node
+	// behaviorTab is the runner-owned behaviour table (Runner.behaviors);
+	// distinct from behaviors, the caller-facing BehaviorBuf scratch.
+	behaviorTab []Behavior
+	// sparse recycles the sparse-committee path's pooled node structs,
+	// committee maps and scratch buffers; see sparseState.adopt.
+	sparse *sparseState
 }
 
 // NewArena returns an empty arena; pools grow on first use.
@@ -80,6 +90,28 @@ func (a *Arena) takeNodes(n int) []*node {
 		}
 	}
 	return a.nodes
+}
+
+// takeNodesNil returns an all-nil node table of length n for the sparse
+// path, where only the round's materialized nodes are linked in.
+func (a *Arena) takeNodesNil(n int) []*node {
+	if cap(a.nilNodes) < n {
+		a.nilNodes = make([]*node, n)
+	}
+	a.nilNodes = a.nilNodes[:n]
+	clear(a.nilNodes)
+	return a.nilNodes
+}
+
+// takeBehaviors returns a cleared behaviour table of length n; NewRunner
+// copies Config.Behaviors into it.
+func (a *Arena) takeBehaviors(n int) []Behavior {
+	if cap(a.behaviorTab) < n {
+		a.behaviorTab = make([]Behavior, n)
+	}
+	a.behaviorTab = a.behaviorTab[:n]
+	clear(a.behaviorTab)
+	return a.behaviorTab
 }
 
 // takeKeys returns a zeroed key table of length n.

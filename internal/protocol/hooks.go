@@ -66,32 +66,38 @@ func (r *Runner) SetHooks(h Hooks) { r.hooks = h }
 // behaviour restores both. The adversary engine uses it for scripted
 // behaviour phases and adaptive corruption.
 func (r *Runner) SetBehavior(i int, b Behavior) {
-	if i < 0 || i >= len(r.nodes) {
+	if i < 0 || i >= len(r.behaviors) {
 		return
 	}
-	nd := r.nodes[i]
-	if nd.behavior == b {
+	if r.behaviors[i] == b {
 		return
 	}
-	nd.behavior = b
+	r.behaviors[i] = b
+	// The behaviour table is the source of truth; dense node structs (and
+	// sparse materialized ones) mirror it.
+	if nd := r.nodes[i]; nd != nil {
+		nd.behavior = b
+	}
 	r.net.SetRelay(i, b != Selfish)
 	r.net.SetOnline(i, b != Faulty)
 }
 
 // Behavior returns node i's current behaviour class.
 func (r *Runner) Behavior(i int) Behavior {
-	if i < 0 || i >= len(r.nodes) {
+	if i < 0 || i >= len(r.behaviors) {
 		return 0
 	}
-	return r.nodes[i].behavior
+	return r.behaviors[i]
 }
 
 // NodeOutcome reports what node i extracted from the most recently
 // finalised round: its outcome class and the block hash it committed to
 // (zero for none). Valid between rounds; audit collectors read it from
-// the RoundEnd hook to detect conflicting finalisations.
+// the RoundEnd hook to detect conflicting finalisations. In sparse rounds
+// only materialized nodes carry an exact outcome; everyone else reports
+// OutcomeNone (per-node outcomes are panel-extrapolated in aggregate).
 func (r *Runner) NodeOutcome(i int) (Outcome, ledger.Hash) {
-	if i < 0 || i >= len(r.nodes) {
+	if i < 0 || i >= len(r.nodes) || r.nodes[i] == nil {
 		return OutcomeNone, ledger.Hash{}
 	}
 	nd := r.nodes[i]

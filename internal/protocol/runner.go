@@ -33,9 +33,15 @@ type RoundRoles struct {
 
 // RoundReport summarises one simulated round: the per-node outcomes that
 // Fig. 3 plots plus bookkeeping about the canonical chain.
+//
+// Sparse rounds (see SparseMode) carry no per-node Outcomes slice — the
+// counts are exact for materialized nodes and panel-extrapolated for the
+// rest — so Population, not len(Outcomes), is the fraction denominator
+// there. Dense rounds fill both.
 type RoundReport struct {
 	Round          uint64
 	Outcomes       []Outcome
+	Population     int // total node count (= len(Outcomes) in dense rounds)
 	FinalCount     int
 	TentativeCount int
 	NoneCount      int
@@ -46,19 +52,28 @@ type RoundReport struct {
 	Desynced       int  // nodes behind the canonical chain after catch-up
 }
 
+// population is the denominator for the fraction accessors: the Outcomes
+// length when per-node outcomes exist, the Population field otherwise.
+func (r RoundReport) population() int {
+	if len(r.Outcomes) > 0 {
+		return len(r.Outcomes)
+	}
+	return r.Population
+}
+
 // FinalFrac returns the fraction of nodes that extracted a final block.
 func (r RoundReport) FinalFrac() float64 {
-	return float64(r.FinalCount) / float64(len(r.Outcomes))
+	return float64(r.FinalCount) / float64(r.population())
 }
 
 // TentativeFrac returns the fraction of nodes with a tentative block.
 func (r RoundReport) TentativeFrac() float64 {
-	return float64(r.TentativeCount) / float64(len(r.Outcomes))
+	return float64(r.TentativeCount) / float64(r.population())
 }
 
 // NoneFrac returns the fraction of nodes that extracted no block.
 func (r RoundReport) NoneFrac() float64 {
-	return float64(r.NoneCount) / float64(len(r.Outcomes))
+	return float64(r.NoneCount) / float64(r.population())
 }
 
 // RewardHook is invoked after every round with the realised roles.
@@ -95,6 +110,12 @@ type Config struct {
 	// the zero value is weight.BackendLedgerDirect, bit-identical to
 	// reading the ledger directly.
 	WeightBackend weight.Backend
+	// Sparse selects the round hot-path implementation: the zero value
+	// (SparseAuto) picks the centralized sparse-committee sampler for
+	// large populations with absolute taus and the dense per-node sweep
+	// otherwise. See SparseMode for the semantics and the equivalence
+	// contract.
+	Sparse SparseMode
 }
 
 // DefaultLossProb is the effective per-hop gossip loss used when
@@ -106,12 +127,17 @@ const DefaultLossProb = 0.20
 
 // Runner drives the BA* protocol for a population of simulated nodes.
 type Runner struct {
-	params                   Params
-	engine                   *sim.Engine
-	net                      *network.Network
-	canonical                *ledger.Ledger
-	weights                  weight.Oracle
-	nodes                    []*node
+	params    Params
+	engine    *sim.Engine
+	net       *network.Network
+	canonical *ledger.Ledger
+	weights   weight.Oracle
+	// nodes is id-indexed; in dense mode every entry is live, in sparse
+	// mode only the round's materialized nodes are non-nil.
+	nodes []*node
+	// behaviors is the id-indexed behaviour table, the source of truth in
+	// both modes (dense node structs mirror it).
+	behaviors                []Behavior
 	keys                     []vrf.KeyPair
 	rng                      *rand.Rand
 	reward                   RewardHook
@@ -119,6 +145,16 @@ type Runner struct {
 	nonce                    uint64
 	meter                    *costMeter
 	degradedFrom, degradedTo uint64 // forced weak-synchrony window
+
+	// sparse is non-nil when this runner uses the centralized
+	// sparse-committee path; fanout/lossProb/delay snapshot the gossip
+	// parameters its mean-field model needs, and sparseDeliverCb is the
+	// single pre-bound delivery callback handed to Engine.ScheduleFn.
+	sparse          *sparseState
+	fanout          int
+	lossProb        float64
+	delay           network.DelayModel
+	sparseDeliverCb func(node int, payload any)
 
 	// cache is the per-runner sortition oracle: every Select/Verify in
 	// the round hot path walks its memoised threshold tables instead of
@@ -203,6 +239,18 @@ func NewRunner(cfg Config) (*Runner, error) {
 			weights.NumNodes(), len(cfg.Stakes))
 	}
 
+	useSparse := false
+	switch cfg.Sparse {
+	case SparseOn:
+		if !sparseEligible(&cfg) {
+			return nil, errSparseTau
+		}
+		useSparse = !forcePerNodeDraw
+	case SparseAuto:
+		useSparse = !forcePerNodeDraw &&
+			len(cfg.Stakes) >= SparseAutoThreshold && sparseEligible(&cfg)
+	}
+
 	n := len(cfg.Stakes)
 	r := &Runner{
 		params:    cfg.Params,
@@ -216,31 +264,58 @@ func NewRunner(cfg Config) (*Runner, error) {
 		hooks:     cfg.Hooks,
 	}
 	if ar := cfg.Arena; ar != nil {
-		r.nodes = ar.takeNodes(n)
-		r.keys = ar.takeKeys(n)
+		if useSparse {
+			r.nodes = ar.takeNodesNil(n)
+		} else {
+			r.nodes = ar.takeNodes(n)
+			r.keys = ar.takeKeys(n)
+		}
 		r.meter = ar.takeMeter(n)
 		r.roleTaken = ar.takeRoleTaken(n)
+		r.behaviors = ar.takeBehaviors(n)
 		r.cache = ar.cache
 	} else {
 		r.nodes = make([]*node, n)
-		for i := range r.nodes {
-			r.nodes[i] = &node{}
+		if !useSparse {
+			for i := range r.nodes {
+				r.nodes[i] = &node{}
+			}
+			r.keys = make([]vrf.KeyPair, n)
 		}
-		r.keys = make([]vrf.KeyPair, n)
 		r.meter = newCostMeter(n)
 		r.roleTaken = make([]bool, n)
+		r.behaviors = make([]Behavior, n)
 		r.cache = sortition.NewCache()
 	}
-	for i, nd := range r.nodes {
-		acct, err := canonical.Account(i)
-		if err != nil {
-			return nil, fmt.Errorf("protocol: genesis account %d: %w", i, err)
+	copy(r.behaviors, cfg.Behaviors)
+	if useSparse {
+		// No per-node state exists up front: node structs materialize
+		// lazily per round (committee ∪ panel), credentials are fabricated
+		// centrally (no VRF keys read), and no ledger views are cloned —
+		// materialized nodes share the canonical ledger read-only.
+		if ar := cfg.Arena; ar != nil {
+			if ar.sparse == nil {
+				ar.sparse = newSparseState(engine.RNG("protocol.sparse"))
+			} else {
+				ar.sparse.adopt(engine.RNG("protocol.sparse"))
+			}
+			r.sparse = ar.sparse
+		} else {
+			r.sparse = newSparseState(engine.RNG("protocol.sparse"))
 		}
-		r.keys[i] = acct.Keys
-		nd.id = i
-		nd.behavior = cfg.Behaviors[i]
-		nd.ledger = canonical.CloneView()
-		nd.synced = true
+		r.sparseDeliverCb = r.sparseDeliver
+	} else {
+		for i, nd := range r.nodes {
+			acct, err := canonical.Account(i)
+			if err != nil {
+				return nil, fmt.Errorf("protocol: genesis account %d: %w", i, err)
+			}
+			r.keys[i] = acct.Keys
+			nd.id = i
+			nd.behavior = cfg.Behaviors[i]
+			nd.ledger = canonical.CloneView()
+			nd.synced = true
+		}
 	}
 
 	loss := cfg.LossProb
@@ -264,17 +339,34 @@ func NewRunner(cfg Config) (*Runner, error) {
 		return nil, err
 	}
 	r.net = net
+	r.fanout = cfg.Fanout
+	r.lossProb = loss
+	r.delay = cfg.Delay
 	// The network hints the engine's scheduling horizon for the current
 	// delay factor; pre-hint the weak-synchrony worst case too, so the
-	// first degraded round never rebuilds the calendar ring mid-run.
-	if bd, ok := cfg.Delay.(network.BoundedDelay); ok && cfg.Params.AsyncFactor > 1 {
-		engine.HintHorizon(time.Duration(float64(bd.MaxDelay()) * cfg.Params.AsyncFactor))
+	// first degraded round never rebuilds the calendar ring mid-run. The
+	// sparse path delays each mean-field delivery by a whole multi-hop
+	// path, so its horizon scales with the modelled hop count.
+	if bd, ok := cfg.Delay.(network.BoundedDelay); ok {
+		horizon := float64(bd.MaxDelay())
+		if cfg.Params.AsyncFactor > 1 {
+			horizon *= cfg.Params.AsyncFactor
+		}
+		if r.sparse != nil {
+			r.sparse.hops = sparseHops(n, cfg.Fanout)
+			horizon *= float64(r.sparse.hops)
+		}
+		if cfg.Params.AsyncFactor > 1 || r.sparse != nil {
+			engine.HintHorizon(time.Duration(horizon))
+		}
+	} else if r.sparse != nil {
+		r.sparse.hops = sparseHops(n, cfg.Fanout)
 	}
 	net.SetRelayObserver(func(nodeID int) {
 		r.meter.of(nodeID).Gossip++
 	})
-	for i, nd := range r.nodes {
-		switch nd.behavior {
+	for i, b := range r.behaviors {
+		switch b {
 		case Selfish:
 			net.SetRelay(i, false) // defectors refuse the gossiping task
 		case Faulty:
@@ -395,16 +487,21 @@ func (r *Runner) runRound() RoundReport {
 		r.hooks.RoundStart(round)
 	}
 
-	for _, nd := range r.nodes {
-		nd.synced = nd.ledger.Round() == round && nd.ledger.Tip() == r.canonical.Tip()
-		nd.beginRound(round)
-		// Every online node derives the round seed; even defectors run
-		// sortition to join the network ("paying cost c_so").
-		if r.net.Online(nd.id) && nd.behavior != Faulty {
-			meter := r.meter.of(nd.id)
-			meter.Sortition++
-			if nd.behavior != Selfish {
-				meter.Seed++
+	lastStep := 2 + r.params.MaxBinarySteps
+	if r.sparse != nil {
+		r.beginRoundSparse(round, lastStep)
+	} else {
+		for _, nd := range r.nodes {
+			nd.synced = nd.ledger.Round() == round && nd.ledger.Tip() == r.canonical.Tip()
+			nd.beginRound(round)
+			// Every online node derives the round seed; even defectors run
+			// sortition to join the network ("paying cost c_so").
+			if r.net.Online(nd.id) && nd.behavior != Faulty {
+				meter := r.meter.of(nd.id)
+				meter.Sortition++
+				if nd.behavior != Selfish {
+					meter.Seed++
+				}
 			}
 		}
 	}
@@ -416,7 +513,6 @@ func (r *Runner) runRound() RoundReport {
 	}
 	r.engine.ScheduleAt(stepAt(1), func() { r.reductionStep1(round) })
 	r.engine.ScheduleAt(stepAt(2), func() { r.reductionStep2(round) })
-	lastStep := 2 + r.params.MaxBinarySteps
 	for s := 3; s <= lastStep; s++ {
 		s := s
 		r.engine.ScheduleAt(stepAt(s), func() { r.binaryStep(round, uint64(s)) })
@@ -424,9 +520,16 @@ func (r *Runner) runRound() RoundReport {
 	// Drain all gossip; late messages land in tallies but were not counted.
 	_ = r.engine.Run(0)
 
-	report := r.finalizeRound(round, lastStep)
-	r.catchUp()
-	report.Desynced = r.countDesynced()
+	var report RoundReport
+	if r.sparse != nil {
+		report = r.finalizeRoundSparse(round, lastStep)
+		r.catchUpSparse()
+		report.Desynced = len(r.sparse.desynced)
+	} else {
+		report = r.finalizeRound(round, lastStep)
+		r.catchUp()
+		report.Desynced = r.countDesynced()
+	}
 	if r.reward != nil {
 		r.reward(r.collectRoles(round), report)
 	}
@@ -441,6 +544,28 @@ func resolveTau(tau, total float64) float64 {
 		return tau * total
 	}
 	return tau
+}
+
+// roundNodes returns the nodes the phase loops iterate: every node in
+// dense mode, only the round's materialized nodes (sorted by id) in
+// sparse mode. Sparse is exact here, not an approximation: unmaterialized
+// nodes hold no committee seats in any step, and a dense node that never
+// wins a lottery has no observable effect in any phase loop.
+func (r *Runner) roundNodes() []*node {
+	if r.sparse != nil {
+		return r.sparse.actors
+	}
+	return r.nodes
+}
+
+// gossip routes a message through the simulated gossip network (dense) or
+// the mean-field model (sparse).
+func (r *Runner) gossip(origin int, msg network.Message) {
+	if r.sparse != nil {
+		r.sparseGossip(origin, msg)
+		return
+	}
+	r.net.Gossip(origin, msg)
 }
 
 // participates reports whether node nd performs protocol tasks this round.
@@ -465,14 +590,24 @@ func (r *Runner) sortitionParams(role sortition.Role, round, step uint64, tau fl
 // --- Phase actions -------------------------------------------------------
 
 func (r *Runner) proposePhase(round uint64) {
-	for _, nd := range r.nodes {
+	for _, nd := range r.roundNodes() {
 		if !r.participates(nd) {
 			continue
 		}
 		p := r.sortitionParams(sortition.RoleProposer, round, 0, r.params.TauProposer)
-		res, err := r.cache.Select(r.keys[nd.id].Private, r.roundStakes[nd.id], p)
-		if err != nil || !res.Selected() {
-			continue
+		var res sortition.Result
+		if r.sparse != nil {
+			seats := r.sparse.committeeFor(0).seats[nd.id]
+			if seats == 0 {
+				continue
+			}
+			res = sortition.Pseudo(p, nd.id, seats)
+		} else {
+			var err error
+			res, err = r.cache.Select(r.keys[nd.id].Private, r.roundStakes[nd.id], p)
+			if err != nil || !res.Selected() {
+				continue
+			}
 		}
 		r.proposers[nd.id] = float64(res.SubUsers)
 		r.meter.of(nd.id).Propose++
@@ -501,7 +636,13 @@ func (r *Runner) proposePhase(round uint64) {
 				Credential: res,
 				Proposer:   nd.id,
 			}
-			r.net.Gossip(nd.id, network.Message{
+			if r.sparse != nil {
+				// Pseudo-credentials carry no verifiable proof (no VRF keys
+				// exist in sparse mode); emission is the trust anchor, so the
+				// payload ships pre-verified and receivers skip cache.Verify.
+				payload.verdict = memoValid
+			}
+			r.gossip(nd.id, network.Message{
 				ID:      proposalVariantID(round, nd.id, v),
 				Kind:    network.KindProposal,
 				Origin:  nd.id,
@@ -557,7 +698,16 @@ func (r *Runner) assembleBlock(nd *node, round uint64) ledger.Block {
 }
 
 func (r *Runner) reductionStep1(round uint64) {
-	for _, nd := range r.nodes {
+	if r.sparse != nil {
+		// Flat meter pass: every participant pays the block-selection task
+		// exactly as the dense sweep meters it, materialized or not.
+		for id := range r.nodes {
+			if r.participatesID(id) {
+				r.meter.of(id).SelectBlock++
+			}
+		}
+	}
+	for _, nd := range r.roundNodes() {
 		if !r.participates(nd) {
 			continue
 		}
@@ -565,7 +715,9 @@ func (r *Runner) reductionStep1(round uint64) {
 		if nd.bestProposal != nil {
 			value = nd.bestProposal.BlockHash
 		}
-		r.meter.of(nd.id).SelectBlock++
+		if r.sparse == nil {
+			r.meter.of(nd.id).SelectBlock++
+		}
 		r.castVote(nd, round, 1, false, value)
 	}
 	r.stepDone(round, 1)
@@ -573,7 +725,7 @@ func (r *Runner) reductionStep1(round uint64) {
 
 func (r *Runner) reductionStep2(round uint64) {
 	quorum := r.params.ThresholdStep * r.tauStepAbs
-	for _, nd := range r.nodes {
+	for _, nd := range r.roundNodes() {
 		if !r.participates(nd) {
 			continue
 		}
@@ -590,7 +742,7 @@ func (r *Runner) reductionStep2(round uint64) {
 // node has not yet decided, casts the next BinaryBA* vote.
 func (r *Runner) binaryStep(round, step uint64) {
 	quorum := r.params.ThresholdStep * r.tauStepAbs
-	for _, nd := range r.nodes {
+	for _, nd := range r.roundNodes() {
 		if !r.participates(nd) || nd.decided {
 			continue
 		}
@@ -654,9 +806,19 @@ func (r *Runner) castVote(nd *node, round, step uint64, final bool, value ledger
 		sortStep = finalVoteStep
 	}
 	p := r.sortitionParams(role, round, sortStep, tau)
-	res, err := r.cache.Select(r.keys[nd.id].Private, r.roundStakes[nd.id], p)
-	if err != nil || !res.Selected() {
-		return
+	var res sortition.Result
+	if r.sparse != nil {
+		seats := r.sparse.committeeFor(sortStep).seats[nd.id]
+		if seats == 0 {
+			return
+		}
+		res = sortition.Pseudo(p, nd.id, seats)
+	} else {
+		var err error
+		res, err = r.cache.Select(r.keys[nd.id].Private, r.roundStakes[nd.id], p)
+		if err != nil || !res.Selected() {
+			return
+		}
 	}
 	r.voters[nd.id] = r.voters[nd.id] + float64(res.SubUsers)
 	r.meter.of(nd.id).Vote++
@@ -691,7 +853,12 @@ func (r *Runner) emitVote(nd *node, round, step uint64, final bool, value ledger
 		Voter:      nd.id,
 		Credential: res,
 	}
-	r.net.Gossip(nd.id, network.Message{
+	if r.sparse != nil {
+		// Pseudo-credentials are unverifiable; emission is the trust anchor
+		// (see proposePhase).
+		payload.verdict = memoValid
+	}
+	r.gossip(nd.id, network.Message{
 		ID:      voteVariantID(round, step, final, nd.id, variant),
 		Kind:    network.KindVote,
 		Origin:  nd.id,
@@ -731,6 +898,11 @@ func (r *Runner) maliciousValue(nd *node, honest ledger.Hash) ledger.Hash {
 
 func (r *Runner) handleMessage(nodeID int, msg network.Message) {
 	nd := r.nodes[nodeID]
+	if nd == nil {
+		// Sparse mode only materializes committee ∪ panel; nothing else can
+		// be addressed, but the guard keeps the invariant local.
+		return
+	}
 	if nd.behavior == Selfish || nd.behavior == Faulty {
 		// Defectors skip verification, block selection and vote counting;
 		// faulty nodes are offline anyway.
@@ -816,9 +988,10 @@ func (r *Runner) takeOutcomes() []Outcome {
 
 func (r *Runner) finalizeRound(round uint64, lastStep int) RoundReport {
 	report := RoundReport{
-		Round:    round,
-		Outcomes: r.takeOutcomes(),
-		Degraded: r.degraded,
+		Round:      round,
+		Outcomes:   r.takeOutcomes(),
+		Population: len(r.nodes),
+		Degraded:   r.degraded,
 	}
 	finalQuorum := r.params.ThresholdFinal * r.tauFinalAbs
 	quorum := r.params.ThresholdStep * r.tauStepAbs
@@ -1014,11 +1187,11 @@ func (r *Runner) collectRoles(round uint64) RoundRoles {
 		r.roleTaken[id] = true
 	}
 	nCommittee := len(scratch) - nLeaders
-	for _, nd := range r.nodes {
-		if r.roleTaken[nd.id] || !r.net.Online(nd.id) {
+	for id := range r.nodes {
+		if r.roleTaken[id] || !r.net.Online(id) {
 			continue
 		}
-		scratch = append(scratch, RoleStake{ID: nd.id, Stake: r.roundStakes[nd.id], Weight: 0})
+		scratch = append(scratch, RoleStake{ID: id, Stake: r.roundStakes[id], Weight: 0})
 	}
 	r.roleScratch = scratch
 

@@ -1,0 +1,841 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/dsn2020-algorand/incentives/internal/ledger"
+	"github.com/dsn2020-algorand/incentives/internal/network"
+	"github.com/dsn2020-algorand/incentives/internal/sortition"
+	"github.com/dsn2020-algorand/incentives/internal/weight"
+)
+
+// SparseMode selects between the dense per-node sortition sweep and the
+// centralized sparse-committee round path.
+//
+// The dense path evaluates one VRF lottery per node per step — O(N) work
+// per step for committees whose expected size is a constant τ — and
+// clones a ledger view per node. The sparse path draws each step's TOTAL
+// seat count from one binomial over the whole network stake, maps seats
+// to nodes by bisecting cumulative stake, and materializes per-node
+// runner state only for the nodes that can act this round (committee
+// members plus a uniform probe panel). Per-round cost then tracks
+// committee size, not population, which is what lets a 500k-node run
+// complete on one machine.
+//
+// The two paths are distributionally equivalent, not bit-identical: by
+// binomial splitting, total-draw-then-stake-weighted-seat-assignment
+// (without replacement over stake units) yields exactly the joint
+// per-node Binomial(w_i, τ/W) law of independent per-node draws, and the
+// randomized equivalence suite pins the committee-size distributions
+// against each other. Gossip becomes mean-field (see sparseGossip), and
+// per-node round outcomes are observed on the probe panel and
+// extrapolated to the unmaterialized population, so RoundReport.Outcomes
+// is nil in sparse rounds (Population carries the denominator).
+type SparseMode uint8
+
+const (
+	// SparseAuto — the default — picks the sparse path when the
+	// population is at least SparseAutoThreshold nodes AND the committee
+	// taus are absolute (> 1): fractional taus select stake-proportional
+	// committees that are themselves O(N), so there is nothing sparse to
+	// exploit. Small or fractional-tau configurations keep the dense
+	// path, bit-identical to builds that predate sparse mode.
+	SparseAuto SparseMode = iota
+	// SparseOff forces the dense per-node sweep.
+	SparseOff
+	// SparseOn forces the sparse path and makes NewRunner reject
+	// configurations it cannot serve (fractional taus). Under the
+	// protocol_pernode_draw oracle build tag, SparseOn still runs dense.
+	SparseOn
+)
+
+// SparseAutoThreshold is the population size at which SparseAuto switches
+// to the sparse path (given absolute taus). Below it the dense sweep is
+// cheap and keeps golden outputs bit-identical.
+const SparseAutoThreshold = 4096
+
+// String renders the mode the way ParseSparseMode reads it.
+func (m SparseMode) String() string {
+	switch m {
+	case SparseOff:
+		return "off"
+	case SparseOn:
+		return "on"
+	default:
+		return "auto"
+	}
+}
+
+// ParseSparseMode reads the CLI spelling of a SparseMode.
+func ParseSparseMode(s string) (SparseMode, error) {
+	switch s {
+	case "", "auto":
+		return SparseAuto, nil
+	case "off", "dense":
+		return SparseOff, nil
+	case "on", "sparse":
+		return SparseOn, nil
+	}
+	return SparseAuto, fmt.Errorf("protocol: unknown sparse mode %q (want auto, on or off)", s)
+}
+
+// sparsePanelSize is the probe-panel size: uniformly drawn nodes
+// materialized as pure observers so per-node outcome and desync fractions
+// can be measured and extrapolated to the unmaterialized population.
+const sparsePanelSize = 256
+
+// errSparseTau rejects SparseOn with fractional taus.
+var errSparseTau = errors.New(
+	"protocol: Sparse: SparseOn requires absolute TauStep and TauFinal (> 1); " +
+		"fractional taus make committees O(population)")
+
+// sparseEligible reports whether cfg can run the sparse path at all.
+func sparseEligible(cfg *Config) bool {
+	return cfg.Params.TauStep > 1 && cfg.Params.TauFinal > 1
+}
+
+// sparseCommittee is one step's pre-sampled committee: seat counts by
+// node plus the deterministic (sorted) iteration order. Seats are the
+// lottery only — behaviour/online/synced filters apply at emission time,
+// exactly where the dense path applies them, so mid-round behaviour flips
+// (adaptive corruption) see the same semantics on both paths.
+type sparseCommittee struct {
+	seats map[int]int
+	ids   []int
+}
+
+func (c *sparseCommittee) reset() {
+	if c.seats == nil {
+		c.seats = make(map[int]int)
+	} else {
+		clear(c.seats)
+	}
+	c.ids = c.ids[:0]
+}
+
+// sparseState is the per-runner state of the sparse-committee path.
+type sparseState struct {
+	// rng is the dedicated deterministic stream ("protocol.sparse") every
+	// sparse draw consumes, in a fixed code order over sorted id sets, so
+	// runs are reproducible and worker-count invariant.
+	rng *rand.Rand
+
+	// idx is the weight-index fast path for seat→node bisection; nil when
+	// the runner's oracle is not an incremental index. prefix is the
+	// fallback: integer stake-unit prefix sums rebuilt each round.
+	idx    *weight.Index
+	prefix []int64
+
+	// trials is Σ int(w_i): the total integer stake units, the binomial
+	// trial count a whole-network draw runs over (dense sortition
+	// truncates each node's stake to whole units — see sortition.Select).
+	trials int64
+	// integral notes whether every stake is a whole number this round,
+	// the precondition for bisecting the float Fenwick tree exactly.
+	integral bool
+
+	// committees maps sortition step → pre-sampled committee. Step 0 is
+	// the proposer lottery; finalVoteStep the final committee.
+	committees map[uint64]*sparseCommittee
+	comPool    []*sparseCommittee
+
+	// actors are the materialized nodes this round, sorted by id; the
+	// same structs are linked from Runner.nodes[id]. free pools returned
+	// node structs across rounds.
+	actors []*node
+	free   []*node
+
+	// panel are this round's probe ids (sorted, distinct, uniform).
+	panel []int
+
+	// desynced is the explicit lagging-node set replacing per-node ledger
+	// views: materialized nodes all share the canonical ledger read-only,
+	// and membership here is what "behind the canonical chain" means.
+	desynced map[int]struct{}
+
+	// hops is the modelled gossip path length: each mean-field delivery
+	// delays by the sum of hops per-hop samples.
+	hops int
+
+	// reach is this round's expected epidemic coverage (recomputed each
+	// round from the live relay fraction); relayFrac backs it.
+	reach float64
+
+	// delayTable is the round's empirical path-delay distribution: each
+	// entry is one pre-sampled multi-hop first-passage delay, and every
+	// mean-field delivery draws one entry uniformly. Pre-sampling keeps the
+	// per-delivery cost at a single RNG draw while the table itself models
+	// hops × (min of fanout per-hop samples) — the epidemic front advances
+	// on the fastest outgoing link of each relay, not an average one, which
+	// is what makes sparse vote-arrival times match the dense network's
+	// first-arrival times within the step windows.
+	delayTable []time.Duration
+
+	// scratch buffers reused across rounds.
+	idScratch  []int
+	desScratch []int
+}
+
+func newSparseState(rng *rand.Rand) *sparseState {
+	return &sparseState{
+		rng:        rng,
+		committees: make(map[uint64]*sparseCommittee),
+		desynced:   make(map[int]struct{}),
+	}
+}
+
+// adopt rewinds a recycled sparseState for a fresh runner, keeping pooled
+// node structs and committee maps but dropping all run-specific state.
+func (s *sparseState) adopt(rng *rand.Rand) {
+	s.rng = rng
+	s.idx = nil
+	for step, c := range s.committees {
+		c.reset()
+		s.comPool = append(s.comPool, c)
+		delete(s.committees, step)
+	}
+	for _, nd := range s.actors {
+		s.free = append(s.free, nd)
+	}
+	s.actors = s.actors[:0]
+	s.panel = s.panel[:0]
+	clear(s.desynced)
+}
+
+// takeCommittee returns a cleared committee from the pool.
+func (s *sparseState) takeCommittee() *sparseCommittee {
+	if n := len(s.comPool); n > 0 {
+		c := s.comPool[n-1]
+		s.comPool = s.comPool[:n-1]
+		return c
+	}
+	c := &sparseCommittee{seats: make(map[int]int)}
+	return c
+}
+
+// committeeFor returns the pre-sampled committee for a sortition step (0
+// = proposer, finalVoteStep = final committee), or nil outside the
+// sampled set.
+func (s *sparseState) committeeFor(step uint64) *sparseCommittee {
+	return s.committees[step]
+}
+
+// refreshWeights derives the round's integer stake-unit geometry from the
+// runner's weight snapshot: total trials, integrality, and — when the
+// Fenwick fast path is unavailable or inexact — the unit prefix array.
+func (s *sparseState) refreshWeights(stakes []float64, oracle weight.Oracle) {
+	s.trials = 0
+	s.integral = true
+	for _, w := range stakes {
+		t := int64(w)
+		s.trials += t
+		if float64(t) != w {
+			s.integral = false
+		}
+	}
+	s.idx = nil
+	if idx, ok := oracle.(*weight.Index); ok && s.integral {
+		// Whole-unit stakes make the float Fenwick tree an exact integer
+		// prefix structure, so seat units bisect it without building
+		// anything per round.
+		s.idx = idx
+		return
+	}
+	s.prefix = s.prefix[:0]
+	if cap(s.prefix) < len(stakes)+1 {
+		s.prefix = make([]int64, 0, len(stakes)+1)
+	}
+	var cum int64
+	s.prefix = append(s.prefix, 0)
+	for _, w := range stakes {
+		cum += int64(w)
+		s.prefix = append(s.prefix, cum)
+	}
+}
+
+// seatNode maps one stake unit (0 <= unit < trials) to its owning node.
+func (s *sparseState) seatNode(unit int64) int {
+	if s.idx != nil {
+		return s.idx.Bisect(float64(unit))
+	}
+	// smallest i with prefix[i+1] > unit
+	return sort.Search(len(s.prefix)-1, func(i int) bool { return s.prefix[i+1] > int64(unit) })
+}
+
+// sampleCommittee draws one step's whole-network lottery: the total seat
+// count S ~ Binomial(trials, tau/W), then S distinct stake units sampled
+// without replacement and mapped to their owners. Sampling units without
+// replacement makes the per-node seat counts exactly the multivariate
+// conditional of independent per-node Binomial(w_i, tau/W) draws — the
+// dense path's joint law — including the cap that a node can never hold
+// more seats than stake units.
+func (s *sparseState) sampleCommittee(tau, totalStake float64) *sparseCommittee {
+	c := s.takeCommittee()
+	if s.trials <= 0 || totalStake <= 0 {
+		return c
+	}
+	p := tau / totalStake
+	seatCount := sortition.Binomial(s.rng, s.trials, p)
+	if seatCount <= 0 {
+		return c
+	}
+	// Distinct-unit rejection sampling: seatCount ≪ trials in every
+	// sparse-eligible configuration, so collisions are rare. The unit set
+	// is only needed transiently.
+	taken := make(map[int64]struct{}, seatCount)
+	for int64(len(taken)) < seatCount {
+		u := s.rng.Int63n(s.trials)
+		if _, dup := taken[u]; dup {
+			continue
+		}
+		taken[u] = struct{}{}
+		id := s.seatNode(u)
+		if c.seats[id] == 0 {
+			c.ids = append(c.ids, id)
+		}
+		c.seats[id]++
+	}
+	sort.Ints(c.ids)
+	return c
+}
+
+// samplePanel draws the probe panel: min(sparsePanelSize, n) distinct
+// uniform ids. Uniformity over the whole population (not stake) is what
+// lets panel outcome fractions extrapolate to per-node counts.
+func (s *sparseState) samplePanel(n int) {
+	s.panel = s.panel[:0]
+	want := sparsePanelSize
+	if want > n {
+		want = n
+	}
+	taken := make(map[int]struct{}, want)
+	for len(s.panel) < want {
+		id := s.rng.Intn(n)
+		if _, dup := taken[id]; dup {
+			continue
+		}
+		taken[id] = struct{}{}
+		s.panel = append(s.panel, id)
+	}
+	sort.Ints(s.panel)
+}
+
+// takeNode returns a pooled node struct, reset the same way the arena
+// resets dense nodes (containers kept, everything else zeroed).
+func (s *sparseState) takeNode() *node {
+	if n := len(s.free); n > 0 {
+		nd := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		*nd = node{
+			blocks:     nd.blocks,
+			tallies:    nd.tallies,
+			tallyPool:  nd.tallyPool,
+			finalTally: nd.finalTally,
+		}
+		return nd
+	}
+	return &node{}
+}
+
+// --- Runner integration --------------------------------------------------
+
+// sparseHops models the epidemic path length for a population of n with
+// the given fanout: the depth at which a fanout-ary push tree covers n.
+func sparseHops(n, fanout int) int {
+	if fanout < 2 {
+		fanout = 2
+	}
+	h := int(math.Ceil(math.Log(float64(n)) / math.Log(float64(fanout))))
+	if h < 1 {
+		h = 1
+	}
+	return h
+}
+
+// beginRoundSparse replaces the dense O(N) per-node round entry: it
+// pre-samples every step committee, materializes committee ∪ panel, and
+// runs the flat meter passes (sortition/seed costs accrue to all online
+// non-faulty nodes whether or not they are materialized).
+func (r *Runner) beginRoundSparse(round uint64, lastStep int) {
+	s := r.sparse
+	n := len(r.roundStakes)
+
+	// Return last round's materialized nodes to the pool.
+	for _, nd := range s.actors {
+		r.nodes[nd.id] = nil
+		s.free = append(s.free, nd)
+	}
+	s.actors = s.actors[:0]
+	for step, c := range s.committees {
+		c.reset()
+		s.comPool = append(s.comPool, c)
+		delete(s.committees, step)
+	}
+
+	s.refreshWeights(r.roundStakes, r.weights)
+
+	// Pre-sample every step's lottery up front, in a fixed step order, so
+	// the materialized set is known before any phase event fires and
+	// mean-field deliveries can target the full round's audience.
+	s.committees[0] = s.sampleCommittee(r.params.TauProposer, r.roundTotal)
+	for step := uint64(1); step <= uint64(lastStep); step++ {
+		s.committees[step] = s.sampleCommittee(r.tauStepAbs, r.roundTotal)
+	}
+	s.committees[finalVoteStep] = s.sampleCommittee(r.tauFinalAbs, r.roundTotal)
+	s.samplePanel(n)
+
+	// Materialize committee ∪ panel, sorted by id. Materialized nodes
+	// share the canonical ledger read-only (commits become desynced-set
+	// updates, never Append), so no per-node clone exists anywhere.
+	ids := s.idScratch[:0]
+	seen := make(map[int]struct{}, 16*len(s.panel))
+	collect := func(id int) {
+		if _, dup := seen[id]; !dup {
+			seen[id] = struct{}{}
+			ids = append(ids, id)
+		}
+	}
+	for step := uint64(0); step <= uint64(lastStep); step++ {
+		for _, id := range s.committees[step].ids {
+			collect(id)
+		}
+	}
+	for _, id := range s.committees[finalVoteStep].ids {
+		collect(id)
+	}
+	for _, id := range s.panel {
+		collect(id)
+	}
+	sort.Ints(ids)
+	s.idScratch = ids
+
+	for _, id := range ids {
+		nd := s.takeNode()
+		nd.id = id
+		nd.behavior = r.behaviors[id]
+		nd.ledger = r.canonical
+		_, behind := s.desynced[id]
+		nd.synced = !behind
+		nd.beginRound(round)
+		r.nodes[id] = nd
+		s.actors = append(s.actors, nd)
+	}
+
+	// Flat meter pass: every online node derives the round seed; even
+	// defectors run sortition to join the network ("paying cost c_so").
+	for id := 0; id < n; id++ {
+		if r.net.Online(id) && r.behaviors[id] != Faulty {
+			meter := r.meter.of(id)
+			meter.Sortition++
+			if r.behaviors[id] != Selfish {
+				meter.Seed++
+			}
+		}
+	}
+
+	// Mean-field reach for this round's gossip: fanout-ary pushes with
+	// the current live relay fraction and per-hop loss.
+	relayers := 0
+	for id := 0; id < n; id++ {
+		if r.net.Online(id) && r.net.Relaying(id) {
+			relayers++
+		}
+	}
+	s.reach = network.ReachAnalysis{
+		Fanout:    r.fanout,
+		RelayFrac: float64(relayers) / float64(n),
+		LossProb:  r.lossProb,
+	}.ExpectedCoverage()
+
+	// Refill the path-delay table (the delay model is stateless but the
+	// draw order must stay deterministic, so the table is rebuilt in the
+	// fixed round preamble rather than lazily).
+	s.delayTable = s.delayTable[:0]
+	if cap(s.delayTable) < sparseDelayTableLen {
+		s.delayTable = make([]time.Duration, 0, sparseDelayTableLen)
+	}
+	for i := 0; i < sparseDelayTableLen; i++ {
+		var d time.Duration
+		for h := 0; h < s.hops; h++ {
+			best := r.delay.Sample(s.rng)
+			for f := 1; f < r.fanout; f++ {
+				if alt := r.delay.Sample(s.rng); alt < best {
+					best = alt
+				}
+			}
+			d += best
+		}
+		s.delayTable = append(s.delayTable, d)
+	}
+}
+
+// sparseDelayTableLen sizes the per-round empirical path-delay table; see
+// sparseState.delayTable.
+const sparseDelayTableLen = 4096
+
+// participatesID is the id-indexed participation predicate the sparse
+// flat passes use; it matches participates() exactly (synced is the
+// desynced-set complement in sparse mode).
+func (r *Runner) participatesID(id int) bool {
+	if !r.net.Online(id) {
+		return false
+	}
+	if _, behind := r.sparse.desynced[id]; behind {
+		return false
+	}
+	b := r.behaviors[id]
+	return b == Honest || b == Malicious
+}
+
+// sparseGossip is the mean-field replacement for Network.Gossip: the
+// origin consumes its own message immediately, then every other
+// materialized node receives it independently with the epidemic coverage
+// probability, after a delay summing hops per-hop samples. The real
+// network still carries topology, online/relay state and the fault
+// overlay — sparseGossip consults all three — but no per-hop push fans
+// out, so gossip work is O(materialized), not O(N·fanout).
+//
+// Unmaterialized nodes receive nothing: they hold no tallies to update.
+// Their sortition/seed costs accrue in the flat meter passes and their
+// outcomes are extrapolated from the probe panel; their verify/relay
+// task counts are NOT modelled (sparse task counters cover materialized
+// nodes only — document-level approximation, see README).
+func (r *Runner) sparseGossip(origin int, msg network.Message) {
+	if !r.net.Online(origin) {
+		return
+	}
+	r.handleMessage(origin, msg)
+	if !r.net.Relaying(origin) {
+		return
+	}
+	r.meter.of(origin).Gossip++
+	s := r.sparse
+	factor := r.net.DelayFactor()
+	for _, nd := range s.actors {
+		v := nd.id
+		if v == origin || !r.net.Online(v) {
+			continue
+		}
+		fault := r.net.Fault(origin, v)
+		if fault.Drop {
+			// Mean-field reading of a severed link: the overlay cut every
+			// path between the pair (partitions/eclipses are what overlays
+			// script; single-link cuts are below this model's resolution).
+			continue
+		}
+		p := s.reach
+		if fault.Loss > 0 {
+			p *= 1 - fault.Loss
+		}
+		if s.rng.Float64() >= p {
+			continue
+		}
+		delay := s.delayTable[s.rng.Intn(len(s.delayTable))]
+		delay = time.Duration(float64(delay) * factor)
+		if fault.DelayScale > 1 {
+			delay = time.Duration(float64(delay) * fault.DelayScale)
+		}
+		r.engine.ScheduleFn(delay, r.sparseDeliverCb, v, msg.Payload)
+	}
+}
+
+// sparseDeliver hands one mean-field delivery to the protocol handler.
+// Kind/ID are irrelevant past this point (no dedup layer: each pair gets
+// at most one delivery per message by construction), so only the payload
+// travels through the scheduler.
+func (r *Runner) sparseDeliver(nodeID int, payload any) {
+	if !r.net.Online(nodeID) {
+		return
+	}
+	if r.net.Relaying(nodeID) {
+		// The receiver forwards the message onward (its fan-out is already
+		// folded into the mean-field coverage); the relay task is metered at
+		// delivery time, when the node's live relay status is known.
+		r.meter.of(nodeID).Gossip++
+	}
+	r.handleMessage(nodeID, network.Message{Origin: nodeID, Payload: payload})
+}
+
+// finalizeRoundSparse mirrors finalizeRound's outcome rules on the
+// materialized set, then extrapolates the unmaterialized population from
+// the probe panel and converts ledger commits into desynced-set updates.
+func (r *Runner) finalizeRoundSparse(round uint64, lastStep int) RoundReport {
+	s := r.sparse
+	n := len(r.roundStakes)
+	report := RoundReport{
+		Round:      round,
+		Population: n,
+		Degraded:   r.degraded,
+	}
+	finalQuorum := r.params.ThresholdFinal * r.tauFinalAbs
+	quorum := r.params.ThresholdStep * r.tauStepAbs
+
+	for _, nd := range s.actors {
+		if r.participates(nd) && !nd.decided {
+			r.evaluateBinaryTally(nd, nd.tally(uint64(lastStep)), quorum, uint64(lastStep))
+		}
+	}
+
+	// Outcome classification for materialized nodes: identical rules to
+	// the dense path.
+	decisions := make(map[ledger.Hash]int)
+	inPanel := make(map[int]struct{}, len(s.panel))
+	for _, id := range s.panel {
+		inPanel[id] = struct{}{}
+	}
+	panelParticipants := 0
+	panelFinal, panelTentative := 0, 0
+	for _, nd := range s.actors {
+		outcome := OutcomeNone
+		var hash ledger.Hash
+		if r.participates(nd) && nd.decided {
+			hash = nd.decidedHash
+			switch {
+			case hash == nd.emptyHash():
+				outcome = OutcomeTentative
+			case nd.finalTally.weightFor(hash) >= finalQuorum:
+				outcome = OutcomeFinal
+			default:
+				outcome = OutcomeTentative
+			}
+			if _, has := nd.blocks[hash]; !has && hash != nd.emptyHash() {
+				outcome = OutcomeNone
+			}
+		}
+		nd.outcome = outcome
+		nd.outcomeHash = hash
+		switch outcome {
+		case OutcomeFinal:
+			report.FinalCount++
+			decisions[hash]++
+		case OutcomeTentative:
+			report.TentativeCount++
+			decisions[hash]++
+		default:
+			report.NoneCount++
+		}
+		if _, probe := inPanel[nd.id]; probe && r.participatesID(nd.id) {
+			panelParticipants++
+			switch outcome {
+			case OutcomeFinal:
+				panelFinal++
+			case OutcomeTentative:
+				panelTentative++
+			}
+		}
+	}
+
+	// Extrapolate the unmaterialized participants from the panel's
+	// outcome fractions, preserving integer-count randomness with
+	// sequential binomial splits of the remainder. Non-participants are
+	// None by definition, exactly as in the dense path.
+	materializedParticipants := 0
+	for _, nd := range s.actors {
+		if r.participatesID(nd.id) {
+			materializedParticipants++
+		}
+	}
+	totalParticipants := 0
+	for id := 0; id < n; id++ {
+		if r.participatesID(id) {
+			totalParticipants++
+		}
+	}
+	rest := int64(totalParticipants - materializedParticipants)
+	var restFinal, restTentative int64
+	if rest > 0 && panelParticipants > 0 {
+		pF := float64(panelFinal) / float64(panelParticipants)
+		pT := float64(panelTentative) / float64(panelParticipants)
+		restFinal = sortition.Binomial(s.rng, rest, pF)
+		if pF < 1 {
+			restTentative = sortition.Binomial(s.rng, rest-restFinal, pT/(1-pF))
+		}
+	}
+	report.FinalCount += int(restFinal)
+	report.TentativeCount += int(restTentative)
+	// Non-participants are None by definition; the materialized ones were
+	// already counted None in the actors loop, so only the unmaterialized
+	// remainder is added here.
+	report.NoneCount += int(rest-restFinal-restTentative) +
+		(n - totalParticipants) - (len(s.actors) - materializedParticipants)
+
+	canonicalBlock, decided := r.pickCanonicalSparse(round, decisions)
+	report.Decided = decided
+	if decided {
+		report.CanonicalEmpty = canonicalBlock.Empty
+		report.CanonicalHash = canonicalBlock.Hash()
+	}
+	// The canonical append happens AFTER the desync bookkeeping below:
+	// blockForSparse reconstructs empty commits from the canonical tip,
+	// which must still be the tip the round's blocks were built on —
+	// appending first would make every empty-block committer look
+	// desynced, and a fully-desynced population can never recover (no
+	// synced peers left to serve catch-up).
+
+	// Commits become desynced-set updates. Dense semantics: a node ends
+	// the round synced iff its chain equals the advanced canonical chain —
+	// with a decision, that means it committed the canonical block; with
+	// no decision, that means it committed nothing.
+	emptySynced := ledger.Hash{} // sentinel: "committed nothing"
+	syncedAfter := func(nd *node) bool {
+		committedHash := emptySynced
+		if nd.outcome != OutcomeNone {
+			if block, ok := r.blockForSparse(nd, nd.outcomeHash); ok {
+				committedHash = block.Hash()
+			}
+		}
+		if !nd.synced {
+			// Was already behind; committing on top of a stale view never
+			// reconverges within the round.
+			return false
+		}
+		if decided {
+			return committedHash == report.CanonicalHash
+		}
+		return committedHash == emptySynced
+	}
+	newDesyncPanel := 0
+	for _, nd := range s.actors {
+		// Participation must be read before this id's desynced entry is
+		// updated: it is the pre-round status the extrapolation conditions
+		// on. Selfish and faulty panel members are excluded — they follow
+		// their own recovery rules (catchUpSparse), not the participant
+		// sync transition being measured here.
+		_, probe := inPanel[nd.id]
+		wasParticipant := probe && r.participatesID(nd.id)
+		if syncedAfter(nd) {
+			delete(s.desynced, nd.id)
+		} else {
+			s.desynced[nd.id] = struct{}{}
+		}
+		if wasParticipant {
+			if _, behind := s.desynced[nd.id]; behind {
+				newDesyncPanel++
+			}
+		}
+	}
+
+	// Extrapolate desync onto the unmaterialized participants: the panel's
+	// participants (uniform over the population) measure the synced→behind
+	// transition rate this round; a binomial draw fixes how many of the
+	// unmaterialized participants went out of sync, and distinct uniform
+	// picks decide which. Already-desynced nodes stay desynced.
+	if panelParticipants > 0 && rest > 0 {
+		pDesync := float64(newDesyncPanel) / float64(panelParticipants)
+		want := int(sortition.Binomial(s.rng, rest, pDesync))
+		if want > 0 {
+			eligible := s.desScratch[:0]
+			for id := 0; id < n; id++ {
+				if r.nodes[id] != nil {
+					continue
+				}
+				if _, behind := s.desynced[id]; behind {
+					continue
+				}
+				if r.participatesID(id) {
+					eligible = append(eligible, id)
+				}
+			}
+			s.desScratch = eligible
+			if want > len(eligible) {
+				want = len(eligible)
+			}
+			// Partial Fisher–Yates over the eligible ids.
+			for k := 0; k < want; k++ {
+				j := k + s.rng.Intn(len(eligible)-k)
+				eligible[k], eligible[j] = eligible[j], eligible[k]
+				s.desynced[eligible[k]] = struct{}{}
+			}
+		}
+	}
+
+	if decided {
+		if err := r.canonical.Append(canonicalBlock); err == nil && !canonicalBlock.Empty {
+			r.removePending(canonicalBlock.Txns)
+		}
+	}
+	return report
+}
+
+// pickCanonicalSparse is pickCanonical over the materialized set.
+func (r *Runner) pickCanonicalSparse(round uint64, decisions map[ledger.Hash]int) (ledger.Block, bool) {
+	empty := ledger.EmptyBlock(round, r.canonical.Tip(), ledger.NextSeed(r.canonical.Seed(), round))
+	var bestHash ledger.Hash
+	bestCount := 0
+	for h, c := range decisions {
+		if c > bestCount || (c == bestCount && hashLess(h, bestHash)) {
+			bestHash, bestCount = h, c
+		}
+	}
+	if bestCount == 0 {
+		return empty, false
+	}
+	if bestHash == empty.Hash() {
+		return empty, true
+	}
+	for _, nd := range r.sparse.actors {
+		if b, ok := nd.blocks[bestHash]; ok {
+			return b, true
+		}
+	}
+	return empty, false
+}
+
+// blockForSparse resolves the block a materialized node committed to; it
+// never touches per-node ledgers (there are none).
+func (r *Runner) blockForSparse(nd *node, hash ledger.Hash) (ledger.Block, bool) {
+	if hash == nd.emptyHash() {
+		return ledger.EmptyBlock(nd.round, r.canonical.Tip(), ledger.NextSeed(r.canonical.Seed(), nd.round)), true
+	}
+	b, ok := nd.blocks[hash]
+	return b, ok
+}
+
+// catchUpSparse resynchronises lagging nodes by shrinking the desynced
+// set: same recovery rules as the dense path (selfish nodes free-ride,
+// honest nodes need an honest synced online peer plus the CatchUpProb
+// coin), iterated in sorted id order for determinism.
+func (r *Runner) catchUpSparse() {
+	s := r.sparse
+	if len(s.desynced) == 0 {
+		return
+	}
+	prob := r.params.CatchUpProb
+	if r.degraded {
+		prob *= 0.2
+	}
+	ids := s.desScratch[:0]
+	for id := range s.desynced {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	s.desScratch = ids
+	for _, id := range ids {
+		if r.behaviors[id] == Selfish {
+			delete(s.desynced, id)
+			continue
+		}
+		if !r.net.Online(id) {
+			continue
+		}
+		if s.rng.Float64() >= prob {
+			continue
+		}
+		for _, peer := range r.net.Peers(id) {
+			if r.behaviors[peer] != Honest || !r.net.Online(peer) {
+				continue
+			}
+			if _, behind := s.desynced[peer]; behind {
+				continue
+			}
+			delete(s.desynced, id)
+			break
+		}
+	}
+}

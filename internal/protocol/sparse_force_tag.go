@@ -1,0 +1,10 @@
+//go:build protocol_pernode_draw
+
+package protocol
+
+// Built with -tags protocol_pernode_draw: every configuration — including
+// SparseOn — runs the dense per-node sortition sweep, the differential
+// oracle for the centralized committee sampler. CI runs the goldens and
+// the protocol suite under this tag; the randomized equivalence tests
+// skip themselves (there is no sparse path to compare against).
+const forcePerNodeDraw = true

@@ -45,11 +45,19 @@ import "time"
 //
 //   - every queued event has at >= the engine clock at all times (pushes
 //     clamp, pops advance the clock monotonically);
-//   - near events all lie in [migrated - farWidth, migrated): exactly the
-//     most recently migrated far day, which is at most half the near span
-//     — so distinct times never collide in a near bucket index;
-//   - far events all lie in [migrated, migrated + farSpan - farWidth),
-//     one far lap with a spare day of margin;
+//   - near events all lie in [migrated - farWidth, migrated + farWidth):
+//     the most recently migrated far day plus the day the window is
+//     currently inside. The two days together span exactly the near ring,
+//     so distinct times never collide in a near bucket index;
+//   - the far chain of day farCursor+1 — the [migrated, migrated+farWidth)
+//     day pushes insert into the near ring directly — is always empty:
+//     advanceTo drains it the moment the window reaches it. Without the
+//     drain, a day's events could split between rungs with the far part
+//     popping late; with it, short-delay events take the near route in
+//     one write instead of far block → near bucket (the double write that
+//     dominated round CPU before this scheme);
+//   - far events all lie in [migrated + farWidth, migrated + farSpan -
+//     farWidth), one far lap with a spare day of margin;
 //   - the near cursor points at or before the earliest near event's
 //     absolute bucket; farCursor's day is the last one migrated.
 type calendarQueue struct {
@@ -233,22 +241,38 @@ func (c *calendarQueue) reset() {
 // ensureWindow advances the rung boundary after the clock jumped past it
 // (an overflow pop, or an idle stretch). Far days strictly before the
 // clock's day are necessarily empty — every event is at or after the
-// clock — so only the clock's own day can hold events, and they migrate.
+// clock — so only the clock's own day and the one after it (the new
+// direct-insert day) can hold events, and advanceTo drains both.
 func (c *calendarQueue) ensureWindow(now time.Duration) {
 	if now < c.migrated {
 		return
 	}
-	day := int64(now) >> c.farShift
+	c.advanceTo(int64(now) >> c.farShift)
+}
+
+// advanceTo moves the rung boundary so `day` is the last migrated far
+// day, then drains both far chains the near window now covers: day
+// itself into [migrated - farWidth, migrated) and day+1 — the new
+// direct-insert day — into [migrated, migrated + farWidth). Draining
+// day+1 eagerly is what lets push route that day's events straight to
+// the near ring without ever splitting a day between rungs.
+func (c *calendarQueue) advanceTo(day int64) {
 	c.farCursor = day
 	c.migrated = time.Duration((day + 1) << c.farShift)
 	if c.farCount > 0 {
 		c.migrate(day)
 	}
+	if c.farCount > 0 {
+		c.migrate(day + 1)
+	}
 }
 
 // migrate moves one far day's events into the near ring and recycles
-// its blocks. Each event lands within [migrated - farWidth, migrated),
-// at most half the near span, so near indices cannot collide.
+// its blocks. The two days advanceTo migrates land within
+// [migrated - farWidth, migrated + farWidth) — exactly the near span,
+// so near indices cannot collide. Direct near inserts may already
+// occupy the target buckets; insertNear's unsorted tracking keeps the
+// eventual bucket drain in (at, seq) order regardless.
 func (c *calendarQueue) migrate(day int64) {
 	slot := day & c.farMask
 	for h := c.farHead[slot]; h >= 0; {
@@ -352,9 +376,16 @@ func (c *calendarQueue) growBucket(e []event) []event {
 // push routes ev to the near ring, the far ring, or the overflow heap,
 // then reacts to pressure by resizing. now is the engine clock; ev.at is
 // already clamped to now or later.
+//
+// Events inside the current day — [migrated, migrated + farWidth) — go
+// straight to the near ring rather than far ring → migrate → near ring.
+// Short-delay gossip hops land in that window almost always, and the
+// old route wrote each of them twice (profiles put the far-block
+// round-trip at ~a quarter of round CPU); the doubled near window costs
+// nothing because a far day is half the near span by construction.
 func (c *calendarQueue) push(ev event, now time.Duration) {
 	c.ensureWindow(now)
-	if ev.at < c.migrated {
+	if ev.at < c.migrated+time.Duration(1)<<c.farShift {
 		if c.insertNear(ev) > calMaxBucketLen &&
 			c.nearShift > calMinNearShift && len(c.near) < calMaxNearBuckets {
 			// Halve the near width at constant span. The far geometry is
@@ -403,11 +434,11 @@ func (c *calendarQueue) peekNear(now time.Duration) *event {
 	if c.ring == 0 {
 		return nil
 	}
-	// Every near event lies in [migrated - farWidth, migrated); resume
-	// the walk no earlier than that window's base, not at the clock's
-	// bucket — after a migration jumped the window ahead of an idle
-	// clock, walking from the clock would visit the window's buckets at
-	// aliased ring positions, out of time order.
+	// Every near event lies in [migrated - farWidth, migrated + farWidth);
+	// resume the walk no earlier than that window's base, not at the
+	// clock's bucket — after a migration jumped the window ahead of an
+	// idle clock, walking from the clock would visit the window's buckets
+	// at aliased ring positions, out of time order.
 	lo := (int64(c.migrated) >> c.nearShift) - int64(1)<<(c.farShift-c.nearShift)
 	if l := int64(now) >> c.nearShift; l > lo {
 		lo = l
@@ -497,9 +528,7 @@ func (c *calendarQueue) pop(now time.Duration) (event, bool) {
 		if len(c.overflow) > 0 && c.overflow[0].at < time.Duration(day<<c.farShift) {
 			break
 		}
-		c.farCursor = day
-		c.migrated = time.Duration((day + 1) << c.farShift)
-		c.migrate(day)
+		c.advanceTo(day)
 		ring = c.peekNear(now)
 	}
 	if len(c.overflow) > 0 && (ring == nil || c.overflow[0].before(ring)) {
@@ -594,9 +623,17 @@ func (c *calendarQueue) resizeFar(nbuckets int) {
 	oldOverflow := c.overflow
 	c.overflow = nil
 	for _, ev := range oldOverflow {
-		if (int64(ev.at)>>c.farShift)-c.farCursor < c.farMask {
+		switch day := int64(ev.at) >> c.farShift; {
+		case day <= c.farCursor+1:
+			// Inside the near window (overflow events never precede
+			// migrated - farWidth: the pop loop stops advancing at the
+			// overflow minimum). Chaining onto a migrated day — or the
+			// direct-insert day, whose far chain must stay empty — would
+			// strand the event a far lap out of order.
+			c.insertNear(ev)
+		case day-c.farCursor < c.farMask:
 			c.appendFar(ev)
-		} else {
+		default:
 			c.overflow.push(ev)
 		}
 	}

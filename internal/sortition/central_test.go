@@ -1,0 +1,158 @@
+package sortition
+
+import (
+	"math"
+	"testing"
+
+	"github.com/dsn2020-algorand/incentives/internal/sim"
+)
+
+// TestBinomialMoments checks the sampler's mean and variance against the
+// exact Binomial(n, p) moments over a large sample, across the chunking
+// regimes (tiny p → one giant chunk, moderate p → many chunks, p > 1/2 →
+// symmetry path).
+func TestBinomialMoments(t *testing.T) {
+	cases := []struct {
+		n int64
+		p float64
+	}{
+		{100, 0.3},
+		{5_000, 0.01},
+		{1_000_000, 1e-4}, // committee-sized draw over huge stake
+		{12_500_000, 8e-6},
+		{512, 0.5},
+		{2_000, 0.93}, // symmetry path
+		{1, 0.2},
+	}
+	for _, tc := range cases {
+		rng := sim.NewRNG(1, "sortition.binomial.test")
+		const samples = 20_000
+		var sum, sumSq float64
+		for i := 0; i < samples; i++ {
+			x := float64(Binomial(rng, tc.n, tc.p))
+			if x < 0 || x > float64(tc.n) {
+				t.Fatalf("n=%d p=%v: sample %v out of range", tc.n, tc.p, x)
+			}
+			sum += x
+			sumSq += x * x
+		}
+		mean := sum / samples
+		variance := sumSq/samples - mean*mean
+		wantMean := float64(tc.n) * tc.p
+		wantVar := wantMean * (1 - tc.p)
+		// Mean of `samples` draws has sd sqrt(var/samples); allow 5 sigma.
+		meanTol := 5 * math.Sqrt(wantVar/samples)
+		if math.Abs(mean-wantMean) > meanTol {
+			t.Errorf("n=%d p=%v: mean %v, want %v ± %v", tc.n, tc.p, mean, wantMean, meanTol)
+		}
+		// Sample variance concentrates more slowly; a 15%% band suffices
+		// to catch any chunking bug (those skew variance badly).
+		if wantVar > 1 && math.Abs(variance-wantVar) > 0.15*wantVar {
+			t.Errorf("n=%d p=%v: variance %v, want ≈ %v", tc.n, tc.p, variance, wantVar)
+		}
+	}
+}
+
+// TestBinomialEdges pins degenerate parameters.
+func TestBinomialEdges(t *testing.T) {
+	rng := sim.NewRNG(2, "sortition.binomial.edge")
+	if got := Binomial(rng, 0, 0.5); got != 0 {
+		t.Fatalf("Binomial(0, .5) = %d", got)
+	}
+	if got := Binomial(rng, -5, 0.5); got != 0 {
+		t.Fatalf("Binomial(-5, .5) = %d", got)
+	}
+	if got := Binomial(rng, 100, 0); got != 0 {
+		t.Fatalf("Binomial(100, 0) = %d", got)
+	}
+	if got := Binomial(rng, 100, 1); got != 100 {
+		t.Fatalf("Binomial(100, 1) = %d", got)
+	}
+	if got := Binomial(rng, 100, 1.5); got != 100 {
+		t.Fatalf("Binomial(100, 1.5) = %d", got)
+	}
+	if got := Binomial(rng, 100, -0.5); got != 0 {
+		t.Fatalf("Binomial(100, -0.5) = %d", got)
+	}
+}
+
+// TestBinomialDeterministic pins that equal seeds give equal streams.
+func TestBinomialDeterministic(t *testing.T) {
+	a := sim.NewRNG(7, "sortition.binomial.det")
+	b := sim.NewRNG(7, "sortition.binomial.det")
+	for i := 0; i < 200; i++ {
+		x, y := Binomial(a, 10_000, 0.001*float64(i+1)), Binomial(b, 10_000, 0.001*float64(i+1))
+		if x != y {
+			t.Fatalf("draw %d: %d != %d", i, x, y)
+		}
+	}
+}
+
+// TestBinomialMatchesPerTrialSplit is the splitting property the sparse
+// sampler rests on: the total over independent per-node draws
+// Binomial(w_i, p) must be distributed as one Binomial(Σw_i, p) draw.
+// Compared via mean/variance over many rounds.
+func TestBinomialMatchesPerTrialSplit(t *testing.T) {
+	weights := []int64{1, 7, 50, 13, 29, 400, 2, 98}
+	var W int64
+	for _, w := range weights {
+		W += w
+	}
+	const p = 0.05
+	const samples = 30_000
+	rngSplit := sim.NewRNG(3, "sortition.binomial.split")
+	rngWhole := sim.NewRNG(4, "sortition.binomial.whole")
+	var sumSplit, sumWhole, sqSplit, sqWhole float64
+	for i := 0; i < samples; i++ {
+		var tot int64
+		for _, w := range weights {
+			tot += Binomial(rngSplit, w, p)
+		}
+		x, y := float64(tot), float64(Binomial(rngWhole, W, p))
+		sumSplit += x
+		sqSplit += x * x
+		sumWhole += y
+		sqWhole += y * y
+	}
+	meanS, meanW := sumSplit/samples, sumWhole/samples
+	varS := sqSplit/samples - meanS*meanS
+	varW := sqWhole/samples - meanW*meanW
+	wantMean := float64(W) * p
+	tol := 5 * math.Sqrt(wantMean*(1-p)/samples)
+	if math.Abs(meanS-wantMean) > tol || math.Abs(meanW-wantMean) > tol {
+		t.Fatalf("means diverge: split %v whole %v want %v ± %v", meanS, meanW, wantMean, tol)
+	}
+	if math.Abs(varS-varW) > 0.15*varW {
+		t.Fatalf("variances diverge: split %v whole %v", varS, varW)
+	}
+}
+
+// TestPseudoCredential pins the fabricated credential's determinism,
+// per-voter uniqueness, and priority derivation.
+func TestPseudoCredential(t *testing.T) {
+	p := Params{Role: RoleCommittee, Round: 9, Step: 3, Tau: 40, TotalStake: 1000}
+	p.Seed[0] = 0xAB
+	a := Pseudo(p, 17, 2)
+	b := Pseudo(p, 17, 2)
+	if a != b {
+		t.Fatal("Pseudo is not deterministic")
+	}
+	c := Pseudo(p, 18, 2)
+	if a.Output == c.Output {
+		t.Fatal("distinct voters share an output")
+	}
+	p2 := p
+	p2.Step = 4
+	if Pseudo(p2, 17, 2).Output == a.Output {
+		t.Fatal("distinct steps share an output")
+	}
+	if a.SubUsers != 2 || a.Priority.IsZero() {
+		t.Fatalf("selected credential malformed: %+v", a)
+	}
+	if got := Pseudo(p, 17, 0); !got.Priority.IsZero() {
+		t.Fatal("unselected credential carries a priority")
+	}
+	if want := bestPriority(a.Output, 2); a.Priority != want {
+		t.Fatal("priority does not follow the dense bestPriority rule")
+	}
+}

@@ -12,20 +12,30 @@ import (
 //
 // Determinism: per-node weights are assignment-mirrored (dense[id] = new
 // balance), so Weight and WeightsInto are bit-identical to ledger-direct
-// reads. The running total accumulates deltas, which can drift from the
-// ledger's index-order page-walk sum by float ulps once mutations occur;
-// the differential suite pins per-node weights exactly and totals to a
-// 1e-9 relative band. In mutation-free runs the initial index-order sum
-// is never re-accumulated, so Index is bit-identical throughout.
+// reads. The running total and the tree accumulate deltas, which can
+// drift from an exact re-sum by float ulps as mutations pile up; both
+// are therefore re-derived from dense every resumEvery mutations (an
+// amortised-O(1) exact re-sum in the ledger's index order), bounding the
+// drift a long stake-drift run can accumulate instead of letting
+// sortition probabilities diverge without limit. The differential suite
+// pins per-node weights exactly and totals to a 1e-9 relative band. In
+// mutation-free runs the initial index-order sum is never re-accumulated,
+// so Index is bit-identical throughout.
 //
-// An Index registers itself as l's stake observer; a ledger carries at
-// most one observer, so build at most one Index per ledger and Detach it
-// before installing another.
+// An Index registers itself as l's stake observer. Installations are
+// token-scoped: Detach releases only this index's installation
+// (compare-and-clear), so detaching a stale index can never clobber an
+// index installed after it.
 type Index struct {
 	l     *ledger.Ledger
+	tok   ledger.ObserverToken
 	dense []float64 // dense[id] mirrors account id's stake exactly
 	tree  []float64 // 1-indexed Fenwick tree over dense
-	total float64   // running sum of dense
+	total float64   // running sum of dense, exactly re-summed periodically
+	// mutations counts observer deliveries since the last exact re-sum;
+	// at resumEvery the total and tree are rebuilt from dense.
+	mutations  int
+	resumEvery int
 }
 
 var _ Oracle = (*Index)(nil)
@@ -40,21 +50,28 @@ func NewIndex(l *ledger.Ledger) *Index {
 		dense: l.StakesInto(make([]float64, 0, n)),
 		tree:  make([]float64, n+1),
 	}
+	// Re-summing every max(1024, n) mutations keeps the exact rebuild
+	// amortised O(1) per observed mutation while small indexes are not
+	// rebuilt on every few writes.
+	x.resumEvery = n
+	if x.resumEvery < 1024 {
+		x.resumEvery = 1024
+	}
 	// Initial total in index order — the same order TotalStake walks, so
 	// the starting point is bit-identical to the ledger's own sum.
 	for _, w := range x.dense {
 		x.total += w
 	}
-	for id, w := range x.dense {
-		x.treeAdd(id, w)
-	}
-	l.SetStakeObserver(x.observe)
+	x.rebuildTree()
+	x.tok = l.SetStakeObserver(x.observe)
 	return x
 }
 
 // Detach unregisters the index from its ledger; the mirror stops
-// tracking mutations from that point on.
-func (x *Index) Detach() { x.l.SetStakeObserver(nil) }
+// tracking mutations from that point on. Only this index's own
+// installation is released: if a later index already replaced it as the
+// ledger's observer, Detach leaves the successor untouched.
+func (x *Index) Detach() { x.l.ClearStakeObserver(x.tok) }
 
 // observe is the ledger mutation hook: assignment-mirror the new balance
 // and patch the prefix tree and running total by the delta.
@@ -63,6 +80,39 @@ func (x *Index) observe(id int, old, new float64) {
 	delta := new - old
 	x.treeAdd(id, delta)
 	x.total += delta
+	x.mutations++
+	if x.mutations >= x.resumEvery {
+		x.resum()
+	}
+}
+
+// resum re-derives the running total (in ledger index order, matching
+// TotalStake's walk) and the Fenwick tree exactly from the dense mirror,
+// zeroing the float drift the delta patches accumulate.
+func (x *Index) resum() {
+	x.mutations = 0
+	var total float64
+	for _, w := range x.dense {
+		total += w
+	}
+	x.total = total
+	x.rebuildTree()
+}
+
+// rebuildTree constructs the Fenwick tree from dense in O(n).
+func (x *Index) rebuildTree() {
+	tree := x.tree
+	for i := range tree {
+		tree[i] = 0
+	}
+	for id, w := range x.dense {
+		tree[id+1] = w
+	}
+	for i := 1; i < len(tree); i++ {
+		if j := i + (i & -i); j < len(tree) {
+			tree[j] += tree[i]
+		}
+	}
 }
 
 func (x *Index) treeAdd(id int, delta float64) {
@@ -94,8 +144,12 @@ func (x *Index) WeightsInto(_ uint64, dst []float64) []float64 {
 
 // PrefixWeight returns the summed weight of nodes [0, k) from the
 // Fenwick tree in O(log n) — the cumulative-stake query stake-weighted
-// samplers bisect over.
+// samplers bisect over. Out-of-range k clamps: k <= 0 sums nothing,
+// k >= n sums everything.
 func (x *Index) PrefixWeight(k int) float64 {
+	if k < 0 {
+		k = 0
+	}
 	if k > len(x.dense) {
 		k = len(x.dense)
 	}
@@ -104,4 +158,37 @@ func (x *Index) PrefixWeight(k int) float64 {
 		sum += x.tree[i]
 	}
 	return sum
+}
+
+// Bisect inverts PrefixWeight: it returns the node id owning cumulative
+// stake position target, i.e. the smallest id with
+// PrefixWeight(id+1) > target, by descending the Fenwick tree in
+// O(log n). Targets below zero map to the first node; targets at or
+// beyond the total map to the last node. This is the seat→node mapping
+// of the sparse-committee sampler: a uniform target in [0, total)
+// selects each node with probability weight/total.
+func (x *Index) Bisect(target float64) int {
+	n := len(x.dense)
+	if n == 0 {
+		return 0
+	}
+	if target < 0 {
+		target = 0
+	}
+	pos := 0 // 1-based Fenwick position of the last prefix <= target
+	mask := 1
+	for mask<<1 < len(x.tree) {
+		mask <<= 1
+	}
+	for ; mask > 0; mask >>= 1 {
+		next := pos + mask
+		if next < len(x.tree) && x.tree[next] <= target {
+			target -= x.tree[next]
+			pos = next
+		}
+	}
+	if pos >= n {
+		pos = n - 1
+	}
+	return pos
 }

@@ -15,11 +15,17 @@
 // committee sizes; values > 1 are absolute seat counts (required for
 // sparse runs), values in (0, 1] are fractions of total stake.
 //
+// -weightBackend selects the ledger-backed weight oracle sortition
+// reads; -weights replaces ledger weights with a synthetic per-run
+// profile (e.g. "zipf:1.3:40"). Both match cmd/scenario's flags; see
+// internal/weight.
+//
 // Usage:
 //
 //	algosim [-nodes N] [-rounds R] [-runs M] [-workers W]
 //	        [-defect F] [-malicious F] [-faulty F]
 //	        [-fanout K] [-loss P] [-seed S] [-csv]
+//	        [-weightBackend direct|indexed] [-weights SPEC]
 //	        [-sparse auto|on|off] [-tauStep T] [-tauFinal T]
 package main
 
@@ -30,6 +36,7 @@ import (
 	"io"
 	"os"
 
+	"github.com/dsn2020-algorand/incentives/internal/cliutil"
 	"github.com/dsn2020-algorand/incentives/internal/network"
 	"github.com/dsn2020-algorand/incentives/internal/protocol"
 	"github.com/dsn2020-algorand/incentives/internal/runpool"
@@ -60,28 +67,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("algosim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		nodes      = fs.Int("nodes", 100, "network size")
-		rounds     = fs.Int("rounds", 30, "rounds to simulate")
-		runs       = fs.Int("runs", 1, "independent simulations to average")
-		workers    = fs.Int("workers", 0, "run-pool workers (0 = GOMAXPROCS); results are identical for every value")
-		defect     = fs.Float64("defect", 0.10, "fraction of honest-but-selfish nodes that defect")
-		malicious  = fs.Float64("malicious", 0, "fraction of malicious nodes")
-		faulty     = fs.Float64("faulty", 0, "fraction of faulty (offline) nodes")
-		fanout     = fs.Int("fanout", 5, "gossip fan-out")
-		loss       = fs.Float64("loss", protocol.DefaultLossProb, "per-hop gossip loss probability")
-		seed       = fs.Int64("seed", 1, "random seed")
-		asCSV      = fs.Bool("csv", false, "emit CSV instead of a text table")
-		sparseMode = fs.String("sparse", "auto", "protocol round path: auto, on (sparse committees) or off (dense per-node sweep)")
-		tauStep    = fs.Float64("tauStep", 0, "committee tau override: > 1 absolute seats, (0,1] fraction of stake, 0 = default")
-		tauFinal   = fs.Float64("tauFinal", 0, "final-committee tau override, same units as -tauStep, 0 = default")
+		nodes       = fs.Int("nodes", 100, "network size")
+		rounds      = fs.Int("rounds", 30, "rounds to simulate")
+		runs        = fs.Int("runs", 1, "independent simulations to average")
+		workers     = cliutil.Workers(fs)
+		defect      = fs.Float64("defect", 0.10, "fraction of honest-but-selfish nodes that defect")
+		malicious   = fs.Float64("malicious", 0, "fraction of malicious nodes")
+		faulty      = fs.Float64("faulty", 0, "fraction of faulty (offline) nodes")
+		fanout      = fs.Int("fanout", 5, "gossip fan-out")
+		loss        = fs.Float64("loss", protocol.DefaultLossProb, "per-hop gossip loss probability")
+		seed        = cliutil.Seed(fs, 1, "random seed")
+		asCSV       = fs.Bool("csv", false, "emit CSV instead of a text table")
+		weights     = cliutil.Weights(fs)
+		sparseFlags = cliutil.Sparse(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() > 0 {
-		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	if err := cliutil.NoArgs(fs); err != nil {
+		return err
 	}
-	sparse, err := protocol.ParseSparseMode(*sparseMode)
+	backend, profile, err := weights.Resolve()
+	if err != nil {
+		return err
+	}
+	sparse, params, err := sparseFlags.Resolve()
 	if err != nil {
 		return err
 	}
@@ -90,13 +100,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *runs < 1 {
 		return fmt.Errorf("need at least one run, got %d", *runs)
-	}
-	params := protocol.DefaultParams()
-	if *tauStep != 0 {
-		params.TauStep = *tauStep
-	}
-	if *tauFinal != 0 {
-		params.TauFinal = *tauFinal
 	}
 
 	results, err := runpool.Sweep(*runs, *workers, func(run int) (simRun, error) {
@@ -124,15 +127,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 		assign(*malicious, protocol.Malicious)
 		assign(*faulty, protocol.Faulty)
 
-		runner, err := protocol.NewRunner(protocol.Config{
-			Params:    params,
-			Stakes:    pop.Stakes,
-			Behaviors: behaviors,
-			Fanout:    *fanout,
-			LossProb:  *loss,
-			Seed:      runSeed,
-			Sparse:    sparse,
-		})
+		pcfg := protocol.Config{
+			Params:        params,
+			Stakes:        pop.Stakes,
+			Behaviors:     behaviors,
+			Fanout:        *fanout,
+			LossProb:      *loss,
+			Seed:          runSeed,
+			Sparse:        sparse,
+			WeightBackend: backend,
+		}
+		if profile != nil {
+			pcfg.Weights = profile(*nodes, runSeed)
+		}
+		runner, err := protocol.NewRunner(pcfg)
 		if err != nil {
 			return simRun{}, err
 		}

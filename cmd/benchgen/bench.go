@@ -412,6 +412,41 @@ func genBench(path string, pr int) error {
 	fmt.Println("measuring weight_oracle_refresh_direct ...")
 	out.Benchmarks["weight_oracle_refresh_direct"] = bestOf(3, refreshBench(weight.BackendLedgerDirect))
 
+	// Streamed -full grid through the memory-bounded summary fold: the
+	// sink stack's end-to-end cost on a reduced 2x2 grid. The
+	// _materialize companion replays the same grid through the legacy
+	// buffer-everything path and is informational only — its allocs grow
+	// O(cells x rows) by design, which is the overhead the streaming
+	// fold removes. Fixed seeded windows, one worker, like the grid
+	// headline.
+	if err := setBenchtime("3x"); err != nil {
+		return err
+	}
+	streamCfg := experiments.FullScenarioGridConfig()
+	streamCfg.Scenarios = []string{adversary.HonestBaseline, "crash_churn"}
+	streamCfg.Seeds = []int64{1, 2}
+	streamCfg.Nodes = 60
+	streamCfg.Rounds = 6
+	streamCfg.Workers = 1
+	streamBench := func(drive func(experiments.ScenarioGridConfig, experiments.Sink, experiments.StreamOptions) error) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sink := experiments.NewSummarySink(0)
+				if err := drive(streamCfg, sink, experiments.StreamOptions{}); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sink.Table(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	fmt.Println("measuring grid_stream_summary ...")
+	out.Benchmarks["grid_stream_summary"] = bestOf(2, streamBench(experiments.StreamScenarioGrid))
+	fmt.Println("measuring grid_stream_summary_materialize ...")
+	out.Benchmarks["grid_stream_summary_materialize"] = toResult(testing.Benchmark(streamBench(experiments.MaterializeScenarioGrid)))
+
 	// Headline figure metrics at the pinned seeds (deterministic).
 	fig3.Seed = 1
 	res3, err := experiments.RunFig3(fig3)
@@ -456,6 +491,22 @@ func genBench(path string, pr int) error {
 		gridFinal += cell.Audit.MeanFinalFrac
 	}
 	out.Headline["full_grid_mean_final"] = gridFinal / float64(len(gridRes.Cells))
+	// The streamed counterpart pins the sink stack end to end: the p50 of
+	// the per-round final fraction from the merged quantile sketches must
+	// reproduce bit-for-bit at any worker count or shard split.
+	streamSink := experiments.NewSummarySink(0)
+	if err := experiments.StreamScenarioGrid(streamCfg, streamSink, experiments.StreamOptions{}); err != nil {
+		return err
+	}
+	streamTable, err := streamSink.Table()
+	if err != nil {
+		return err
+	}
+	for _, col := range streamTable.Columns {
+		if col.Name == "p50" {
+			out.Headline["full_grid_stream_p50_final"] = col.Values[0]
+		}
+	}
 
 	data, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -76,6 +76,10 @@ var gatedWorkloads = []struct{ key, bench string }{
 	// that carries the 500k fig3 sweep; absent from baselines older than
 	// PR 7.
 	{"protocol_round_sparse_50k", "50k-node sparse BA* round"},
+	// The streamed -full grid through the summary-fold sink; absent from
+	// baselines older than PR 8. Its _materialize companion measures the
+	// legacy buffer-everything path and is informational, not gated.
+	{"grid_stream_summary", "StreamScenarioGrid + SummarySink, 2x2 grid"},
 }
 
 func loadBench(path string) (*BenchFile, error) {

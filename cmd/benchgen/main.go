@@ -42,6 +42,7 @@ import (
 	"path/filepath"
 
 	"github.com/dsn2020-algorand/incentives/internal/analysis"
+	"github.com/dsn2020-algorand/incentives/internal/cliutil"
 	"github.com/dsn2020-algorand/incentives/internal/evolution"
 	"github.com/dsn2020-algorand/incentives/internal/experiments"
 	"github.com/dsn2020-algorand/incentives/internal/stats"
@@ -62,7 +63,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var (
 		outDir      = fs.String("out", "results", "output directory for CSV files")
 		full        = fs.Bool("full", false, "use paper-scale configurations")
-		workers     = fs.Int("workers", 0, "run-pool workers (0 = GOMAXPROCS); results are identical for every value")
+		workers     = cliutil.Workers(fs)
 		benchPR     = fs.Int("pr", 0, "PR number recorded in the bench target's JSON (also names the default -benchout file); required by the bench target")
 		benchOut    = fs.String("benchout", "", "output path for the bench target's JSON (default BENCH_<pr>.json)")
 		baseline    = fs.String("baseline", "", "compare target: baseline BENCH file (default: highest-numbered BENCH_<n>.json in the working directory)")

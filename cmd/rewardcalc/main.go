@@ -21,6 +21,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/dsn2020-algorand/incentives/internal/cliutil"
 	"github.com/dsn2020-algorand/incentives/internal/core"
 	"github.com/dsn2020-algorand/incentives/internal/game"
 	"github.com/dsn2020-algorand/incentives/internal/sim"
@@ -45,13 +46,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		nodes     = fs.Int("nodes", 100_000, "population size when sampling")
 		stakeFile = fs.String("stakes", "", "file with one stake per line (overrides -dist)")
 		floor     = fs.Float64("floor", 0, "ignore sync-set stakes below this value (paper's s*_k floor)")
-		seed      = fs.Int64("seed", 1, "random seed")
+		seed      = cliutil.Seed(fs, 1, "random seed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if fs.NArg() > 0 {
-		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	if err := cliutil.NoArgs(fs); err != nil {
+		return err
 	}
 
 	pop, err := loadPopulation(*stakeFile, *distName, *nodes, *seed)

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -16,6 +17,14 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		"full conflicts nodes":  {"-full", "-nodes", "50"},
 		"full conflicts seed":   {"-full", "-seed", "9"},
 		"unknown scenario name": {"-out", t.TempDir(), "no_such_scenario"},
+		"shard without full":    {"-shard", "0/2"},
+		"resume without full":   {"-resume"},
+		"merge without full":    {"-mergeShards"},
+		"bad shard spec":        {"-full", "-shard", "2"},
+		"shard out of range":    {"-full", "-shard", "3/3"},
+		"merge mixes shard":     {"-full", "-mergeShards", "-shard", "0/2"},
+		"merge mixes resume":    {"-full", "-mergeShards", "-resume"},
+		"merge empty out dir":   {"-full", "-mergeShards", "-out", t.TempDir()},
 	} {
 		t.Run(name, func(t *testing.T) {
 			var stdout, stderr bytes.Buffer
@@ -55,6 +64,123 @@ func TestRunSparseSweep(t *testing.T) {
 	for _, f := range []string{"scenario_eclipse_equivocation.csv", "scenario_eclipse_equivocation_audit.csv"} {
 		if m, _ := filepath.Glob(filepath.Join(out, f)); len(m) != 1 {
 			t.Fatalf("missing output %s", f)
+		}
+	}
+}
+
+// fullGridArgs is the reduced grid the end-to-end CLI tests drive: 2
+// scenarios x 2 seeds at 60 nodes, 5 rounds — the CI smoke's shape.
+func fullGridArgs(out string, extra ...string) []string {
+	args := []string{
+		"-full", "-fullNodes", "60", "-fullRounds", "5", "-fullSeeds", "2",
+		"-out", out,
+	}
+	args = append(args, extra...)
+	return append(args, "honest_baseline", "crash_churn")
+}
+
+// runGrid invokes run with the given args, failing the test on error.
+func runGrid(t *testing.T, args []string) string {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if err := run(args, &stdout, &stderr); err != nil {
+		t.Fatalf("run(%v): %v\nstderr: %s", args, err, stderr.String())
+	}
+	return stdout.String()
+}
+
+// readDirFiles maps name -> contents for every file in dir.
+func readDirFiles(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make(map[string][]byte, len(entries))
+	for _, e := range entries {
+		blob, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[e.Name()] = blob
+	}
+	return out
+}
+
+// TestRunFullGridResume interrupts a -full grid by truncating its
+// checkpoint to one recorded cell, resumes it, and pins every output
+// file — checkpoint included — byte-identical to an uninterrupted run.
+func TestRunFullGridResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cleanDir := t.TempDir()
+	runGrid(t, fullGridArgs(cleanDir))
+	want := readDirFiles(t, cleanDir)
+
+	resumeDir := t.TempDir()
+	runGrid(t, fullGridArgs(resumeDir))
+	// "Kill" the finished run retroactively: keep the checkpoint header
+	// plus one record and half of the next (a torn write), and delete
+	// the outputs the missing cells would have produced.
+	ckpt := filepath.Join(resumeDir, "full_grid_checkpoint_0of1.jsonl")
+	blob, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(blob, []byte("\n"))
+	torn := bytes.Join(lines[:2], nil)
+	torn = append(torn, lines[2][:len(lines[2])/2]...)
+	if err := os.WriteFile(ckpt, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for name := range want {
+		if strings.HasPrefix(name, "full_grid_") {
+			continue // summaries and checkpoint stay as the kill left them
+		}
+		if strings.HasPrefix(name, "full_honest_baseline_s1") {
+			continue // cell 0 is checkpointed, so its files predate the kill
+		}
+		if err := os.Remove(filepath.Join(resumeDir, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := runGrid(t, fullGridArgs(resumeDir, "-resume"))
+	if !strings.Contains(out, "1 cells checkpointed") {
+		t.Fatalf("resume did not restore the checkpointed cell:\n%s", out)
+	}
+	got := readDirFiles(t, resumeDir)
+	for name, blob := range want {
+		if !bytes.Equal(got[name], blob) {
+			t.Fatalf("%s differs between uninterrupted and resumed runs", name)
+		}
+	}
+}
+
+// TestRunFullGridShardMerge runs the grid as two shards plus a merge
+// and pins the merged summaries byte-identical to an unsharded run's.
+func TestRunFullGridShardMerge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cleanDir := t.TempDir()
+	runGrid(t, fullGridArgs(cleanDir))
+	want := readDirFiles(t, cleanDir)
+
+	shardDir := t.TempDir()
+	runGrid(t, fullGridArgs(shardDir, "-shard", "0/2"))
+	runGrid(t, fullGridArgs(shardDir, "-shard", "1/2"))
+	if _, err := os.Stat(filepath.Join(shardDir, "full_grid_summary_0of2.csv")); err != nil {
+		t.Fatalf("shard 0/2 wrote no partial summary: %v", err)
+	}
+	runGrid(t, fullGridArgs(shardDir, "-mergeShards"))
+	got := readDirFiles(t, shardDir)
+	for name, blob := range want {
+		if name == "full_grid_checkpoint_0of1.jsonl" {
+			continue // shards checkpoint under their own names
+		}
+		if !bytes.Equal(got[name], blob) {
+			t.Fatalf("%s differs between unsharded and shard-merged runs", name)
 		}
 	}
 }

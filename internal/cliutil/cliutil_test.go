@@ -1,0 +1,84 @@
+package cliutil
+
+import (
+	"flag"
+	"io"
+	"testing"
+)
+
+func newFlagSet() *flag.FlagSet {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestWeightsResolve(t *testing.T) {
+	fs := newFlagSet()
+	w := Weights(fs)
+	if err := fs.Parse([]string{"-weightBackend", "indexed", "-weights", "zipf:1.3:40"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, profile, err := w.Resolve(); err != nil || profile == nil {
+		t.Fatalf("resolve: profile=%v err=%v", profile, err)
+	}
+	if w.Spec() != "zipf:1.3:40" {
+		t.Fatalf("spec %q", w.Spec())
+	}
+
+	for name, args := range map[string][]string{
+		"bad backend": {"-weightBackend", "psychic"},
+		"bad profile": {"-weights", "zipf:not-a-number"},
+	} {
+		fs := newFlagSet()
+		w := Weights(fs)
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := w.Resolve(); err == nil {
+			t.Fatalf("%s: resolved without error", name)
+		}
+	}
+}
+
+func TestSparseResolve(t *testing.T) {
+	fs := newFlagSet()
+	s := Sparse(fs)
+	if err := fs.Parse([]string{"-sparse", "on", "-tauStep", "200", "-tauFinal", "300"}); err != nil {
+		t.Fatal(err)
+	}
+	_, params, err := s.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if params.TauStep != 200 || params.TauFinal != 300 {
+		t.Fatalf("tau overrides not applied: %+v", params)
+	}
+
+	fs = newFlagSet()
+	s = Sparse(fs)
+	if err := fs.Parse([]string{"-sparse", "never"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Resolve(); err == nil {
+		t.Fatal("bad sparse mode resolved without error")
+	}
+}
+
+func TestNoArgs(t *testing.T) {
+	fs := newFlagSet()
+	Workers(fs)
+	Seed(fs, 1, "seed")
+	if err := fs.Parse([]string{"-workers", "2", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := NoArgs(fs); err != nil {
+		t.Fatal(err)
+	}
+	fs = newFlagSet()
+	if err := fs.Parse([]string{"stray"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := NoArgs(fs); err == nil {
+		t.Fatal("stray positional accepted")
+	}
+}

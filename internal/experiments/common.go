@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"github.com/dsn2020-algorand/incentives/internal/protocol"
+	"github.com/dsn2020-algorand/incentives/internal/weight"
+)
+
+// CommonConfig is the execution-shaping knob set every sweep config
+// shares, embedded (and field-promoted) into Fig3Config, ScenarioConfig
+// and ScenarioGridConfig so the run pool, the weight-oracle seam, the
+// sparse round path and the streaming sink are spelled once instead of
+// re-declared per driver. None of its fields changes a single output
+// bit: worker counts are aggregation-neutral by runpool's contract,
+// backends are pinned equivalent by the differential oracles, and the
+// sink only observes.
+type CommonConfig struct {
+	// Workers bounds the run pool's parallelism (0 = GOMAXPROCS). The
+	// result is identical for every worker count.
+	Workers int
+	// WeightBackend selects the ledger-backed weight oracle per run; the
+	// zero value (ledger-direct) reads stakes exactly as before the
+	// oracle seam.
+	WeightBackend weight.Backend
+	// WeightProfile, when set, replaces ledger weights with a synthetic
+	// per-run oracle (see ZipfProfile); StakeDist still seeds the
+	// on-chain balances, but sortition no longer reads them.
+	WeightProfile WeightProfile
+	// Sparse selects the protocol round path per run. The zero value
+	// (SparseAuto) engages the sparse-committee path automatically for
+	// populations of protocol.SparseAutoThreshold and above when the
+	// committee taus are absolute, and keeps the dense path otherwise.
+	Sparse protocol.SparseMode
+	// Sink, when non-nil, receives the driver's results as a stream of
+	// cells, rows and audit events in deterministic order (see Sink), in
+	// addition to — never instead of — the returned result value.
+	Sink Sink
+}

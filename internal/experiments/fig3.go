@@ -15,7 +15,6 @@ import (
 	"github.com/dsn2020-algorand/incentives/internal/sim"
 	"github.com/dsn2020-algorand/incentives/internal/stake"
 	"github.com/dsn2020-algorand/incentives/internal/stats"
-	"github.com/dsn2020-algorand/incentives/internal/weight"
 )
 
 // Fig3Config parameterises the defection experiment of Fig. 3: the share
@@ -42,28 +41,16 @@ type Fig3Config struct {
 	Params protocol.Params
 	// StakeDist draws per-node stakes (paper: U{1..50}).
 	StakeDist stake.Distribution
-	// Workers bounds the run pool's parallelism (0 = GOMAXPROCS). The
-	// result is identical for every worker count.
-	Workers int
 	// Scenario optionally attaches a registered adversary scenario to
 	// every run (see internal/adversary). The honest-baseline scenario
 	// leaves the figure bit-for-bit identical to an unscripted run — the
 	// golden tests pin that equivalence.
 	Scenario string
-	// WeightBackend selects the ledger-backed weight oracle per run; the
-	// zero value (ledger-direct) reads stakes exactly as before the
-	// oracle seam.
-	WeightBackend weight.Backend
-	// WeightProfile, when set, replaces ledger weights with a synthetic
-	// oracle built per run (see ZipfProfile); StakeDist still seeds the
-	// on-chain balances, but sortition no longer reads them.
-	WeightProfile WeightProfile
-	// Sparse selects the protocol round path per run. The zero value
-	// (SparseAuto) engages the sparse-committee path automatically for
-	// populations of protocol.SparseAutoThreshold and above when the
-	// committee taus are absolute — which is what LargeFig3Config sets —
-	// and keeps the dense, bit-identical path otherwise.
-	Sparse protocol.SparseMode
+	// CommonConfig supplies Workers, WeightBackend, WeightProfile,
+	// Sparse and Sink — the execution-shaping knobs shared by every
+	// sweep config. LargeFig3Config's absolute committee taus are what
+	// make the zero-value SparseAuto engage the sparse round path.
+	CommonConfig
 }
 
 // DefaultFig3Config is a laptop-scale configuration that preserves the
@@ -131,8 +118,8 @@ func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
 		cfg.StakeDist = stake.UniformInt{A: 1, B: 50}
 	}
 	result := &Fig3Result{Config: cfg}
-	for _, rate := range cfg.DefectionRates {
-		series, err := runFig3Rate(cfg, rate)
+	for rateIdx, rate := range cfg.DefectionRates {
+		series, err := runFig3Rate(cfg, rateIdx, rate)
 		if err != nil {
 			return nil, fmt.Errorf("fig3 rate %.0f%%: %w", rate*100, err)
 		}
@@ -141,12 +128,18 @@ func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
 	return result, nil
 }
 
+// fig3RunSeed derives one run's seed; the rate term keeps panels'
+// random streams disjoint.
+func fig3RunSeed(cfg Fig3Config, rate float64, run int) int64 {
+	return cfg.Seed + int64(run)*7919 + int64(rate*1e4)
+}
+
 // fig3Run is one simulation's per-round outcome fractions.
 type fig3Run struct {
 	final, tentative, none []float64
 }
 
-func runFig3Rate(cfg Fig3Config, rate float64) (Fig3Series, error) {
+func runFig3Rate(cfg Fig3Config, rateIdx int, rate float64) (Fig3Series, error) {
 	// All per-run aggregation rows are carved from one slab (3 rows per
 	// run), and each run-pool worker carries a protocol.Arena so Runner
 	// construction is amortised across its runs; neither changes any
@@ -155,7 +148,7 @@ func runFig3Rate(cfg Fig3Config, rate float64) (Fig3Series, error) {
 	runs, err := runpool.SweepWithState(cfg.Runs, cfg.Workers,
 		func(int) *protocol.Arena { return protocol.NewArena() },
 		func(run int, arena *protocol.Arena) (fig3Run, error) {
-			seed := cfg.Seed + int64(run)*7919 + int64(rate*1e4)
+			seed := fig3RunSeed(cfg, rate, run)
 			rng := sim.NewRNG(seed, "fig3.setup")
 			pop, err := stake.SamplePopulation(cfg.StakeDist, cfg.Nodes, rng)
 			if err != nil {
@@ -207,6 +200,24 @@ func runFig3Rate(cfg Fig3Config, rate float64) (Fig3Series, error) {
 		})
 	if err != nil {
 		return Fig3Series{}, err
+	}
+
+	// Stream every run of this panel as one cell — the per-run rows the
+	// trimmed-mean aggregation below consumes but never exposes.
+	if cfg.Sink != nil {
+		name := fmt.Sprintf("d%02.0f", rate*100)
+		for run, r := range runs {
+			cell := Cell{Index: rateIdx*cfg.Runs + run, Name: name, Seed: fig3RunSeed(cfg, rate, run)}
+			if err := cfg.Sink.CellStart(cell, outcomeColumns); err != nil {
+				return Fig3Series{}, err
+			}
+			if err := emitSeriesRows(cfg.Sink, cell, r.final, r.tentative, r.none); err != nil {
+				return Fig3Series{}, err
+			}
+			if err := cfg.Sink.CellDone(cell); err != nil {
+				return Fig3Series{}, err
+			}
+		}
 	}
 
 	pick := func(field func(fig3Run) []float64) [][]float64 {

@@ -25,7 +25,13 @@ type Fig5Config struct {
 	Steps int
 	// Workers bounds the grid scan's parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Sink optionally receives each alpha row as one cell of
+	// (alpha, beta, min_B) rows.
+	Sink Sink
 }
+
+// fig5Columns is the sink schema: one row per scanned (alpha, beta).
+var fig5Columns = []string{"alpha", "beta", "min_B"}
 
 // PaperFig5Inputs returns the Sec. V-A constants: SL and SM from the
 // sortition expectations (26 and 13000), a 50M-Algo network, minimum
@@ -97,7 +103,23 @@ func RunFig5(cfg Fig5Config) (*Fig5Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, row := range rows {
+	for i, row := range rows {
+		if cfg.Sink != nil {
+			cell := Cell{Index: i, Name: fmt.Sprintf("alpha_row_%02d", i+1)}
+			if err := cfg.Sink.CellStart(cell, fig5Columns); err != nil {
+				return nil, err
+			}
+			buf := make([]float64, 3)
+			for j, pt := range row {
+				buf[0], buf[1], buf[2] = pt.Alpha, pt.Beta, pt.B
+				if err := cfg.Sink.Row(cell, Row{Index: j, Values: buf}); err != nil {
+					return nil, err
+				}
+			}
+			if err := cfg.Sink.CellDone(cell); err != nil {
+				return nil, err
+			}
+		}
 		res.Surface = append(res.Surface, row...)
 		for _, pt := range row {
 			if pt.B < res.GridBest.B {

@@ -39,7 +39,13 @@ type Fig6Config struct {
 	HistogramBins int
 	// Workers bounds the run pool's parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Sink optionally receives each distribution panel as one cell
+	// whose rows are the individual per-round rewards B_i.
+	Sink Sink
 }
+
+// fig6Columns is the sink schema: one reward observation per row.
+var fig6Columns = []string{"reward_B"}
 
 // PaperDistributions are the four Fig. 6 panels.
 func PaperDistributions() []stake.Distribution {
@@ -104,6 +110,18 @@ func RunFig6(cfg Fig6Config) (*Fig6Result, error) {
 		panel, err := runFig6Panel(cfg, dist, int64(di))
 		if err != nil {
 			return nil, fmt.Errorf("fig6 %s: %w", dist.Name(), err)
+		}
+		if cfg.Sink != nil {
+			cell := Cell{Index: di, Name: dist.Name(), Seed: cfg.Seed}
+			if err := cfg.Sink.CellStart(cell, fig6Columns); err != nil {
+				return nil, err
+			}
+			if err := emitSeriesRows(cfg.Sink, cell, panel.Rewards); err != nil {
+				return nil, err
+			}
+			if err := cfg.Sink.CellDone(cell); err != nil {
+				return nil, err
+			}
 		}
 		res.Panels = append(res.Panels, panel)
 	}

@@ -36,7 +36,13 @@ type Fig7Config struct {
 	Seed    int64
 	// Workers bounds the run pool's parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Sink optionally receives each trajectory as one cell of
+	// (per_round, accumulated) rows, one per projected period.
+	Sink Sink
 }
+
+// fig7Columns is the sink schema: one projected period per row.
+var fig7Columns = []string{"per_round", "accumulated"}
 
 // DefaultFig7Config is the laptop-scale configuration.
 func DefaultFig7Config() Fig7Config {
@@ -128,6 +134,35 @@ func RunFig7(cfg Fig7Config) (*Fig7Result, error) {
 			label = fmt.Sprintf("U%g(1,200)", w)
 		}
 		res.Removal = append(res.Removal, flatTrajectory(label, b, cfg.Periods))
+	}
+
+	// Stream every trajectory as one cell, in presentation order.
+	if cfg.Sink != nil {
+		cellIdx := 0
+		emit := func(tr Fig7Trajectory) error {
+			cell := Cell{Index: cellIdx, Name: sanitize(tr.Label), Seed: cfg.Seed}
+			cellIdx++
+			if err := cfg.Sink.CellStart(cell, fig7Columns); err != nil {
+				return err
+			}
+			if err := emitSeriesRows(cfg.Sink, cell, tr.PerRound, tr.Accumulated); err != nil {
+				return err
+			}
+			return cfg.Sink.CellDone(cell)
+		}
+		if err := emit(res.Foundation); err != nil {
+			return nil, err
+		}
+		for _, tr := range res.Ours {
+			if err := emit(tr); err != nil {
+				return nil, err
+			}
+		}
+		for _, tr := range res.Removal {
+			if err := emit(tr); err != nil {
+				return nil, err
+			}
+		}
 	}
 	return res, nil
 }

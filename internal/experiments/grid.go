@@ -11,7 +11,6 @@ import (
 	"github.com/dsn2020-algorand/incentives/internal/sim"
 	"github.com/dsn2020-algorand/incentives/internal/stake"
 	"github.com/dsn2020-algorand/incentives/internal/stats"
-	"github.com/dsn2020-algorand/incentives/internal/weight"
 )
 
 // ScenarioGridConfig parameterises the paper-scale robustness sweep the
@@ -38,19 +37,12 @@ type ScenarioGridConfig struct {
 	Params protocol.Params
 	// StakeDist draws per-node stakes (paper: U{1..50}).
 	StakeDist stake.Distribution
-	// Workers bounds the run pool's parallelism (0 = GOMAXPROCS). The
-	// result is identical for every worker count.
-	Workers int
-	// WeightBackend selects the ledger-backed weight oracle per cell
-	// (zero value: ledger-direct, the pre-seam reads).
-	WeightBackend weight.Backend
-	// WeightProfile, when set, replaces ledger weights with a synthetic
-	// per-cell oracle (see ZipfProfile).
-	WeightProfile WeightProfile
-	// Sparse selects the protocol round path per cell; combined with
-	// absolute committee taus in Params it lets a grid cell run at
-	// populations far beyond the -full default (e.g. 5000 nodes).
-	Sparse protocol.SparseMode
+	// CommonConfig supplies Workers, WeightBackend, WeightProfile,
+	// Sparse and Sink — the execution-shaping knobs shared by every
+	// sweep config. Sparse combined with absolute committee taus in
+	// Params lets a grid cell run at populations far beyond the -full
+	// default (e.g. 5000 nodes).
+	CommonConfig
 }
 
 // FullScenarioGridConfig is the paper-scale default: every registered
@@ -85,9 +77,10 @@ type ScenarioGridResult struct {
 	Cells  []GridCell
 }
 
-// RunScenarioGrid executes every cell through the deterministic run
-// pool and returns them in grid order.
-func RunScenarioGrid(cfg ScenarioGridConfig) (*ScenarioGridResult, error) {
+// resolveGrid validates the grid config (applying the StakeDist
+// default) and resolves every scenario up front so an unknown name
+// fails before any cell burns cycles.
+func resolveGrid(cfg *ScenarioGridConfig) ([]adversary.Scenario, error) {
 	if len(cfg.Scenarios) == 0 || len(cfg.Seeds) == 0 {
 		return nil, errors.New("experiments: grid needs at least one scenario and one seed")
 	}
@@ -97,8 +90,6 @@ func RunScenarioGrid(cfg ScenarioGridConfig) (*ScenarioGridResult, error) {
 	if cfg.StakeDist == nil {
 		cfg.StakeDist = stake.UniformInt{A: 1, B: 50}
 	}
-	// Resolve every scenario up front so an unknown name fails before any
-	// cell burns cycles.
 	scenarios := make([]adversary.Scenario, len(cfg.Scenarios))
 	for i, name := range cfg.Scenarios {
 		scn, ok := adversary.Lookup(name)
@@ -107,56 +98,90 @@ func RunScenarioGrid(cfg ScenarioGridConfig) (*ScenarioGridResult, error) {
 		}
 		scenarios[i] = scn
 	}
+	return scenarios, nil
+}
 
+// simulateGridCell runs one grid cell. rows supplies the three
+// aggregation rows by slot (the materialized path carves them from a
+// slab); a nil rows allocates them.
+func simulateGridCell(cfg ScenarioGridConfig, scenarios []adversary.Scenario, cell int, arena *protocol.Arena, rows func(slot int) []float64) (GridCell, error) {
+	if rows == nil {
+		backing := make([]float64, 3*cfg.Rounds)
+		rows = func(slot int) []float64 {
+			lo := (slot % 3) * cfg.Rounds
+			return backing[lo : lo+cfg.Rounds : lo+cfg.Rounds]
+		}
+	}
+	si, ki := cell/len(cfg.Seeds), cell%len(cfg.Seeds)
+	seed := cfg.Seeds[ki]
+	out := GridCell{Scenario: cfg.Scenarios[si], Seed: seed}
+	rng := sim.NewRNG(seed, "scenario.setup")
+	pop, err := stake.SamplePopulation(cfg.StakeDist, cfg.Nodes, rng)
+	if err != nil {
+		return out, err
+	}
+	pcfg := protocol.Config{
+		Params:        cfg.Params,
+		Stakes:        pop.Stakes,
+		Behaviors:     arena.BehaviorBuf(cfg.Nodes),
+		Fanout:        cfg.Fanout,
+		Seed:          seed,
+		Arena:         arena,
+		WeightBackend: cfg.WeightBackend,
+		Sparse:        cfg.Sparse,
+	}
+	if cfg.WeightProfile != nil {
+		pcfg.Weights = cfg.WeightProfile(cfg.Nodes, seed)
+	}
+	runner, err := protocol.NewRunner(pcfg)
+	if err != nil {
+		return out, err
+	}
+	eng, err := adversary.Attach(runner, scenarios[si])
+	if err != nil {
+		return out, err
+	}
+	out.Final = rows(3 * cell)
+	out.Tentative = rows(3*cell + 1)
+	out.None = rows(3*cell + 2)
+	for round, report := range runner.RunRounds(cfg.Rounds) {
+		out.Final[round] = report.FinalFrac()
+		out.Tentative[round] = report.TentativeFrac()
+		out.None[round] = report.NoneFrac()
+	}
+	out.Audit = eng.Audit().Report()
+	return out, nil
+}
+
+// RunScenarioGrid executes every cell through the deterministic run
+// pool and returns them in grid order — the materialize-everything
+// path, which retains O(cells × rounds) rows. When cfg.Sink is set the
+// completed grid is also replayed into it cell by cell; grids too large
+// to materialize stream through StreamScenarioGrid instead.
+func RunScenarioGrid(cfg ScenarioGridConfig) (*ScenarioGridResult, error) {
+	scenarios, err := resolveGrid(&cfg)
+	if err != nil {
+		return nil, err
+	}
 	cells := len(cfg.Scenarios) * len(cfg.Seeds)
 	slab := runpool.NewFloatSlab(3*cells, cfg.Rounds)
 	results, err := runpool.SweepWithState(cells, cfg.Workers,
 		func(int) *protocol.Arena { return protocol.NewArena() },
 		func(cell int, arena *protocol.Arena) (GridCell, error) {
-			si, ki := cell/len(cfg.Seeds), cell%len(cfg.Seeds)
-			seed := cfg.Seeds[ki]
-			out := GridCell{Scenario: cfg.Scenarios[si], Seed: seed}
-			rng := sim.NewRNG(seed, "scenario.setup")
-			pop, err := stake.SamplePopulation(cfg.StakeDist, cfg.Nodes, rng)
-			if err != nil {
-				return out, err
-			}
-			pcfg := protocol.Config{
-				Params:        cfg.Params,
-				Stakes:        pop.Stakes,
-				Behaviors:     arena.BehaviorBuf(cfg.Nodes),
-				Fanout:        cfg.Fanout,
-				Seed:          seed,
-				Arena:         arena,
-				WeightBackend: cfg.WeightBackend,
-				Sparse:        cfg.Sparse,
-			}
-			if cfg.WeightProfile != nil {
-				pcfg.Weights = cfg.WeightProfile(cfg.Nodes, seed)
-			}
-			runner, err := protocol.NewRunner(pcfg)
-			if err != nil {
-				return out, err
-			}
-			eng, err := adversary.Attach(runner, scenarios[si])
-			if err != nil {
-				return out, err
-			}
-			out.Final = slab.Row(3 * cell)
-			out.Tentative = slab.Row(3*cell + 1)
-			out.None = slab.Row(3*cell + 2)
-			for round, report := range runner.RunRounds(cfg.Rounds) {
-				out.Final[round] = report.FinalFrac()
-				out.Tentative[round] = report.TentativeFrac()
-				out.None[round] = report.NoneFrac()
-			}
-			out.Audit = eng.Audit().Report()
-			return out, nil
+			return simulateGridCell(cfg, scenarios, cell, arena, slab.Row)
 		})
 	if err != nil {
 		return nil, err
 	}
-	return &ScenarioGridResult{Config: cfg, Cells: results}, nil
+	r := &ScenarioGridResult{Config: cfg, Cells: results}
+	if cfg.Sink != nil {
+		for i := range results {
+			if err := emitGridCell(cfg.Sink, Cell{Index: i, Name: results[i].Scenario, Seed: results[i].Seed}, &results[i]); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return r, nil
 }
 
 // SafetyViolations sums conflicting-finalisation rounds across the grid.
@@ -214,24 +239,37 @@ func (c *GridCell) AuditTable() *stats.Table {
 	return t
 }
 
-// SummaryTable renders the whole grid, one row per cell: the scenario's
-// grid index, the seed, and the audit counters. Scenario names map to
-// indices in Config.Scenarios order (stats tables are numeric); the
-// textual summary carries the names.
-func (r *ScenarioGridResult) SummaryTable() *stats.Table {
+// gridSummaryTable renders grid cells as one row each: the scenario's
+// grid index, the seed, and the audit counters. cells carries global
+// cell indices (scenario-major × seed) so a shard's partial summary and
+// a merged full summary derive scenario_idx and seed identically to the
+// materialized path; reports is aligned with cells.
+func gridSummaryTable(cfg ScenarioGridConfig, cells []int, reports []adversary.Report) *stats.Table {
 	t := &stats.Table{}
-	idx := make([]float64, len(r.Cells))
-	seeds := make([]float64, len(r.Cells))
-	reports := make([]adversary.Report, len(r.Cells))
-	for i, c := range r.Cells {
-		idx[i] = float64(i / len(r.Config.Seeds))
-		seeds[i] = float64(c.Seed)
-		reports[i] = c.Audit
+	idx := make([]float64, len(cells))
+	seeds := make([]float64, len(cells))
+	for i, cell := range cells {
+		idx[i] = float64(cell / len(cfg.Seeds))
+		seeds[i] = float64(cfg.Seeds[cell%len(cfg.Seeds)])
 	}
 	t.AddColumn("scenario_idx", idx)
 	t.AddColumn("seed", seeds)
 	auditTableColumns(t, reports)
 	return t
+}
+
+// SummaryTable renders the whole grid, one row per cell: the scenario's
+// grid index, the seed, and the audit counters. Scenario names map to
+// indices in Config.Scenarios order (stats tables are numeric); the
+// textual summary carries the names.
+func (r *ScenarioGridResult) SummaryTable() *stats.Table {
+	cells := make([]int, len(r.Cells))
+	reports := make([]adversary.Report, len(r.Cells))
+	for i, c := range r.Cells {
+		cells[i] = i
+		reports[i] = c.Audit
+	}
+	return gridSummaryTable(r.Config, cells, reports)
 }
 
 // WriteSummary prints one line per cell plus the grid verdict.

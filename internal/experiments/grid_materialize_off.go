@@ -1,0 +1,9 @@
+//go:build !grid_materialize
+
+package experiments
+
+// gridMaterialize routes StreamScenarioGrid through the streaming fold
+// (the default). The grid_materialize build tag flips it to the legacy
+// collect-then-replay path, the differential oracle CI diffs the
+// streamed outputs against.
+const gridMaterialize = false

@@ -1,0 +1,9 @@
+//go:build grid_materialize
+
+package experiments
+
+// gridMaterialize forces StreamScenarioGrid through the legacy
+// collect-then-replay path: the differential oracle. Every sink event,
+// file and summary byte must be identical to the streaming-fold
+// default — the equivalence the grid oracle CI steps pin.
+const gridMaterialize = true

@@ -50,7 +50,13 @@ type MixedConfig struct {
 	Params protocol.Params
 	// Workers bounds the run pool's parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Sink optionally receives each mix as one cell with a single
+	// aggregated row.
+	Sink Sink
 }
+
+// mixedColumns is the sink schema: one averaged row per mix.
+var mixedColumns = []string{"final_frac", "none_frac", "decide_rate"}
 
 // DefaultMixedConfig sweeps a selfish / malicious / faulty grid at 10%.
 func DefaultMixedConfig() MixedConfig {
@@ -154,6 +160,19 @@ func RunMixed(cfg MixedConfig) (*MixedResult, error) {
 		row.FinalFrac /= denom
 		row.NoneFrac /= denom
 		row.DecideRate /= denom
+		if cfg.Sink != nil {
+			cell := Cell{Index: mi, Name: mix.Label(), Seed: cfg.Seed + int64(mi)*104729}
+			if err := cfg.Sink.CellStart(cell, mixedColumns); err != nil {
+				return nil, err
+			}
+			values := []float64{row.FinalFrac, row.NoneFrac, row.DecideRate}
+			if err := cfg.Sink.Row(cell, Row{Index: 0, Values: values}); err != nil {
+				return nil, err
+			}
+			if err := cfg.Sink.CellDone(cell); err != nil {
+				return nil, err
+			}
+		}
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil

@@ -11,7 +11,6 @@ import (
 	"github.com/dsn2020-algorand/incentives/internal/sim"
 	"github.com/dsn2020-algorand/incentives/internal/stake"
 	"github.com/dsn2020-algorand/incentives/internal/stats"
-	"github.com/dsn2020-algorand/incentives/internal/weight"
 )
 
 // ScenarioConfig parameterises one adversary-scenario sweep: Runs
@@ -37,19 +36,12 @@ type ScenarioConfig struct {
 	Params protocol.Params
 	// StakeDist draws per-node stakes (paper: U{1..50}).
 	StakeDist stake.Distribution
-	// Workers bounds the run pool's parallelism (0 = GOMAXPROCS). The
-	// result is identical for every worker count.
-	Workers int
-	// WeightBackend selects the ledger-backed weight oracle per run (zero
-	// value: ledger-direct, the pre-seam reads).
-	WeightBackend weight.Backend
-	// WeightProfile, when set, replaces ledger weights with a synthetic
-	// per-run oracle (see ZipfProfile).
-	WeightProfile WeightProfile
-	// Sparse selects the protocol round path per run; combined with
-	// absolute committee taus in Params it scales a sweep to populations
-	// far beyond the paper's 100 nodes.
-	Sparse protocol.SparseMode
+	// CommonConfig supplies Workers, WeightBackend, WeightProfile,
+	// Sparse and Sink — the execution-shaping knobs shared by every
+	// sweep config. Sparse combined with absolute committee taus in
+	// Params scales a sweep to populations far beyond the paper's 100
+	// nodes.
+	CommonConfig
 }
 
 // DefaultScenarioConfig is a laptop-scale sweep of the named scenario.
@@ -148,6 +140,25 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 		})
 	if err != nil {
 		return nil, err
+	}
+
+	// Stream every run as one cell: its per-round rows plus its audit.
+	if cfg.Sink != nil {
+		for run, r := range runs {
+			cell := Cell{Index: run, Name: cfg.Scenario, Seed: cfg.Seed + int64(run)*7919}
+			if err := cfg.Sink.CellStart(cell, outcomeColumns); err != nil {
+				return nil, err
+			}
+			if err := emitSeriesRows(cfg.Sink, cell, r.final, r.tentative, r.none); err != nil {
+				return nil, err
+			}
+			if err := cfg.Sink.AuditEvent(cell, r.audit); err != nil {
+				return nil, err
+			}
+			if err := cfg.Sink.CellDone(cell); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	result := &ScenarioResult{Config: cfg, Scenario: scn}

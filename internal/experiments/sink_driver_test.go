@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/dsn2020-algorand/incentives/internal/stake"
+)
+
+// countKinds tallies the recorded event stream by kind.
+func countKinds(events []sinkEvent) map[string]int {
+	out := map[string]int{}
+	for _, ev := range events {
+		out[ev.Kind]++
+	}
+	return out
+}
+
+// TestDriverSinkEmission pins every driver's cell/row shape: each
+// driver streams a grammar-valid event sequence (the recordingSink
+// rejects violations) with the documented cell count and row schema.
+func TestDriverSinkEmission(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol simulation")
+	}
+
+	t.Run("fig3", func(t *testing.T) {
+		cfg := DefaultFig3Config()
+		cfg.Runs = 3
+		cfg.Rounds = 8
+		cfg.DefectionRates = []float64{0.05, 0.30}
+		sink := newRecordingSink()
+		cfg.Sink = sink
+		if _, err := RunFig3(cfg); err != nil {
+			t.Fatal(err)
+		}
+		kinds := countKinds(sink.events)
+		wantCells := len(cfg.DefectionRates) * cfg.Runs
+		if kinds["done"] != wantCells || kinds["row"] != wantCells*cfg.Rounds || kinds["audit"] != 0 {
+			t.Fatalf("fig3 emitted %v, want %d cells x %d rows, no audits", kinds, wantCells, cfg.Rounds)
+		}
+		if got := sink.events[0].Cell.Name; got != "d05" {
+			t.Fatalf("first fig3 cell named %q", got)
+		}
+	})
+
+	t.Run("scenario", func(t *testing.T) {
+		cfg := DefaultScenarioConfig("crash_churn")
+		cfg.Nodes = 40
+		cfg.Rounds = 6
+		cfg.Runs = 3
+		sink := newRecordingSink()
+		cfg.Sink = sink
+		res, err := RunScenario(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kinds := countKinds(sink.events)
+		if kinds["done"] != cfg.Runs || kinds["row"] != cfg.Runs*cfg.Rounds || kinds["audit"] != cfg.Runs {
+			t.Fatalf("scenario emitted %v, want %d cells x %d rows with audits", kinds, cfg.Runs, cfg.Rounds)
+		}
+		// Per-run audit events must match the materialized RunAudits.
+		i := 0
+		for _, ev := range sink.events {
+			if ev.Kind == "audit" {
+				if !reflect.DeepEqual(ev.Audit, res.RunAudits[i]) {
+					t.Fatalf("run %d audit event differs from RunAudits", i)
+				}
+				i++
+			}
+		}
+	})
+
+	t.Run("weaksync", func(t *testing.T) {
+		cfg := DefaultWeakSyncConfig()
+		cfg.Runs = 2
+		sink := newRecordingSink()
+		cfg.Sink = sink
+		if _, err := RunWeakSync(cfg); err != nil {
+			t.Fatal(err)
+		}
+		kinds := countKinds(sink.events)
+		if kinds["done"] != cfg.Runs || kinds["row"] != cfg.Runs*cfg.Rounds {
+			t.Fatalf("weaksync emitted %v, want %d cells x %d rows", kinds, cfg.Runs, cfg.Rounds)
+		}
+	})
+
+	t.Run("mixed", func(t *testing.T) {
+		cfg := DefaultMixedConfig()
+		cfg.Runs = 2
+		cfg.Rounds = 6
+		sink := newRecordingSink()
+		cfg.Sink = sink
+		res, err := RunMixed(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kinds := countKinds(sink.events)
+		if kinds["done"] != len(cfg.Mixes) || kinds["row"] != len(cfg.Mixes) {
+			t.Fatalf("mixed emitted %v, want one single-row cell per mix", kinds)
+		}
+		for _, ev := range sink.events {
+			if ev.Kind == "row" && ev.Row[0] != res.Rows[ev.Cell.Index].FinalFrac {
+				t.Fatalf("mix %d row disagrees with result", ev.Cell.Index)
+			}
+		}
+	})
+
+	t.Run("fig5", func(t *testing.T) {
+		cfg := DefaultFig5Config()
+		cfg.Steps = 6
+		sink := newRecordingSink()
+		cfg.Sink = sink
+		res, err := RunFig5(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kinds := countKinds(sink.events)
+		if kinds["done"] != cfg.Steps || kinds["row"] != cfg.Steps*cfg.Steps {
+			t.Fatalf("fig5 emitted %v, want %d cells x %d rows", kinds, cfg.Steps, cfg.Steps)
+		}
+		// Rows replay the surface in scan order.
+		i := 0
+		for _, ev := range sink.events {
+			if ev.Kind != "row" {
+				continue
+			}
+			pt := res.Surface[i]
+			if ev.Row[0] != pt.Alpha || ev.Row[1] != pt.Beta ||
+				(ev.Row[2] != pt.B && !(math.IsInf(ev.Row[2], 1) && math.IsInf(pt.B, 1))) {
+				t.Fatalf("fig5 row %d = %v, surface point %+v", i, ev.Row, pt)
+			}
+			i++
+		}
+	})
+
+	t.Run("fig6", func(t *testing.T) {
+		cfg := DefaultFig6Config()
+		cfg.Nodes = 2000
+		cfg.Runs = 2
+		cfg.RoundsPerRun = 3
+		cfg.Distributions = []stake.Distribution{
+			stake.Uniform{A: 1, B: 200},
+			stake.Normal{Mu: 100, Sigma: 20},
+		}
+		sink := newRecordingSink()
+		cfg.Sink = sink
+		if _, err := RunFig6(cfg); err != nil {
+			t.Fatal(err)
+		}
+		kinds := countKinds(sink.events)
+		wantRows := len(cfg.Distributions) * cfg.Runs * cfg.RoundsPerRun
+		if kinds["done"] != len(cfg.Distributions) || kinds["row"] != wantRows {
+			t.Fatalf("fig6 emitted %v, want %d cells, %d rows", kinds, len(cfg.Distributions), wantRows)
+		}
+	})
+
+	t.Run("fig7", func(t *testing.T) {
+		cfg := DefaultFig7Config()
+		cfg.Nodes = 2000
+		cfg.Runs = 2
+		cfg.Periods = 3
+		cfg.Distributions = []stake.Distribution{stake.Uniform{A: 1, B: 200}}
+		cfg.RemovalThresholds = []float64{0, 3}
+		sink := newRecordingSink()
+		cfg.Sink = sink
+		if _, err := RunFig7(cfg); err != nil {
+			t.Fatal(err)
+		}
+		kinds := countKinds(sink.events)
+		wantCells := 1 + len(cfg.Distributions) + len(cfg.RemovalThresholds)
+		if kinds["done"] != wantCells || kinds["row"] != wantCells*cfg.Periods {
+			t.Fatalf("fig7 emitted %v, want %d cells x %d rows", kinds, wantCells, cfg.Periods)
+		}
+		if got := sink.events[0].Cell.Name; got != "foundation" {
+			t.Fatalf("first fig7 cell named %q", got)
+		}
+	})
+}

@@ -29,6 +29,9 @@ type WeakSyncConfig struct {
 	Params     protocol.Params
 	// Workers bounds the run pool's parallelism (0 = GOMAXPROCS).
 	Workers int
+	// Sink optionally receives each run as one cell of per-round
+	// outcome rows.
+	Sink Sink
 }
 
 // DefaultWeakSyncConfig injects a 3-round window in the middle of a
@@ -106,6 +109,22 @@ func RunWeakSync(cfg WeakSyncConfig) (*WeakSyncResult, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+
+	// Stream every run as one cell before averaging.
+	if cfg.Sink != nil {
+		for run, r := range runs {
+			cell := Cell{Index: run, Name: "weaksync", Seed: cfg.Seed + int64(run)*7919}
+			if err := cfg.Sink.CellStart(cell, outcomeColumns); err != nil {
+				return nil, err
+			}
+			if err := emitSeriesRows(cfg.Sink, cell, r.final, r.tentative, r.none); err != nil {
+				return nil, err
+			}
+			if err := cfg.Sink.CellDone(cell); err != nil {
+				return nil, err
+			}
+		}
 	}
 
 	res := &WeakSyncResult{Config: cfg}

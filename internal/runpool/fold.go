@@ -1,0 +1,145 @@
+package runpool
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// SweepFold executes fn for every run index like SweepWithState, but
+// streams each result into fold in strict run-index order instead of
+// retaining the full result slice: fold(run, result) is called exactly
+// once per successful run, in ascending run order, never concurrently,
+// and the result is released immediately after, so a sweep's live
+// results are bounded by the completion skew between workers rather
+// than by the run count. This is the seam the streaming experiment
+// sinks (experiments.Sink) build on.
+//
+// The determinism contract is SweepWithState's: fold observes runs
+// 0, 1, 2, ... at any worker count, so a deterministic fold produces
+// bit-identical state regardless of scheduling. The obligation on
+// per-worker state is unchanged too (recycled buffers fully
+// overwritten, caches pure). One addition: fn results handed to fold
+// must not alias the worker state, because the worker has already
+// moved on to another run by the time fold sees them.
+//
+// Error semantics mirror SweepWithState: every run's fn is attempted
+// regardless of failures, and the lowest-indexed fn error is reported.
+// Folding stops at the first failed run — results before it have all
+// been folded, results after it are dropped — or at the first fold
+// error, which is reported when no fn failed.
+func SweepFold[T, S any](runs, workers int, newState func(worker int) S, fn func(run int, state S) (T, error), fold func(run int, result T) error) error {
+	if runs < 0 {
+		return fmt.Errorf("runpool: negative run count %d", runs)
+	}
+	if fn == nil {
+		return fmt.Errorf("runpool: nil run function")
+	}
+	if fold == nil {
+		return fmt.Errorf("runpool: nil fold function")
+	}
+	if newState == nil {
+		newState = func(int) S { var zero S; return zero }
+	}
+
+	workers = Resolve(workers)
+	if workers > runs {
+		workers = runs
+	}
+	if workers <= 1 {
+		state := newState(0)
+		var firstErr, foldErr error
+		for run := 0; run < runs; run++ {
+			r, err := fn(run, state)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("runpool: run %d: %w", run, err)
+				}
+				continue
+			}
+			if firstErr == nil && foldErr == nil {
+				foldErr = fold(run, r)
+			}
+		}
+		if firstErr != nil {
+			return firstErr
+		}
+		return foldErr
+	}
+
+	var (
+		mu       sync.Mutex
+		pending  = make(map[int]T) // completed, not yet folded; bounded by worker skew
+		errs     = make([]error, runs)
+		nextFold int  // lowest run index not yet folded
+		folding  bool // a worker is inside fold; others just deposit
+		stopped  bool // fold hit a failed run or a fold error
+		foldErr  error
+		next     atomic.Int64
+		wg       sync.WaitGroup
+	)
+
+	// deliver deposits one completed run and, unless another worker is
+	// already folding, drains the contiguous prefix. fold runs outside
+	// the lock; the folding flag keeps it serial.
+	deliver := func(run int, r T, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			errs[run] = err
+		} else {
+			pending[run] = r
+		}
+		if folding {
+			return
+		}
+		folding = true
+		for !stopped && nextFold < runs {
+			if errs[nextFold] != nil {
+				stopped = true
+				break
+			}
+			r, ok := pending[nextFold]
+			if !ok {
+				break
+			}
+			delete(pending, nextFold)
+			idx := nextFold
+			mu.Unlock()
+			ferr := fold(idx, r)
+			mu.Lock()
+			if ferr != nil {
+				foldErr = ferr
+				stopped = true
+				break
+			}
+			nextFold++
+		}
+		folding = false
+	}
+
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() {
+			defer wg.Done()
+			state := newState(w)
+			for {
+				run := int(next.Add(1)) - 1
+				if run >= runs {
+					return
+				}
+				r, err := fn(run, state)
+				deliver(run, r, err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for run, err := range errs {
+		if err != nil {
+			return fmt.Errorf("runpool: run %d: %w", run, err)
+		}
+	}
+	return foldErr
+}

@@ -1,0 +1,161 @@
+package runpool
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSweepFoldOrdered pins the core contract: fold sees runs in strict
+// ascending index order, exactly once each, never concurrently — at any
+// worker count, under completion-order pressure (later runs finish
+// first).
+func TestSweepFoldOrdered(t *testing.T) {
+	const runs = 60
+	for _, workers := range []int{1, 2, 3, 8} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			var folded []int
+			var values []int
+			var inFold atomic.Int32
+			err := SweepFold(runs, workers, nil,
+				func(run int, _ struct{}) (int, error) {
+					// Skew completion order: early runs finish last.
+					time.Sleep(time.Duration((runs-run)%5) * time.Millisecond)
+					return run * run, nil
+				},
+				func(run int, v int) error {
+					if !inFold.CompareAndSwap(0, 1) {
+						t.Error("fold entered concurrently")
+					}
+					defer inFold.Store(0)
+					folded = append(folded, run)
+					values = append(values, v)
+					return nil
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(folded) != runs {
+				t.Fatalf("folded %d runs, want %d", len(folded), runs)
+			}
+			for i, run := range folded {
+				if run != i {
+					t.Fatalf("fold order %v: position %d holds run %d", folded[:i+1], i, run)
+				}
+				if values[i] != i*i {
+					t.Fatalf("run %d folded value %d, want %d", i, values[i], i*i)
+				}
+			}
+		})
+	}
+}
+
+// TestSweepFoldMatchesSweepWithState pins that folding is just a
+// streamed version of collect-then-iterate: the fold observes the same
+// (run, result) sequence SweepWithState would hand Accumulate.
+func TestSweepFoldMatchesSweepWithState(t *testing.T) {
+	const runs = 40
+	fn := func(run int, scratch []int) (int, error) {
+		// Recycled worker state, fully overwritten each run.
+		scratch[0] = run * 3
+		return scratch[0] + 1, nil
+	}
+	want, err := SweepWithState(runs, 4, func(int) []int { return make([]int, 1) }, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	err = SweepFold(runs, 7, func(int) []int { return make([]int, 1) }, fn,
+		func(run int, v int) error {
+			got = append(got, v)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("folded %d results, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("result %d: folded %d, collected %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSweepFoldRunError: every run is attempted, the lowest-indexed fn
+// error wins, and folding stops at the failed run.
+func TestSweepFoldRunError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var attempted atomic.Int32
+		var folded []int
+		err := SweepFold(20, workers, nil,
+			func(run int, _ struct{}) (int, error) {
+				attempted.Add(1)
+				if run == 7 || run == 11 {
+					return 0, errors.New("boom")
+				}
+				return run, nil
+			},
+			func(run int, v int) error {
+				folded = append(folded, run)
+				return nil
+			})
+		if err == nil || !strings.Contains(err.Error(), "run 7") {
+			t.Fatalf("workers=%d: err = %v, want lowest-indexed run 7", workers, err)
+		}
+		if attempted.Load() != 20 {
+			t.Fatalf("workers=%d: attempted %d runs, want all 20", workers, attempted.Load())
+		}
+		for i, run := range folded {
+			if run != i || run >= 7 {
+				t.Fatalf("workers=%d: fold sequence %v crosses the failed run", workers, folded)
+			}
+		}
+	}
+}
+
+// TestSweepFoldFoldError: a fold error is reported (when no fn failed)
+// and no later run is folded.
+func TestSweepFoldFoldError(t *testing.T) {
+	sentinel := errors.New("sink full")
+	for _, workers := range []int{1, 4} {
+		var folded []int
+		err := SweepFold(20, workers, nil,
+			func(run int, _ struct{}) (int, error) { return run, nil },
+			func(run int, v int) error {
+				if run == 3 {
+					return sentinel
+				}
+				folded = append(folded, run)
+				return nil
+			})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("workers=%d: err = %v, want fold sentinel", workers, err)
+		}
+		if len(folded) != 3 {
+			t.Fatalf("workers=%d: folded %v after fold error at run 3", workers, folded)
+		}
+	}
+}
+
+func TestSweepFoldValidation(t *testing.T) {
+	fn := func(run int, _ struct{}) (int, error) { return 0, nil }
+	fold := func(int, int) error { return nil }
+	if err := SweepFold(-1, 1, nil, fn, fold); err == nil {
+		t.Fatal("negative runs accepted")
+	}
+	if err := SweepFold[int, struct{}](1, 1, nil, nil, fold); err == nil {
+		t.Fatal("nil fn accepted")
+	}
+	if err := SweepFold(1, 1, nil, fn, nil); err == nil {
+		t.Fatal("nil fold accepted")
+	}
+	if err := SweepFold(0, 4, nil, fn, fold); err != nil {
+		t.Fatalf("zero runs: %v", err)
+	}
+}

@@ -27,6 +27,13 @@
 //	        [-fanout K] [-loss P] [-seed S] [-csv]
 //	        [-weightBackend direct|indexed] [-weights SPEC]
 //	        [-sparse auto|on|off] [-tauStep T] [-tauFinal T]
+//	        [-metricsAddr HOST:PORT] [-trace FILE]
+//
+// -metricsAddr serves the live telemetry registry (/metrics in
+// Prometheus text format, /debug/vars, /debug/pprof) for the duration
+// of the run; -trace records a Chrome-trace timeline of run 0. Both
+// are observation-only: every output stays byte-identical with them
+// on, off, or scraped mid-run.
 package main
 
 import (
@@ -63,7 +70,7 @@ type simRun struct {
 	netStats               network.Stats
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("algosim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -80,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		asCSV       = fs.Bool("csv", false, "emit CSV instead of a text table")
 		weights     = cliutil.Weights(fs)
 		sparseFlags = cliutil.Sparse(fs)
+		obsFlags    = cliutil.Obs(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -87,6 +95,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err := cliutil.NoArgs(fs); err != nil {
 		return err
 	}
+	sess, err := obsFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(stderr); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	backend, profile, err := weights.Resolve()
 	if err != nil {
 		return err
@@ -136,6 +153,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 			Seed:          runSeed,
 			Sparse:        sparse,
 			WeightBackend: backend,
+		}
+		if run == 0 {
+			pcfg.Trace = sess.Trace() // single-writer: run 0 only
 		}
 		if profile != nil {
 			pcfg.Weights = profile(*nodes, runSeed)

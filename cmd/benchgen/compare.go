@@ -188,6 +188,19 @@ func runCompare(baselinePath, candidatePath string) error {
 		}
 	}
 
+	// Informational: telemetry overhead within the candidate itself —
+	// protocol_round_100 runs with the registry disabled (nil hooks),
+	// its _obs companion with the registry enabled. The target is <2%
+	// ns/op and 0 extra allocs/op; printed, not gated, because ns/op on
+	// a shared runner is too noisy to fail a build over 2%. The alloc
+	// side IS gated, by protocol's TestRoundAllocBudgetWithMetrics.
+	if off, okOff := cand.Benchmarks["protocol_round_100"]; okOff {
+		if on, okOn := cand.Benchmarks["protocol_round_100_obs"]; okOn {
+			fmt.Printf("\nobs_overhead (informational): round ns/op %+.1f%% with registry enabled, allocs/op %+d (target <2%%, +0)\n",
+				(on.NsPerOp-off.NsPerOp)/off.NsPerOp*100, on.AllocsPerOp-off.AllocsPerOp)
+		}
+	}
+
 	fmt.Println()
 	names := make([]string, 0, len(base.Headline))
 	for name := range base.Headline {

@@ -6,6 +6,7 @@
 //	benchgen [-out DIR] [-full] [-workers N] [-pr N] [-benchout FILE] [table3|fig3|fig5|fig6|fig7|equilibrium|bench|all]
 //	benchgen [-largeNodes N] [-largeRounds N] [-largeRuns N] fig3large
 //	benchgen [-baseline FILE] -candidate FILE compare
+//	benchgen -promfile FILE [-requireFamilies a,b,c] promlint
 //
 // With -full, the paper-scale configurations are used (500k nodes, 100-200
 // runs); the default configurations finish on a laptop in minutes.
@@ -31,6 +32,17 @@
 // checked-in BENCH_<n>.json) and exits non-zero on a >20% ns/op or any
 // allocs/op regression in the gated workloads, or on any headline
 // figure metric diff.
+//
+// The promlint target validates a captured /metrics scrape (-promfile)
+// as well-formed Prometheus text exposition and checks the families
+// named by -requireFamilies are present — the CI metrics-smoke job's
+// scrape validator.
+//
+// -metricsAddr serves the live telemetry registry (/metrics,
+// /debug/vars, /debug/pprof) while targets run; -trace records a
+// Chrome-trace timeline of the first simulated run of the fig3 or
+// fig3large target. Both are observation-only: every CSV and BENCH
+// file stays byte-identical with them on or off.
 package main
 
 import (
@@ -45,6 +57,7 @@ import (
 	"github.com/dsn2020-algorand/incentives/internal/cliutil"
 	"github.com/dsn2020-algorand/incentives/internal/evolution"
 	"github.com/dsn2020-algorand/incentives/internal/experiments"
+	"github.com/dsn2020-algorand/incentives/internal/obs"
 	"github.com/dsn2020-algorand/incentives/internal/stats"
 )
 
@@ -57,7 +70,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("benchgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -71,10 +84,22 @@ func run(args []string, stdout, stderr io.Writer) error {
 		largeNodes  = fs.Int("largeNodes", 500_000, "fig3large: population size")
 		largeRounds = fs.Int("largeRounds", 0, "fig3large: rounds per run (0 = LargeFig3Config default)")
 		largeRuns   = fs.Int("largeRuns", 0, "fig3large: runs per defection rate (0 = LargeFig3Config default)")
+		promFile    = fs.String("promfile", "", "promlint target: captured /metrics scrape to validate")
+		promWant    = fs.String("requireFamilies", "", "promlint target: comma-separated metric families that must be present")
+		obsFlags    = cliutil.Obs(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	sess, err := obsFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(stdout); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	if *benchOut == "" && *benchPR > 0 {
 		*benchOut = fmt.Sprintf("BENCH_%d.json", *benchPR)
 	}
@@ -100,9 +125,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		case "table3":
 			err = genTable3(stdout, *outDir)
 		case "fig3":
-			err = genFig3(stdout, *outDir, *full, *workers)
+			err = genFig3(stdout, *outDir, *full, *workers, sess.Trace())
 		case "fig3large":
-			err = genFig3Large(stdout, *outDir, *largeNodes, *largeRounds, *largeRuns, *workers)
+			err = genFig3Large(stdout, *outDir, *largeNodes, *largeRounds, *largeRuns, *workers, sess.Trace())
 		case "fig5":
 			err = genFig5(stdout, *outDir, *workers)
 		case "fig6":
@@ -131,6 +156,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 			}
 		case "compare":
 			err = runCompare(*baseline, *candidate)
+		case "promlint":
+			err = runPromLint(*promFile, *promWant)
 		default:
 			err = fmt.Errorf("unknown target %q", target)
 		}
@@ -167,12 +194,13 @@ func genTable3(stdout io.Writer, outDir string) error {
 	return writeCSV(stdout, outDir, "table3.csv", res.Table())
 }
 
-func genFig3(stdout io.Writer, outDir string, full bool, workers int) error {
+func genFig3(stdout io.Writer, outDir string, full bool, workers int, trace *obs.Trace) error {
 	cfg := experiments.DefaultFig3Config()
 	if full {
 		cfg = experiments.FullFig3Config()
 	}
 	cfg.Workers = workers
+	cfg.Trace = trace
 	res, err := experiments.RunFig3(cfg)
 	if err != nil {
 		return err
@@ -187,7 +215,7 @@ func genFig3(stdout io.Writer, outDir string, full bool, workers int) error {
 // sets absolute committee taus, so populations of 4096+ nodes take the
 // sparse-committee round path and per-round cost tracks the committee
 // size rather than the population.
-func genFig3Large(stdout io.Writer, outDir string, nodes, rounds, runs, workers int) error {
+func genFig3Large(stdout io.Writer, outDir string, nodes, rounds, runs, workers int, trace *obs.Trace) error {
 	cfg := experiments.LargeFig3Config(nodes)
 	if rounds > 0 {
 		cfg.Rounds = rounds
@@ -196,6 +224,7 @@ func genFig3Large(stdout io.Writer, outDir string, nodes, rounds, runs, workers 
 		cfg.Runs = runs
 	}
 	cfg.Workers = workers
+	cfg.Trace = trace
 	fmt.Fprintf(stdout, "fig3 at %d nodes (%d rounds, %d runs/rate, tauStep %.0f, tauFinal %.0f)\n",
 		cfg.Nodes, cfg.Rounds, cfg.Runs, cfg.Params.TauStep, cfg.Params.TauFinal)
 	res, err := experiments.RunFig3(cfg)

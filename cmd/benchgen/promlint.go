@@ -1,0 +1,45 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/dsn2020-algorand/incentives/internal/obs"
+)
+
+// runPromLint is the promlint target: it validates that -promfile holds
+// well-formed Prometheus text exposition (version 0.0.4) and, when
+// -requireFamilies is set, that every named metric family is present.
+// The CI metrics-smoke job scrapes a live /metrics endpoint mid-run and
+// feeds the capture through here, so a malformed line or a silently
+// vanished family fails the build instead of a dashboard.
+func runPromLint(path, require string) error {
+	if path == "" {
+		return fmt.Errorf("promlint: -promfile FILE is required (a captured /metrics scrape)")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	families, err := obs.LintPrometheus(f)
+	if err != nil {
+		return fmt.Errorf("promlint: %s: %w", path, err)
+	}
+	have := make(map[string]bool, len(families))
+	for _, fam := range families {
+		have[fam] = true
+	}
+	var missing []string
+	for _, want := range strings.Split(require, ",") {
+		if want = strings.TrimSpace(want); want != "" && !have[want] {
+			missing = append(missing, want)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("promlint: %s is valid but missing required families: %s", path, strings.Join(missing, ", "))
+	}
+	fmt.Printf("promlint: %s ok (%d families)\n", path, len(families))
+	return nil
+}

@@ -6,7 +6,8 @@
 //	scenario -list
 //	scenario [-nodes N] [-rounds N] [-runs N] [-seed N] [-workers N] [-trim F] [-out DIR]
 //	         [-weightBackend direct|indexed] [-weights SPEC]
-//	         [-sparse auto|on|off] [-tauStep T] [-tauFinal T] [name ...]
+//	         [-sparse auto|on|off] [-tauStep T] [-tauFinal T]
+//	         [-metricsAddr HOST:PORT] [-trace FILE] [name ...]
 //	scenario -all
 //	scenario -full [-fullNodes N] [-fullRounds N] [-fullSeeds N] [name ...]
 //
@@ -23,6 +24,13 @@
 // "zipf:1.3:40;churn@6:0.2:0.5" — Zipf exponent 1.3, mean stake 40,
 // and at round 6 a random 20% of nodes rescaled to half weight. Both
 // apply to -full grids too; see internal/weight.
+//
+// -metricsAddr serves the live telemetry registry (/metrics in
+// Prometheus text format, /debug/vars, /debug/pprof) while the sweep
+// or grid runs; -trace records a Chrome-trace timeline of the first
+// simulated run (first grid cell under -full). Both are
+// observation-only: every CSV and summary stays byte-identical with
+// them on, off, or scraped mid-run.
 //
 // -sparse selects the protocol round path ("auto" engages the
 // sparse-committee sampler for populations of 4096+ nodes when the
@@ -72,6 +80,7 @@ import (
 	"github.com/dsn2020-algorand/incentives/internal/adversary"
 	"github.com/dsn2020-algorand/incentives/internal/cliutil"
 	"github.com/dsn2020-algorand/incentives/internal/experiments"
+	"github.com/dsn2020-algorand/incentives/internal/obs"
 	"github.com/dsn2020-algorand/incentives/internal/protocol"
 	"github.com/dsn2020-algorand/incentives/internal/stats"
 	"github.com/dsn2020-algorand/incentives/internal/weight"
@@ -86,7 +95,7 @@ func main() {
 	}
 }
 
-func run(args []string, stdout, stderr io.Writer) error {
+func run(args []string, stdout, stderr io.Writer) (err error) {
 	fs := flag.NewFlagSet("scenario", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -108,6 +117,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		mergeShards = fs.Bool("mergeShards", false, "-full: merge completed shard checkpoints in -out into the grid summaries instead of simulating")
 		weights     = cliutil.Weights(fs)
 		sparseFlags = cliutil.Sparse(fs)
+		obsFlags    = cliutil.Obs(fs)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -121,6 +131,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	sess, err := obsFlags.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := sess.Close(stdout); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 
 	if *list {
 		for _, s := range adversary.Builtin() {
@@ -145,7 +164,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		} else if len(names) == 0 {
 			names = []string{adversary.EclipseEquivocation}
 		}
-		return runSweeps(names, *nodes, *rounds, *runs, *seed, *workers, *trim, *outDir, backend, profile, sparse, params, stdout)
+		return runSweeps(names, *nodes, *rounds, *runs, *seed, *workers, *trim, *outDir, backend, profile, sparse, params, sess.Trace(), stdout)
 	}
 
 	// The grid has its own axes (-fullNodes/-fullRounds/-fullSeeds);
@@ -180,6 +199,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		backend: backend, profile: profile, weightsSpec: weights.Spec(),
 		sparse: sparse, params: params,
 		shard: shard, resume: *resume,
+		trace: sess.Trace(),
 	}
 	if *mergeShards {
 		return g.mergeShards(names, stdout)
@@ -199,6 +219,7 @@ type gridRun struct {
 	params               protocol.Params
 	shard                experiments.ShardSpec
 	resume               bool
+	trace                *obs.Trace
 }
 
 // config builds the grid config the named scenarios define.
@@ -215,6 +236,7 @@ func (g gridRun) config(names []string) (experiments.ScenarioGridConfig, error) 
 	cfg.WeightProfile = g.profile
 	cfg.Sparse = g.sparse
 	cfg.Params = g.params
+	cfg.Trace = g.trace
 	cfg.Seeds = make([]int64, g.seeds)
 	for i := range cfg.Seeds {
 		cfg.Seeds[i] = int64(i + 1)
@@ -338,12 +360,12 @@ func (g gridRun) mergeShards(names []string, stdout io.Writer) error {
 	return nil
 }
 
-func runSweeps(names []string, nodes, rounds, runs int, seed int64, workers int, trim float64, outDir string, backend weight.Backend, profile experiments.WeightProfile, sparse protocol.SparseMode, params protocol.Params, stdout io.Writer) error {
+func runSweeps(names []string, nodes, rounds, runs int, seed int64, workers int, trim float64, outDir string, backend weight.Backend, profile experiments.WeightProfile, sparse protocol.SparseMode, params protocol.Params, trace *obs.Trace, stdout io.Writer) error {
 	if err := os.MkdirAll(outDir, 0o755); err != nil {
 		return err
 	}
 	violations := 0
-	for _, name := range names {
+	for i, name := range names {
 		cfg := experiments.DefaultScenarioConfig(name)
 		cfg.Nodes = nodes
 		cfg.Rounds = rounds
@@ -355,6 +377,9 @@ func runSweeps(names []string, nodes, rounds, runs int, seed int64, workers int,
 		cfg.WeightProfile = profile
 		cfg.Sparse = sparse
 		cfg.Params = params
+		if i == 0 {
+			cfg.Trace = trace // single-writer: first scenario's run 0 only
+		}
 		fmt.Fprintf(stdout, "==> %s\n", name)
 		res, err := experiments.RunScenario(cfg)
 		if err != nil {

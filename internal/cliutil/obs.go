@@ -1,0 +1,92 @@
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"github.com/dsn2020-algorand/incentives/internal/obs"
+)
+
+// ObsFlags is the registered telemetry flag pair shared by the
+// simulation commands: -metricsAddr exposes the live registry (plus
+// expvar and pprof) over HTTP for the duration of the run, -trace
+// records a Chrome-trace timeline of the first simulated run. Both are
+// opt-in; with neither set the telemetry registry stays disabled and
+// the hot paths keep their zero-overhead no-op behaviour.
+type ObsFlags struct {
+	addr  *string
+	trace *string
+}
+
+// Obs registers -metricsAddr and -trace.
+func Obs(fs *flag.FlagSet) *ObsFlags {
+	return &ObsFlags{
+		addr:  fs.String("metricsAddr", "", "serve /metrics, /debug/vars and /debug/pprof on this address for the run (e.g. localhost:9090; empty = off)"),
+		trace: fs.String("trace", "", "write a Chrome-trace JSON timeline of the first run to this file (load via chrome://tracing or Perfetto; empty = off)"),
+	}
+}
+
+// ObsSession is one command execution's live telemetry: the enabled
+// registry, the optional HTTP endpoint and the optional trace
+// recorder. Close it before exit.
+type ObsSession struct {
+	server *obs.Server
+	trace  *obs.Trace
+	path   string
+}
+
+// Start enables telemetry as requested by the flags and returns the
+// session (never nil). Enabling the registry is observation-only: by
+// the telemetry determinism contract it changes no simulation output.
+func (f *ObsFlags) Start() (*ObsSession, error) {
+	s := &ObsSession{}
+	if *f.addr == "" && *f.trace == "" {
+		return s, nil
+	}
+	reg := obs.Enable()
+	if *f.addr != "" {
+		srv, err := obs.Serve(*f.addr, reg)
+		if err != nil {
+			return nil, fmt.Errorf("metrics endpoint: %w", err)
+		}
+		s.server = srv
+	}
+	if *f.trace != "" {
+		s.trace = obs.NewTrace(obs.DefaultTracePanel)
+		s.path = *f.trace
+	}
+	return s, nil
+}
+
+// Trace returns the trace recorder to hand to the experiment config
+// (nil when -trace is off).
+func (s *ObsSession) Trace() *obs.Trace { return s.trace }
+
+// Addr returns the bound metrics address ("" when -metricsAddr is
+// off); useful when the flag asked for port 0.
+func (s *ObsSession) Addr() string {
+	if s.server == nil {
+		return ""
+	}
+	return s.server.Addr()
+}
+
+// Close writes the trace file (if tracing) and shuts the endpoint
+// down. It reports what it wrote on w when non-nil.
+func (s *ObsSession) Close(w io.Writer) error {
+	var firstErr error
+	if s.trace != nil {
+		if err := s.trace.WriteFile(s.path); err != nil {
+			firstErr = fmt.Errorf("write trace: %w", err)
+		} else if w != nil {
+			fmt.Fprintf(w, "wrote %s (%d trace events)\n", s.path, s.trace.Len())
+		}
+	}
+	if s.server != nil {
+		if err := s.server.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

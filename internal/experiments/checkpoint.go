@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"github.com/dsn2020-algorand/incentives/internal/adversary"
+	"github.com/dsn2020-algorand/incentives/internal/obs"
 	"github.com/dsn2020-algorand/incentives/internal/stats"
 )
 
@@ -160,6 +161,9 @@ func (cw *CheckpointWriter) writeLine(v any) error {
 func (cw *CheckpointWriter) sync() error {
 	if err := cw.w.Flush(); err != nil {
 		return err
+	}
+	if m := obs.DefaultPool(); m != nil {
+		m.CheckpointFlushes.Add(1)
 	}
 	return cw.f.Sync()
 }

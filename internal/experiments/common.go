@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"github.com/dsn2020-algorand/incentives/internal/obs"
 	"github.com/dsn2020-algorand/incentives/internal/protocol"
 	"github.com/dsn2020-algorand/incentives/internal/weight"
 )
@@ -34,4 +35,11 @@ type CommonConfig struct {
 	// cells, rows and audit events in deterministic order (see Sink), in
 	// addition to — never instead of — the returned result value.
 	Sink Sink
+	// Trace, when non-nil, records a Chrome-trace timeline of round,
+	// step and gossip phases. A trace is single-writer, so drivers
+	// attach it to exactly one simulation — the first run (or first
+	// grid cell) of the sweep — and leave every other run untraced.
+	// Timestamps are virtual simulation time, so the recorded events
+	// are as deterministic as the run itself.
+	Trace *obs.Trace
 }

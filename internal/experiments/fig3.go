@@ -117,6 +117,7 @@ func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
 	if cfg.StakeDist == nil {
 		cfg.StakeDist = stake.UniformInt{A: 1, B: 50}
 	}
+	cfg.Sink = instrumentSink(cfg.Sink)
 	result := &Fig3Result{Config: cfg}
 	for rateIdx, rate := range cfg.DefectionRates {
 		series, err := runFig3Rate(cfg, rateIdx, rate)
@@ -169,6 +170,9 @@ func runFig3Rate(cfg Fig3Config, rateIdx int, rate float64) (Fig3Series, error) 
 				Arena:         arena,
 				WeightBackend: cfg.WeightBackend,
 				Sparse:        cfg.Sparse,
+			}
+			if rateIdx == 0 && run == 0 {
+				pcfg.Trace = cfg.Trace // single-writer: first run only
 			}
 			if cfg.WeightProfile != nil {
 				pcfg.Weights = cfg.WeightProfile(cfg.Nodes, seed)

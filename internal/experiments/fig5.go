@@ -88,6 +88,7 @@ func RunFig5(cfg Fig5Config) (*Fig5Result, error) {
 	if err := cfg.Inputs.Validate(); err != nil {
 		return nil, fmt.Errorf("fig5 inputs: %w", err)
 	}
+	cfg.Sink = instrumentSink(cfg.Sink)
 	res := &Fig5Result{Config: cfg, GridBest: Fig5Point{B: math.Inf(1)}}
 	// One pool task per alpha row; rows are appended and the minimum is
 	// folded in row order, so the scan is worker-count independent.

@@ -105,6 +105,7 @@ func RunFig6(cfg Fig6Config) (*Fig6Result, error) {
 	if len(cfg.Distributions) == 0 {
 		cfg.Distributions = PaperDistributions()
 	}
+	cfg.Sink = instrumentSink(cfg.Sink)
 	res := &Fig6Result{Config: cfg}
 	for di, dist := range cfg.Distributions {
 		panel, err := runFig6Panel(cfg, dist, int64(di))

@@ -91,6 +91,7 @@ func RunFig7(cfg Fig7Config) (*Fig7Result, error) {
 	if len(cfg.Distributions) == 0 {
 		cfg.Distributions = PaperDistributions()
 	}
+	cfg.Sink = instrumentSink(cfg.Sink)
 	res := &Fig7Result{Config: cfg}
 
 	// Foundation schedule trajectory (Table III).

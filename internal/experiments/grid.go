@@ -130,6 +130,9 @@ func simulateGridCell(cfg ScenarioGridConfig, scenarios []adversary.Scenario, ce
 		WeightBackend: cfg.WeightBackend,
 		Sparse:        cfg.Sparse,
 	}
+	if cell == 0 {
+		pcfg.Trace = cfg.Trace // single-writer: first global cell only
+	}
 	if cfg.WeightProfile != nil {
 		pcfg.Weights = cfg.WeightProfile(cfg.Nodes, seed)
 	}
@@ -163,6 +166,7 @@ func RunScenarioGrid(cfg ScenarioGridConfig) (*ScenarioGridResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.Sink = instrumentSink(cfg.Sink)
 	cells := len(cfg.Scenarios) * len(cfg.Seeds)
 	slab := runpool.NewFloatSlab(3*cells, cfg.Rounds)
 	results, err := runpool.SweepWithState(cells, cfg.Workers,

@@ -133,6 +133,7 @@ func StreamScenarioGrid(cfg ScenarioGridConfig, sink Sink, opt StreamOptions) er
 	if sink == nil {
 		return errors.New("experiments: streaming grid needs a sink")
 	}
+	sink = instrumentSink(sink)
 	scenarios, err := resolveGrid(&cfg)
 	if err != nil {
 		return err
@@ -163,6 +164,7 @@ func MaterializeScenarioGrid(cfg ScenarioGridConfig, sink Sink, opt StreamOption
 	if sink == nil {
 		return errors.New("experiments: materialized grid needs a sink")
 	}
+	sink = instrumentSink(sink)
 	scenarios, err := resolveGrid(&cfg)
 	if err != nil {
 		return err

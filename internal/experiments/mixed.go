@@ -100,6 +100,7 @@ func RunMixed(cfg MixedConfig) (*MixedResult, error) {
 	if cfg.Nodes < 10 || cfg.Rounds < 1 || cfg.Runs < 1 || len(cfg.Mixes) == 0 {
 		return nil, errors.New("experiments: mixed sweep needs nodes, rounds, runs and mixes")
 	}
+	cfg.Sink = instrumentSink(cfg.Sink)
 	res := &MixedResult{Config: cfg}
 	for mi, mix := range cfg.Mixes {
 		if !mix.Valid() {

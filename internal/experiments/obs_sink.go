@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"github.com/dsn2020-algorand/incentives/internal/adversary"
+	"github.com/dsn2020-algorand/incentives/internal/obs"
+)
+
+// instrumentSink wraps a sink with sink-pipeline telemetry — rows
+// streamed, cells done, audit events by kind — counted in the shared
+// pool registry. It is the identity when the sink is nil or telemetry
+// is disabled, so the disabled path costs nothing; when active it only
+// counts, so the wrapped stream (and therefore every output derived
+// from it) is byte-identical to the unwrapped one. Every driver passes
+// its configured sink through here once at entry.
+func instrumentSink(sink Sink) Sink {
+	m := obs.DefaultPool()
+	if sink == nil || m == nil {
+		return sink
+	}
+	return &metricsSink{inner: sink, m: m}
+}
+
+// metricsSink counts the stream it forwards. Audit events are
+// classified by their most severe finding: a report witnessing a
+// safety violation counts as "safety-violation" even if it also
+// stalled; then "stall", then "corruption", then "clean".
+type metricsSink struct {
+	inner Sink
+	m     *obs.PoolMetrics
+}
+
+func auditKind(report adversary.Report) string {
+	switch {
+	case report.SafetyViolations > 0:
+		return "safety-violation"
+	case report.Stalls > 0:
+		return "stall"
+	case report.Corruptions > 0:
+		return "corruption"
+	}
+	return "clean"
+}
+
+func (s *metricsSink) CellStart(cell Cell, columns []string) error {
+	return s.inner.CellStart(cell, columns)
+}
+
+func (s *metricsSink) Row(cell Cell, row Row) error {
+	s.m.RowsStreamed.Add(1)
+	return s.inner.Row(cell, row)
+}
+
+func (s *metricsSink) AuditEvent(cell Cell, report adversary.Report) error {
+	s.m.AuditEvents(auditKind(report)).Add(1)
+	return s.inner.AuditEvent(cell, report)
+}
+
+func (s *metricsSink) CellDone(cell Cell) error {
+	s.m.CellsDone.Add(1)
+	return s.inner.CellDone(cell)
+}

@@ -91,6 +91,7 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown scenario %q", cfg.Scenario)
 	}
+	cfg.Sink = instrumentSink(cfg.Sink)
 
 	// Aggregation rows come from one slab and each worker reuses a
 	// protocol.Arena across its runs — output-neutral, see RunFig3.
@@ -113,6 +114,9 @@ func RunScenario(cfg ScenarioConfig) (*ScenarioResult, error) {
 				Arena:         arena,
 				WeightBackend: cfg.WeightBackend,
 				Sparse:        cfg.Sparse,
+			}
+			if run == 0 {
+				pcfg.Trace = cfg.Trace // single-writer: first run only
 			}
 			if cfg.WeightProfile != nil {
 				pcfg.Weights = cfg.WeightProfile(cfg.Nodes, seed)

@@ -68,6 +68,7 @@ func RunWeakSync(cfg WeakSyncConfig) (*WeakSyncResult, error) {
 	if cfg.WindowFrom < 2 || cfg.WindowTo >= uint64(cfg.Rounds) || cfg.WindowFrom > cfg.WindowTo {
 		return nil, errors.New("experiments: window must sit strictly inside the run")
 	}
+	cfg.Sink = instrumentSink(cfg.Sink)
 	type weakSyncRun struct {
 		final, tentative, none []float64
 	}

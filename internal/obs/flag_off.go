@@ -1,0 +1,8 @@
+//go:build obs_off
+
+package obs
+
+// Enabled is pinned false by the obs_off build tag: Enable no-ops,
+// Default stays nil, and every instrumentation point reduces to a
+// nil-check branch.
+const Enabled = false

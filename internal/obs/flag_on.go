@@ -1,0 +1,8 @@
+//go:build !obs_off
+
+package obs
+
+// Enabled reports whether the telemetry layer can be switched on at
+// all. The obs_off build tag pins it false, compiling Enable down to a
+// constant-nil return so even the Enable call sites are dead code.
+const Enabled = true

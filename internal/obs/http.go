@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// Server is the opt-in introspection endpoint: /metrics (Prometheus
+// text format), /debug/vars (expvar JSON, including an "obs" map of
+// every registered metric), and the standard net/http/pprof handlers
+// under /debug/pprof/. It serves scrapes from its own goroutines and
+// only ever reads registry atomics, so scraping a live run cannot
+// perturb it.
+type Server struct {
+	srv *http.Server
+	lis net.Listener
+}
+
+var publishOnce sync.Once
+
+// Serve starts an introspection server on addr (e.g. ":9090" or
+// "127.0.0.1:0") exporting reg. It returns once the listener is bound;
+// requests are served in the background until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	publishOnce.Do(func() {
+		expvar.Publish("obs", expvar.Func(func() any {
+			return exportVars(Default())
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		lis: lis,
+	}
+	go func() { _ = s.srv.Serve(lis) }()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string {
+	if s == nil {
+		return ""
+	}
+	return s.lis.Addr().String()
+}
+
+// Close stops the listener and in-flight handlers.
+func (s *Server) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// exportVars renders reg as the expvar "obs" map: counters and gauges
+// by sample name, histograms as _count/_sum pairs.
+func exportVars(reg *Registry) map[string]any {
+	out := map[string]any{}
+	if reg == nil {
+		return out
+	}
+	for _, m := range reg.snapshot() {
+		key := sampleName(m.name, m.labels)
+		switch m.kind {
+		case KindCounter:
+			out[key] = m.ctr.Value()
+		case KindGauge:
+			out[key] = m.gauge.Value()
+		case KindHistogram:
+			out[key+"_count"] = m.hist.Count()
+			out[key+"_sum"] = m.hist.Sum()
+		}
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package obs
+
+import "sync/atomic"
+
+// SimMetrics is the typed bundle of simulation-side metrics: the
+// protocol runner flushes per-round deltas into it, so hot loops (the
+// event scheduler, the sortition cache) never touch an atomic. A nil
+// *SimMetrics is the disabled state; the runner guards its flush with
+// one nil check per round.
+type SimMetrics struct {
+	reg *Registry
+
+	Rounds         *Counter
+	RoundsDecided  *Counter
+	RoundsDegraded *Counter
+	RoundsSparse   *Counter
+	RoundsDense    *Counter
+	Steps          *Counter
+	Proposers      *Counter
+	DesyncedNodes  *Counter
+	Resyncs        *Counter
+
+	EventsScheduled *Counter
+	EventsExecuted  *Counter
+	EventsNear      *Counter
+	EventsFar       *Counter
+	EventsOverflow  *Counter
+	EventsMigrated  *Counter
+
+	SortitionHits   *Counter
+	SortitionMisses *Counter
+
+	WeightRefreshes   *Counter
+	WeightRefreshNS   *Counter
+	WeightIndexUpdate *Counter
+
+	CommitteeSize *Histogram
+
+	// CoverageMaterializedOnly is 1 while any live runner meters tasks
+	// for materialized nodes only (the sparse path), 0 otherwise. See
+	// protocol.CountersCoverage.
+	CoverageMaterializedOnly *Gauge
+
+	RoundWallNS *Counter
+}
+
+// NewSimMetrics registers the simulation metric catalog on reg. A nil
+// reg returns nil.
+func NewSimMetrics(reg *Registry) *SimMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &SimMetrics{
+		reg:            reg,
+		Rounds:         reg.Counter("sim_rounds_total", "BA* rounds completed"),
+		RoundsDecided:  reg.Counter("sim_rounds_decided_total", "rounds where some node reached agreement"),
+		RoundsDegraded: reg.Counter("sim_rounds_degraded_total", "weak-synchrony (degraded) rounds"),
+		RoundsSparse:   reg.Counter("sim_rounds_sparse_total", "rounds taking the O(committee) sparse path"),
+		RoundsDense:    reg.Counter("sim_rounds_dense_total", "rounds taking the dense per-node sweep"),
+		Steps:          reg.Counter("sim_steps_total", "protocol step phases executed (propose, reduction, binary)"),
+		Proposers:      reg.Counter("sim_proposers_total", "proposer lottery winners across rounds"),
+		DesyncedNodes:  reg.Counter("sim_desynced_node_rounds_total", "node-rounds left behind the canonical chain after catch-up"),
+		Resyncs:        reg.Counter("sim_resyncs_total", "nodes resynchronised to the canonical chain during catch-up"),
+
+		EventsScheduled: reg.Counter("sim_events_scheduled_total", "events pushed onto the scheduler"),
+		EventsExecuted:  reg.Counter("sim_events_executed_total", "events popped and executed"),
+		EventsNear:      reg.Counter("sim_events_near_total", "scheduler pushes routed to the near ring"),
+		EventsFar:       reg.Counter("sim_events_far_total", "scheduler pushes routed to the far ring"),
+		EventsOverflow:  reg.Counter("sim_events_overflow_total", "scheduler pushes routed to the overflow heap"),
+		EventsMigrated:  reg.Counter("sim_events_migrated_total", "events migrated far ring -> near ring"),
+
+		// Wall-class: the hit/miss split depends on how runs map onto
+		// worker-owned arenas (one worker's warm cache serves every run;
+		// N workers each start cold), so it is execution-shaped even
+		// though hits+misses is invariant.
+		SortitionHits:   reg.WallCounter("sim_sortition_cache_hits_total", "sortition threshold-table cache hits"),
+		SortitionMisses: reg.WallCounter("sim_sortition_cache_misses_total", "sortition threshold-table cache misses (table builds)"),
+
+		WeightRefreshes:   reg.Counter("sim_weight_refreshes_total", "per-round weight-oracle snapshot refreshes"),
+		WeightRefreshNS:   reg.WallCounter("sim_weight_refresh_ns_total", "wall nanoseconds spent refreshing weight snapshots"),
+		WeightIndexUpdate: reg.Counter("sim_weight_index_updates_total", "incremental stake-index updates observed"),
+
+		CommitteeSize: reg.Histogram("sim_committee_size",
+			"distinct committee voters per round",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096}),
+
+		CoverageMaterializedOnly: reg.Gauge("sim_counters_coverage_materialized_only",
+			"1 while task counters cover materialized nodes only (sparse path), 0 when full"),
+
+		RoundWallNS: reg.WallCounter("sim_round_wall_ns_total", "wall nanoseconds spent simulating rounds"),
+	}
+}
+
+// PoolMetrics is the typed bundle of run-pool and experiment-pipeline
+// metrics. Increments here are per run / per row / per cell — orders of
+// magnitude off the event hot path — so they hit the atomics directly.
+type PoolMetrics struct {
+	reg *Registry
+
+	RunsStarted   *Counter
+	RunsCompleted *Counter
+	// QueueDepth is runs not yet started in the sweep most recently
+	// observed; instantaneous, so a wall-class gauge.
+	QueueDepth *Gauge
+
+	RowsStreamed      *Counter
+	CellsDone         *Counter
+	CheckpointFlushes *Counter
+}
+
+// NewPoolMetrics registers the pool metric catalog on reg. A nil reg
+// returns nil.
+func NewPoolMetrics(reg *Registry) *PoolMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &PoolMetrics{
+		reg:           reg,
+		RunsStarted:   reg.Counter("pool_runs_started_total", "sweep runs handed to a worker"),
+		RunsCompleted: reg.Counter("pool_runs_completed_total", "sweep runs completed"),
+		QueueDepth:    reg.Gauge("pool_queue_depth", "runs not yet started in the current sweep"),
+
+		RowsStreamed:      reg.Counter("exp_rows_streamed_total", "result rows emitted through experiment sinks"),
+		CellsDone:         reg.Counter("exp_cells_done_total", "experiment cells completed through sinks"),
+		CheckpointFlushes: reg.Counter("exp_checkpoint_flushes_total", "grid checkpoint records flushed to disk"),
+	}
+}
+
+// WorkerBusy returns the wall counter of busy nanoseconds for one
+// run-pool worker (per-worker utilization). Nil-safe.
+func (p *PoolMetrics) WorkerBusy(worker int) *Counter {
+	if p == nil {
+		return nil
+	}
+	return p.reg.WallCounterVec("pool_worker_busy_ns_total", "worker", itoa(worker),
+		"wall nanoseconds each run-pool worker spent inside run functions")
+}
+
+// AuditEvents returns the counter of sink audit events for one kind.
+// Nil-safe.
+func (p *PoolMetrics) AuditEvents(kind string) *Counter {
+	if p == nil {
+		return nil
+	}
+	return p.reg.CounterVec("exp_audit_events_total", "kind", kind,
+		"audit events emitted through experiment sinks, by kind")
+}
+
+// --- Cached default bundles ---------------------------------------------
+//
+// DefaultSim/DefaultPool hand instrumented components the bundle for the
+// current global registry without re-registering the catalog on every
+// construction: the cache is an atomic pointer keyed by registry
+// identity, so Enable/Disable cycles (tests) get fresh bundles and the
+// lookup is one atomic load + compare in the common case. Racing
+// creations are benign — the registry dedupes metric registration, so
+// duplicate bundles share the same underlying metrics.
+
+type simCache struct {
+	reg *Registry
+	m   *SimMetrics
+}
+
+type poolCache struct {
+	reg *Registry
+	m   *PoolMetrics
+}
+
+var (
+	simDefault  atomic.Pointer[simCache]
+	poolDefault atomic.Pointer[poolCache]
+)
+
+// DefaultSim returns the SimMetrics bundle for the global registry, or
+// nil when telemetry is off.
+func DefaultSim() *SimMetrics {
+	reg := Default()
+	if reg == nil {
+		return nil
+	}
+	if c := simDefault.Load(); c != nil && c.reg == reg {
+		return c.m
+	}
+	m := NewSimMetrics(reg)
+	simDefault.Store(&simCache{reg: reg, m: m})
+	return m
+}
+
+// DefaultPool returns the PoolMetrics bundle for the global registry,
+// or nil when telemetry is off.
+func DefaultPool() *PoolMetrics {
+	reg := Default()
+	if reg == nil {
+		return nil
+	}
+	if c := poolDefault.Load(); c != nil && c.reg == reg {
+		return c.m
+	}
+	m := NewPoolMetrics(reg)
+	poolDefault.Store(&poolCache{reg: reg, m: m})
+	return m
+}

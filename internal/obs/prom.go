@@ -1,0 +1,268 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, one HELP/TYPE pair
+// per family, histogram buckets cumulative with an explicit +Inf bound.
+// A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	lastFamily := ""
+	for _, m := range r.snapshot() {
+		if m.name != lastFamily {
+			lastFamily = m.name
+			fmt.Fprintf(bw, "# HELP %s %s\n", m.name, m.help)
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, typeString(m.kind))
+		}
+		switch m.kind {
+		case KindCounter:
+			fmt.Fprintf(bw, "%s %d\n", sampleName(m.name, m.labels), m.ctr.Value())
+		case KindGauge:
+			fmt.Fprintf(bw, "%s %d\n", sampleName(m.name, m.labels), m.gauge.Value())
+		case KindHistogram:
+			h := m.hist
+			cum := uint64(0)
+			for i, b := range h.bounds {
+				cum += h.buckets[i].Load()
+				fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", m.name, formatBound(b), cum)
+			}
+			cum += h.buckets[len(h.bounds)].Load()
+			fmt.Fprintf(bw, "%s_bucket{le=\"+Inf\"} %d\n", m.name, cum)
+			fmt.Fprintf(bw, "%s_sum %s\n", m.name, strconv.FormatFloat(h.Sum(), 'g', -1, 64))
+			fmt.Fprintf(bw, "%s_count %d\n", m.name, h.Count())
+		}
+	}
+	return bw.Flush()
+}
+
+func sampleName(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+func typeString(k Kind) string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+func formatBound(b float64) string {
+	if math.IsInf(b, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// LintPrometheus parses a Prometheus text-format exposition and returns
+// the metric family names it declares. It enforces the structural rules
+// a scraper relies on: every sample belongs to a TYPE-declared family
+// (histogram samples via their _bucket/_sum/_count suffixes), sample
+// lines parse as name{labels} value, label lists are well-formed, and
+// values are valid floats. The first violation is returned as an error
+// with its line number. It is the checker behind `benchgen promlint`
+// and the CI metrics-smoke job.
+func LintPrometheus(r io.Reader) ([]string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	types := map[string]string{}
+	var families []string
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return nil, fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("line %d: TYPE needs a name and a type", lineNo)
+				}
+				name, typ := fields[2], fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := types[name]; dup {
+					return nil, fmt.Errorf("line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				types[name] = typ
+				families = append(families, name)
+			}
+			continue
+		}
+		name, rest, err := splitSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if !validMetricName(name) {
+			return nil, fmt.Errorf("line %d: invalid metric name %q", lineNo, name)
+		}
+		value := strings.TrimSpace(rest)
+		// Timestamps (a trailing integer field) are permitted by the
+		// format; the registry never writes them but scrapes of other
+		// exporters may carry them.
+		if i := strings.IndexByte(value, ' '); i >= 0 {
+			ts := strings.TrimSpace(value[i+1:])
+			if _, err := strconv.ParseInt(ts, 10, 64); err != nil {
+				return nil, fmt.Errorf("line %d: bad timestamp %q", lineNo, ts)
+			}
+			value = value[:i]
+		}
+		if _, err := parseSampleValue(value); err != nil {
+			return nil, fmt.Errorf("line %d: bad sample value %q", lineNo, value)
+		}
+		family := sampleFamily(name, types)
+		if _, ok := types[family]; !ok {
+			return nil, fmt.Errorf("line %d: sample %q has no TYPE declaration", lineNo, name)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return families, nil
+}
+
+// splitSample splits "name{labels} value" into name and the remainder
+// after the optional label list, validating label syntax.
+func splitSample(line string) (name, rest string, err error) {
+	brace := strings.IndexByte(line, '{')
+	space := strings.IndexByte(line, ' ')
+	if brace < 0 || (space >= 0 && space < brace) {
+		if space < 0 {
+			return "", "", fmt.Errorf("sample %q has no value", line)
+		}
+		return line[:space], line[space+1:], nil
+	}
+	name = line[:brace]
+	end := strings.IndexByte(line[brace:], '}')
+	if end < 0 {
+		return "", "", fmt.Errorf("unterminated label list in %q", line)
+	}
+	labels := line[brace+1 : brace+end]
+	if err := lintLabels(labels); err != nil {
+		return "", "", err
+	}
+	rest = strings.TrimPrefix(line[brace+end+1:], " ")
+	if rest == "" {
+		return "", "", fmt.Errorf("sample %q has no value", line)
+	}
+	return name, rest, nil
+}
+
+// lintLabels validates a comma-separated key="value" list.
+func lintLabels(s string) error {
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed label list %q", s)
+		}
+		key := s[:eq]
+		if !validLabelName(key) {
+			return fmt.Errorf("invalid label name %q", key)
+		}
+		s = s[eq+1:]
+		if len(s) < 2 || s[0] != '"' {
+			return fmt.Errorf("label %q value is not quoted", key)
+		}
+		s = s[1:]
+		// Scan the quoted value honouring backslash escapes.
+		i := 0
+		for i < len(s) && s[i] != '"' {
+			if s[i] == '\\' {
+				i++
+			}
+			i++
+		}
+		if i >= len(s) {
+			return fmt.Errorf("label %q value is unterminated", key)
+		}
+		s = s[i+1:]
+		if s != "" {
+			if s[0] != ',' {
+				return fmt.Errorf("labels not comma-separated at %q", s)
+			}
+			s = s[1:]
+		}
+	}
+	return nil
+}
+
+func parseSampleValue(v string) (float64, error) {
+	switch v {
+	case "+Inf", "-Inf", "NaN":
+		return 0, nil
+	}
+	return strconv.ParseFloat(v, 64)
+}
+
+// sampleFamily maps a sample name to its declaring family, stripping
+// histogram/summary suffixes when the base family is histogram-typed.
+func sampleFamily(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if t := types[base]; t == "histogram" || t == "summary" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

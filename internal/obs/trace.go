@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"time"
+)
+
+// Trace records Chrome-trace-format events ("trace event format", the
+// JSON array consumed by chrome://tracing and https://ui.perfetto.dev)
+// for the round/step/gossip phases of one simulation run.
+//
+// Timestamps are simulated time, not wall time: a span's ts/dur come
+// straight from the engine's virtual clock, so the recorded trace is a
+// deterministic function of the run — byte-identical across repeats and
+// worker counts — and recording draws no RNG and reads no wall clock.
+// Gossip deliveries are recorded only for nodes below Panel, bounding
+// event volume on large populations, and the recorder stops appending
+// at its event cap.
+//
+// A Trace is single-writer: exactly one runner appends to it (the
+// drivers attach it to run 0 only). All methods no-op on a nil
+// receiver, so un-traced runs pay one branch per instrumentation point.
+type Trace struct {
+	panel  int
+	max    int
+	events []traceEvent
+}
+
+// traceEvent is one entry of the traceEvents array. Ph is "X" for
+// complete spans and "i" for instants; Ts/Dur are microseconds, with
+// TsNS carrying sub-microsecond remainder nanoseconds as Perfetto
+// ignores unknown fields.
+type traceEvent struct {
+	Name string  `json:"name"`
+	Cat  string  `json:"cat"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur,omitempty"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+	S    string  `json:"s,omitempty"` // instant scope
+}
+
+// DefaultTracePanel is the default bounded node panel: gossip events are
+// recorded for nodes 0..DefaultTracePanel-1 only.
+const DefaultTracePanel = 8
+
+// defaultTraceCap bounds recorded events (~44 MB of JSON worst case).
+const defaultTraceCap = 1 << 19
+
+// NewTrace returns a recorder with the given node panel size; panel <= 0
+// selects DefaultTracePanel.
+func NewTrace(panel int) *Trace {
+	if panel <= 0 {
+		panel = DefaultTracePanel
+	}
+	return &Trace{panel: panel, max: defaultTraceCap}
+}
+
+// Panel returns the traced node panel size; zero on a nil receiver
+// (which no node id is below, so panel checks need no extra nil guard).
+func (t *Trace) Panel() int {
+	if t == nil {
+		return 0
+	}
+	return t.panel
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Span records a complete phase [start, start+dur) of virtual time on
+// track tid.
+func (t *Trace) Span(cat, name string, tid int, start, dur time.Duration) {
+	if t == nil || len(t.events) >= t.max {
+		return
+	}
+	t.events = append(t.events, traceEvent{
+		Name: name, Cat: cat, Ph: "X",
+		Ts:  float64(start) / 1e3,
+		Dur: float64(dur) / 1e3,
+		Tid: tid,
+	})
+}
+
+// Instant records a zero-duration event (e.g. one gossip delivery) at
+// virtual time at on track tid.
+func (t *Trace) Instant(cat, name string, tid int, at time.Duration) {
+	if t == nil || len(t.events) >= t.max {
+		return
+	}
+	t.events = append(t.events, traceEvent{
+		Name: name, Cat: cat, Ph: "i",
+		Ts:  float64(at) / 1e3,
+		Tid: tid, S: "t",
+	})
+}
+
+// WriteJSON renders the trace as a Chrome trace JSON object.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	events := []traceEvent{}
+	if t != nil {
+		events = t.events
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// WriteFile writes the trace JSON to path.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,40 @@
+package protocol
+
+// CountersCoverage declares how much of the population the runner's
+// Table II task counters (TaskCounts) actually metered. The dense
+// per-node sweep meters every node. The sparse O(committee) path meters
+// sortition/seed costs for everyone via its flat passes, but verify,
+// relay, block-selection-tally and vote-counting work is metered for
+// materialized nodes (committee ∪ probe panel) only — set-K work by
+// unmaterialized nodes is NOT in the counters. Reward-layer experiments
+// pricing tasks with game.TaskCosts must check this marker before
+// treating TaskCounts as population-complete; silently summing a
+// materialized-only meter undercounts set K (ROADMAP #1).
+type CountersCoverage int
+
+const (
+	// CoverageFull: counters cover every node (dense path).
+	CoverageFull CountersCoverage = iota
+	// CoverageMaterializedOnly: verify/relay-class counters cover the
+	// round's materialized nodes only (sparse path).
+	CoverageMaterializedOnly
+)
+
+// String returns the stable marker spelling experiments embed in
+// results and logs.
+func (c CountersCoverage) String() string {
+	if c == CoverageMaterializedOnly {
+		return "materialized-only"
+	}
+	return "full"
+}
+
+// CountersCoverage reports the coverage of this runner's TaskCounts.
+// It is also exported as the sim_counters_coverage_materialized_only
+// gauge when telemetry is enabled.
+func (r *Runner) CountersCoverage() CountersCoverage {
+	if r.sparse != nil {
+		return CoverageMaterializedOnly
+	}
+	return CoverageFull
+}

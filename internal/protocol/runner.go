@@ -8,6 +8,7 @@ import (
 
 	"github.com/dsn2020-algorand/incentives/internal/ledger"
 	"github.com/dsn2020-algorand/incentives/internal/network"
+	"github.com/dsn2020-algorand/incentives/internal/obs"
 	"github.com/dsn2020-algorand/incentives/internal/sim"
 	"github.com/dsn2020-algorand/incentives/internal/sortition"
 	"github.com/dsn2020-algorand/incentives/internal/vrf"
@@ -116,6 +117,17 @@ type Config struct {
 	// otherwise. See SparseMode for the semantics and the equivalence
 	// contract.
 	Sparse SparseMode
+	// Metrics overrides the telemetry bundle per-round deltas flush
+	// into; nil — the usual case — resolves obs.DefaultSim(), which is
+	// itself nil (all flushes skipped) until obs.Enable is called.
+	// Telemetry is side-effect-free: it reads no RNG and mutates no
+	// simulation state, so outputs are byte-identical either way.
+	Metrics *obs.SimMetrics
+	// Trace optionally records Chrome-trace spans of this runner's
+	// round/step phases plus gossip deliveries to the trace's bounded
+	// node panel, timestamped in virtual time (deterministic). A Trace
+	// is single-writer: attach it to one runner (drivers use run 0).
+	Trace *obs.Trace
 }
 
 // DefaultLossProb is the effective per-hop gossip loss used when
@@ -195,6 +207,19 @@ type Runner struct {
 	// populated when that hook is installed.
 	hooks        Hooks
 	stepRevealed []int
+
+	// Telemetry. metrics is nil when the registry is disabled; the
+	// per-round flush (flushMetrics) is the only place the runner
+	// touches its atomics, fed by deltas against the prev* baselines
+	// (re-taken at construction because arenas recycle the engine and
+	// the sortition cache across runs). resyncs counts catch-up
+	// recoveries within the current round; trace is the optional span
+	// recorder. None of it reads an RNG or mutates simulation state.
+	metrics            *obs.SimMetrics
+	trace              *obs.Trace
+	prevSched          sim.SchedStats
+	prevHits, prevMiss uint64
+	resyncs            uint64
 }
 
 // NewRunner validates cfg and builds the simulation.
@@ -373,6 +398,22 @@ func NewRunner(cfg Config) (*Runner, error) {
 			net.SetOnline(i, false)
 		}
 	}
+	r.metrics = cfg.Metrics
+	if r.metrics == nil {
+		r.metrics = obs.DefaultSim()
+	}
+	r.trace = cfg.Trace
+	if r.metrics != nil {
+		// Baselines for the per-round delta flush: the engine and the
+		// sortition cache arrive from the arena with history.
+		r.prevSched = engine.SchedStats()
+		r.prevHits, r.prevMiss = r.cache.Stats()
+		coverage := int64(0)
+		if r.sparse != nil {
+			coverage = 1
+		}
+		r.metrics.CoverageMaterializedOnly.Set(coverage)
+	}
 	return r, nil
 }
 
@@ -444,12 +485,22 @@ func (r *Runner) RunRounds(n int) []RoundReport {
 const finalVoteStep = 1 << 20 // sortition step id reserved for final votes
 
 func (r *Runner) runRound() RoundReport {
+	// Wall-clock reads happen only with metrics attached, keeping the
+	// disabled path free of syscalls as well as allocations.
+	var wallStart time.Time
+	if r.metrics != nil {
+		wallStart = time.Now()
+	}
 	round := r.canonical.Round()
 	// Refresh the per-round weight snapshot in place via the oracle;
 	// reports and role collections copy values out, so the buffer is
 	// private to the round.
 	r.roundStakes = r.weights.WeightsInto(round, r.roundStakes)
 	r.roundTotal = r.weights.TotalWeight(round)
+	if r.metrics != nil {
+		r.metrics.WeightRefreshes.Add(1)
+		r.metrics.WeightRefreshNS.Add(uint64(time.Since(wallStart)))
+	}
 	r.roundSeed = r.canonical.Seed()
 	r.tauStepAbs = resolveTau(r.params.TauStep, r.roundTotal)
 	r.tauFinalAbs = resolveTau(r.params.TauFinal, r.roundTotal)
@@ -536,7 +587,94 @@ func (r *Runner) runRound() RoundReport {
 	if r.hooks.RoundEnd != nil {
 		r.hooks.RoundEnd(round, report)
 	}
+	if r.trace != nil {
+		r.traceRound(round, start, stepAt, lastStep)
+	}
+	if r.metrics != nil {
+		r.flushMetrics(&report, lastStep, time.Since(wallStart))
+	}
 	return report
+}
+
+// flushMetrics pushes one round's telemetry deltas into the shared
+// registry: a fixed handful of atomic adds per round, so the per-event
+// hot paths (scheduler pushes, cache lookups) stay on plain counters.
+// Everything flushed here is a pure read of simulation state.
+func (r *Runner) flushMetrics(report *RoundReport, lastStep int, wall time.Duration) {
+	m := r.metrics
+	m.Rounds.Add(1)
+	if report.Decided {
+		m.RoundsDecided.Add(1)
+	}
+	if report.Degraded {
+		m.RoundsDegraded.Add(1)
+	}
+	if r.sparse != nil {
+		m.RoundsSparse.Add(1)
+	} else {
+		m.RoundsDense.Add(1)
+	}
+	m.Steps.Add(uint64(lastStep) + 1) // propose + reduction 1..2 + binary 3..lastStep
+	m.Proposers.Add(uint64(len(r.proposers)))
+	m.CommitteeSize.Observe(float64(len(r.voters)))
+	m.DesyncedNodes.Add(uint64(report.Desynced))
+	m.Resyncs.Add(r.resyncs)
+	r.resyncs = 0
+
+	sched := r.engine.SchedStats()
+	m.EventsScheduled.Add(sched.Scheduled - r.prevSched.Scheduled)
+	m.EventsExecuted.Add(sched.Executed - r.prevSched.Executed)
+	m.EventsNear.Add(sched.Near - r.prevSched.Near)
+	m.EventsFar.Add(sched.Far - r.prevSched.Far)
+	m.EventsOverflow.Add(sched.Overflow - r.prevSched.Overflow)
+	m.EventsMigrated.Add(sched.Migrated - r.prevSched.Migrated)
+	r.prevSched = sched
+
+	hits, misses := r.cache.Stats()
+	m.SortitionHits.Add(hits - r.prevHits)
+	m.SortitionMisses.Add(misses - r.prevMiss)
+	r.prevHits, r.prevMiss = hits, misses
+
+	m.RoundWallNS.Add(uint64(wall))
+}
+
+// traceRound records the round's phase spans on the trace's virtual
+// timeline: one span for the whole round, one for the proposal window,
+// one per committee step window, all on track 0 (gossip instants use
+// per-node tracks, see handleMessage). Allocation here is fine — the
+// recorder is attached to at most one runner, never to benchmarks.
+func (r *Runner) traceRound(round uint64, start time.Duration, stepAt func(int) time.Duration, lastStep int) {
+	name := "round " + itoa(round)
+	r.trace.Span("round", name, 0, start, r.engine.Now()-start)
+	r.trace.Span("phase", "propose", 0, start, r.params.ProposalTimeout)
+	for s := 1; s <= lastStep; s++ {
+		var step string
+		switch s {
+		case 1:
+			step = "reduction 1"
+		case 2:
+			step = "reduction 2"
+		default:
+			step = "binary " + itoa(uint64(s))
+		}
+		r.trace.Span("phase", step, 0, stepAt(s), r.params.StepTimeout)
+	}
+}
+
+// itoa formats a uint64 without strconv (matching the runner's
+// avoid-fmt-in-round-path convention; only trace recording calls it).
+func itoa(n uint64) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
 }
 
 func resolveTau(tau, total float64) float64 {
@@ -897,6 +1035,13 @@ func (r *Runner) maliciousValue(nd *node, honest ledger.Hash) ledger.Hash {
 // --- Message handling ----------------------------------------------------
 
 func (r *Runner) handleMessage(nodeID int, msg network.Message) {
+	if r.trace != nil && nodeID < r.trace.Panel() {
+		name := "vote"
+		if msg.Kind == network.KindProposal {
+			name = "proposal"
+		}
+		r.trace.Instant("gossip", name, nodeID, r.engine.Now())
+	}
 	nd := r.nodes[nodeID]
 	if nd == nil {
 		// Sparse mode only materializes committee ∪ panel; nothing else can
@@ -1133,6 +1278,7 @@ func (r *Runner) catchUp() {
 		}
 		if nd.behavior == Selfish {
 			nd.ledger = r.canonical.CloneView()
+			r.resyncs++
 			continue
 		}
 		if !r.net.Online(nd.id) {
@@ -1150,6 +1296,7 @@ func (r *Runner) catchUp() {
 			}
 			if p.ledger.Round() == r.canonical.Round() && p.ledger.Tip() == r.canonical.Tip() {
 				nd.ledger = r.canonical.CloneView()
+				r.resyncs++
 				break
 			}
 		}

@@ -819,6 +819,7 @@ func (r *Runner) catchUpSparse() {
 	for _, id := range ids {
 		if r.behaviors[id] == Selfish {
 			delete(s.desynced, id)
+			r.resyncs++
 			continue
 		}
 		if !r.net.Online(id) {
@@ -835,6 +836,7 @@ func (r *Runner) catchUpSparse() {
 				continue
 			}
 			delete(s.desynced, id)
+			r.resyncs++
 			break
 		}
 	}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"github.com/dsn2020-algorand/incentives/internal/obs"
 )
 
 // SweepFold executes fn for every run index like SweepWithState, but
@@ -46,11 +48,13 @@ func SweepFold[T, S any](runs, workers int, newState func(worker int) S, fn func
 	if workers > runs {
 		workers = runs
 	}
+	m := obs.DefaultPool()
 	if workers <= 1 {
 		state := newState(0)
+		work := poolHook(fn, m, 0, runs)
 		var firstErr, foldErr error
 		for run := 0; run < runs; run++ {
-			r, err := fn(run, state)
+			r, err := work(run, state)
 			if err != nil {
 				if firstErr == nil {
 					firstErr = fmt.Errorf("runpool: run %d: %w", run, err)
@@ -124,12 +128,13 @@ func SweepFold[T, S any](runs, workers int, newState func(worker int) S, fn func
 		go func() {
 			defer wg.Done()
 			state := newState(w)
+			work := poolHook(fn, m, w, runs)
 			for {
 				run := int(next.Add(1)) - 1
 				if run >= runs {
 					return
 				}
-				r, err := fn(run, state)
+				r, err := work(run, state)
 				deliver(run, r, err)
 			}
 		}()

@@ -18,7 +18,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"github.com/dsn2020-algorand/incentives/internal/obs"
 	"github.com/dsn2020-algorand/incentives/internal/stats"
 )
 
@@ -29,6 +31,27 @@ func Resolve(workers int) int {
 		return workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// poolHook wraps fn with one worker's run-pool telemetry (runs
+// started/completed, claimed-queue depth, per-worker busy wall time);
+// it returns fn unchanged when telemetry is disabled, so the disabled
+// path adds nothing to the per-run call. Runs are claimed in ascending
+// index order, so runs-1-run is the unclaimed count at claim time.
+func poolHook[T, S any](fn func(run int, state S) (T, error), m *obs.PoolMetrics, worker, runs int) func(run int, state S) (T, error) {
+	if m == nil {
+		return fn
+	}
+	busy := m.WorkerBusy(worker)
+	return func(run int, state S) (T, error) {
+		m.RunsStarted.Add(1)
+		m.QueueDepth.Set(int64(runs - 1 - run))
+		t0 := time.Now()
+		r, err := fn(run, state)
+		busy.Add(uint64(time.Since(t0)))
+		m.RunsCompleted.Add(1)
+		return r, err
+	}
 }
 
 // Sweep executes fn for every run index in [0, runs) across the given
@@ -71,10 +94,12 @@ func SweepWithState[T, S any](runs, workers int, newState func(worker int) S, fn
 	if workers > runs {
 		workers = runs
 	}
+	m := obs.DefaultPool()
 	if workers <= 1 {
 		state := newState(0)
+		work := poolHook(fn, m, 0, runs)
 		for run := 0; run < runs; run++ {
-			results[run], errs[run] = fn(run, state)
+			results[run], errs[run] = work(run, state)
 		}
 	} else {
 		var next atomic.Int64
@@ -85,12 +110,13 @@ func SweepWithState[T, S any](runs, workers int, newState func(worker int) S, fn
 			go func() {
 				defer wg.Done()
 				state := newState(w)
+				work := poolHook(fn, m, w, runs)
 				for {
 					run := int(next.Add(1)) - 1
 					if run >= runs {
 						return
 					}
-					results[run], errs[run] = fn(run, state)
+					results[run], errs[run] = work(run, state)
 				}
 			}()
 		}

@@ -108,6 +108,16 @@ type calendarQueue struct {
 
 	// overflow holds events beyond the far span, ordered by (at, seq).
 	overflow eventQueue
+
+	// Routing statistics: plain (non-atomic) counters — the queue is
+	// single-threaded — incremented on the push/migrate paths and read
+	// through Engine.SchedStats. They are observability only and never
+	// influence scheduling; Engine.Reset clears them with the rest of the
+	// counters so per-run deltas stay well-defined on recycled engines.
+	statNear     uint64 // pushes routed to the near ring
+	statFar      uint64 // pushes routed to the far ring
+	statOverflow uint64 // pushes routed to the overflow heap
+	statMigrated uint64 // events migrated far ring -> near ring
 }
 
 // calBucket is one near-ring slot: an append-order event slice that gets
@@ -236,6 +246,10 @@ func (c *calendarQueue) reset() {
 	}
 	clear(c.overflow)
 	c.overflow = c.overflow[:0]
+	c.statNear = 0
+	c.statFar = 0
+	c.statOverflow = 0
+	c.statMigrated = 0
 }
 
 // ensureWindow advances the rung boundary after the clock jumped past it
@@ -282,6 +296,7 @@ func (c *calendarQueue) migrate(day int64) {
 			c.insertNear(blk.events[i])
 		}
 		c.farCount -= n
+		c.statMigrated += uint64(n)
 		clear(blk.events[:n]) // release closure/payload references
 		blk.n = 0
 		next := blk.next
@@ -386,6 +401,7 @@ func (c *calendarQueue) growBucket(e []event) []event {
 func (c *calendarQueue) push(ev event, now time.Duration) {
 	c.ensureWindow(now)
 	if ev.at < c.migrated+time.Duration(1)<<c.farShift {
+		c.statNear++
 		if c.insertNear(ev) > calMaxBucketLen &&
 			c.nearShift > calMinNearShift && len(c.near) < calMaxNearBuckets {
 			// Halve the near width at constant span. The far geometry is
@@ -395,9 +411,11 @@ func (c *calendarQueue) push(ev event, now time.Duration) {
 		return
 	}
 	if (int64(ev.at)>>c.farShift)-c.farCursor < c.farMask {
+		c.statFar++
 		c.appendFar(ev)
 		return
 	}
+	c.statOverflow++
 	c.overflow.push(ev)
 	// A growing overflow means the horizon outgrew the far span (a delay
 	// model without a hint): double the far ring. A few far-future

@@ -182,6 +182,39 @@ func (e *Engine) HintHorizon(horizon time.Duration) {
 	}
 }
 
+// SchedStats is a snapshot of the engine's scheduling counters, for
+// telemetry. All fields count since construction or the last Reset;
+// consumers flush deltas between snapshots, so the mixed reset
+// semantics of recycled engines never produce negative rates as long
+// as the baseline is re-taken after each Reset (protocol runners take
+// theirs at construction, which follows the arena's Reset).
+type SchedStats struct {
+	// Scheduled counts events pushed; Executed counts events popped and
+	// run. Both cover either scheduler.
+	Scheduled uint64
+	Executed  uint64
+	// Near/Far/Overflow split pushes by calendar route; Migrated counts
+	// far-ring events rehomed into the near ring. All zero under the
+	// legacy heap.
+	Near     uint64
+	Far      uint64
+	Overflow uint64
+	Migrated uint64
+}
+
+// SchedStats returns the current scheduling counters. Reading them has
+// no effect on scheduling.
+func (e *Engine) SchedStats() SchedStats {
+	return SchedStats{
+		Scheduled: e.seq,
+		Executed:  e.steps,
+		Near:      e.cal.statNear,
+		Far:       e.cal.statFar,
+		Overflow:  e.cal.statOverflow,
+		Migrated:  e.cal.statMigrated,
+	}
+}
+
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
 

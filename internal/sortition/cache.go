@@ -33,6 +33,14 @@ import (
 // instance. The zero value is not usable — construct with NewCache.
 type Cache struct {
 	tables map[thresholdKey]*thresholdTable
+
+	// hits/misses count table lookups for telemetry: plain (non-atomic)
+	// fields — the cache is single-threaded by contract — cumulative for
+	// the cache's lifetime (Reset releases tables, not statistics, so
+	// consumers flushing deltas stay monotonic across the high-water
+	// Reset the protocol runner performs mid-run).
+	hits   uint64
+	misses uint64
 }
 
 // NewCache returns an empty selection oracle.
@@ -95,12 +103,18 @@ func (t *thresholdTable) lookup(u float64, w int) int {
 func (c *Cache) table(w int, prob float64) *thresholdTable {
 	key := thresholdKey{w: w, prob: prob}
 	if t, ok := c.tables[key]; ok {
+		c.hits++
 		return t
 	}
+	c.misses++
 	t := buildThresholdTable(w, prob)
 	c.tables[key] = t
 	return t
 }
+
+// Stats returns the cumulative table lookup hit/miss counts. Reading
+// them never affects selection.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
 
 // buildThresholdTable replays the incremental pmf/cdf recurrence of
 // subUsers once, recording the CDF value of every iteration until the pmf

@@ -2,6 +2,7 @@ package weight
 
 import (
 	"github.com/dsn2020-algorand/incentives/internal/ledger"
+	"github.com/dsn2020-algorand/incentives/internal/obs"
 )
 
 // Index is the incremental ledger backend: a dense stake mirror plus a
@@ -36,6 +37,9 @@ type Index struct {
 	// at resumEvery the total and tree are rebuilt from dense.
 	mutations  int
 	resumEvery int
+	// updates is the telemetry counter of observed mutations; nil (a
+	// no-op) when the registry is disabled, resolved once at construction.
+	updates *obs.Counter
 }
 
 var _ Oracle = (*Index)(nil)
@@ -63,6 +67,9 @@ func NewIndex(l *ledger.Ledger) *Index {
 		x.total += w
 	}
 	x.rebuildTree()
+	if m := obs.DefaultSim(); m != nil {
+		x.updates = m.WeightIndexUpdate
+	}
 	x.tok = l.SetStakeObserver(x.observe)
 	return x
 }
@@ -81,6 +88,7 @@ func (x *Index) observe(id int, old, new float64) {
 	x.treeAdd(id, delta)
 	x.total += delta
 	x.mutations++
+	x.updates.Add(1)
 	if x.mutations >= x.resumEvery {
 		x.resum()
 	}

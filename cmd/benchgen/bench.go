@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"testing"
 
@@ -86,28 +87,72 @@ func toResult(r testing.BenchmarkResult) BenchResult {
 	}
 }
 
-// bestOf measures fn samples times, reporting the FIRST sample's
-// allocation counts and the minimum ns/op across samples. The split
-// matters: allocs/op must stay deterministic for the slack-gated
-// compare, and only the first sample is guaranteed to replay the same
-// window on every invocation (the round workload advances one shared
-// runner, so later samples measure later — allocation-lighter — round
-// ranges). ns/op on a shared or thermally-throttled runner inflates
-// under load, and the minimum across samples is the standard low-noise
-// wall-clock estimator the ±20% regression gate wants.
+// bestOf measures fn samples times, reporting the MEDIAN allocation
+// counts and the minimum ns/op across samples. The split matters:
+// allocs/op must stay deterministic for the slack-gated compare, and
+// since the whole sample sequence is seed-deterministic (workloads that
+// advance a shared runner measure successive round windows in the same
+// order every invocation), the median across samples is deterministic
+// too — while absorbing a one-sample background-allocation spike (GC
+// worker, timer wakeup) that a single-sample read would persist into
+// the baseline and flake every later compare against. ns/op on a shared
+// or thermally-throttled runner inflates under load, and the minimum
+// across samples is the standard low-noise wall-clock estimator the
+// ±20% regression gate wants.
 func bestOf(samples int, fn func(b *testing.B)) BenchResult {
-	first := toResult(testing.Benchmark(fn))
-	for i := 1; i < samples; i++ {
-		if r := toResult(testing.Benchmark(fn)); r.NsPerOp < first.NsPerOp {
-			first.NsPerOp = r.NsPerOp
-		}
+	results := make([]BenchResult, 0, samples)
+	for i := 0; i < samples; i++ {
+		results = append(results, toResult(testing.Benchmark(fn)))
 	}
-	return first
+	out := results[0]
+	allocs := make([]int64, 0, samples)
+	bytes := make([]int64, 0, samples)
+	for _, r := range results {
+		if r.NsPerOp < out.NsPerOp {
+			out.NsPerOp = r.NsPerOp
+		}
+		allocs = append(allocs, r.AllocsPerOp)
+		bytes = append(bytes, r.BytesPerOp)
+	}
+	out.AllocsPerOp = medianInt64(allocs)
+	out.BytesPerOp = medianInt64(bytes)
+	return out
+}
+
+// medianInt64 returns the lower median of vs (sorted copy, element
+// (n-1)/2): for the common all-equal case it is that value, and for an
+// even sample count it picks a value actually measured rather than an
+// average of two windows.
+func medianInt64(vs []int64) int64 {
+	s := make([]int64, len(vs))
+	copy(s, vs)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[(len(s)-1)/2]
 }
 
 // genBench measures the hot-path workloads and headline figure metrics
 // and writes them to path as JSON.
 func genBench(path string, pr int) error {
+	out, err := measureBench(pr)
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// measureBench runs the full measurement pass and returns the bench
+// file in memory — the bench target writes it out, the compare
+// -selfcheck mode runs it twice and diffs the two results.
+func measureBench(pr int) (*BenchFile, error) {
 	// The round-based workloads measure a FIXED iteration count: the
 	// simulation is seed-deterministic, so a fixed window runs the exact
 	// same round sequence on every machine, making allocs/op reproducible
@@ -119,7 +164,7 @@ func genBench(path string, pr int) error {
 	testing.Init()
 	setBenchtime := func(v string) error { return flag.Set("test.benchtime", v) }
 	if err := setBenchtime("100x"); err != nil {
-		return err
+		return nil, err
 	}
 	out := BenchFile{
 		PR:         pr,
@@ -146,7 +191,7 @@ func genBench(path string, pr int) error {
 		Seed:      1,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	// Warm pools, caches, the sortition oracle, and the calendar queue's
 	// adaptive geometry before measuring: the steady-state round is the
@@ -168,7 +213,7 @@ func genBench(path string, pr int) error {
 	// fixed window, like the dense round workload, keeps allocs/op
 	// reproducible.
 	if err := setBenchtime("20x"); err != nil {
-		return err
+		return nil, err
 	}
 	sparseStakes := make([]float64, 50_000)
 	sparseBehaviors := make([]protocol.Behavior, 50_000)
@@ -187,7 +232,7 @@ func genBench(path string, pr int) error {
 		Sparse:    protocol.SparseOn,
 	})
 	if err != nil {
-		return err
+		return nil, err
 	}
 	sparseRunner.RunRounds(6)
 	fmt.Println("measuring protocol_round_sparse_50k ...")
@@ -203,7 +248,7 @@ func genBench(path string, pr int) error {
 	// counts they need for stable ns/op (their allocs are pinned at zero
 	// by TestSortitionSelectAllocFree regardless).
 	if err := setBenchtime("5s"); err != nil {
-		return err
+		return nil, err
 	}
 	key := vrf.GenerateKey(sim.NewRNG(1, "benchgen.sortition"))
 	p := sortition.Params{
@@ -235,7 +280,7 @@ func genBench(path string, pr int) error {
 	// Fig. 3-class workload: one small defection simulation per
 	// iteration, seeds 1..20 — a fixed window, like the round workload.
 	if err := setBenchtime("20x"); err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println("measuring fig3_small ...")
 	fig3 := experiments.DefaultFig3Config()
@@ -261,7 +306,7 @@ func genBench(path string, pr int) error {
 	// is deterministic; each iteration builds a fresh runner (scenario
 	// runs are dominated by faulted rounds, not steady state).
 	if err := setBenchtime("10x"); err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println("measuring scenario_eclipse_100 ...")
 	eclipse, ok := adversary.Lookup(adversary.EclipseEquivocation)
@@ -269,7 +314,7 @@ func genBench(path string, pr int) error {
 		// A miss would otherwise surface as b.Fatal inside
 		// testing.Benchmark — a silent zero result the compare gate
 		// reads as an improvement.
-		return fmt.Errorf("scenario %q not registered", adversary.EclipseEquivocation)
+		return nil, fmt.Errorf("scenario %q not registered", adversary.EclipseEquivocation)
 	}
 	out.Benchmarks["scenario_eclipse_100"] = bestOf(3, func(b *testing.B) {
 		b.ReportAllocs()
@@ -296,11 +341,11 @@ func genBench(path string, pr int) error {
 	// copy-on-write ledger views bound at O(pages touched) per resync.
 	// Fixed seeded window, arena reuse across iterations, like the grid.
 	if err := setBenchtime("3x"); err != nil {
-		return err
+		return nil, err
 	}
 	churn, ok := adversary.Lookup("crash_churn")
 	if !ok {
-		return fmt.Errorf("scenario %q not registered", "crash_churn")
+		return nil, fmt.Errorf("scenario %q not registered", "crash_churn")
 	}
 	churnStakes := make([]float64, 500)
 	churnBehaviors := make([]protocol.Behavior, 500)
@@ -344,7 +389,7 @@ func genBench(path string, pr int) error {
 	// pays per catch-up, without the surrounding gossip traffic. The
 	// deep-clone companion shows the removed O(accounts) copy directly.
 	if err := setBenchtime("5s"); err != nil {
-		return err
+		return nil, err
 	}
 	resyncSrc := func() *ledger.Ledger {
 		stakes := make([]float64, 4096)
@@ -384,7 +429,7 @@ func genBench(path string, pr int) error {
 	// the default path, gated via protocol_round_100, not here). Fixed
 	// windows keep allocs/op deterministic, like the round workload.
 	if err := setBenchtime("1000x"); err != nil {
-		return err
+		return nil, err
 	}
 	refreshBench := func(backend weight.Backend) func(b *testing.B) {
 		stakes := make([]float64, 4096)
@@ -428,7 +473,7 @@ func genBench(path string, pr int) error {
 	// fold removes. Fixed seeded windows, one worker, like the grid
 	// headline.
 	if err := setBenchtime("3x"); err != nil {
-		return err
+		return nil, err
 	}
 	streamCfg := experiments.FullScenarioGridConfig()
 	streamCfg.Scenarios = []string{adversary.HonestBaseline, "crash_churn"}
@@ -459,17 +504,17 @@ func genBench(path string, pr int) error {
 	fig3.Seed = 1
 	res3, err := experiments.RunFig3(fig3)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	out.Headline["fig3_mean_final_d15"] = res3.Series[0].MeanFinal()
 	resT, err := experiments.RunTable3()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	out.Headline["table3_per_round_period1"] = resT.Rows[0].PerRound
 	res5, err := experiments.RunFig5(experiments.DefaultFig5Config())
 	if err != nil {
-		return err
+		return nil, err
 	}
 	out.Headline["fig5_min_b_grid"] = res5.GridBest.B
 	scnCfg := experiments.DefaultScenarioConfig(adversary.EclipseEquivocation)
@@ -479,7 +524,7 @@ func genBench(path string, pr int) error {
 	scnCfg.Workers = 1
 	scnRes, err := experiments.RunScenario(scnCfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	out.Headline["scenario_eclipse_mean_final"] = scnRes.Audit.MeanFinalFrac
 	// A reduced scenario×seed grid pins the -full path's determinism:
@@ -492,7 +537,7 @@ func genBench(path string, pr int) error {
 	gridCfg.Workers = 1
 	gridRes, err := experiments.RunScenarioGrid(gridCfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	gridFinal := 0.0
 	for _, cell := range gridRes.Cells {
@@ -504,11 +549,11 @@ func genBench(path string, pr int) error {
 	// reproduce bit-for-bit at any worker count or shard split.
 	streamSink := experiments.NewSummarySink(0)
 	if err := experiments.StreamScenarioGrid(streamCfg, streamSink, experiments.StreamOptions{}); err != nil {
-		return err
+		return nil, err
 	}
 	streamTable, err := streamSink.Table()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	for _, col := range streamTable.Columns {
 		if col.Name == "p50" {
@@ -528,7 +573,7 @@ func genBench(path string, pr int) error {
 	// build tag Enable is a no-op and the workload (plus the Obs
 	// snapshot) is skipped.
 	if err := setBenchtime("100x"); err != nil {
-		return err
+		return nil, err
 	}
 	preEnabled := obs.Default() != nil
 	if reg := obs.Enable(); reg != nil {
@@ -539,7 +584,7 @@ func genBench(path string, pr int) error {
 			Seed:      1,
 		})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		obsRunner.RunRounds(12)
 		fmt.Println("measuring protocol_round_100_obs ...")
@@ -555,14 +600,5 @@ func genBench(path string, pr int) error {
 		}
 	}
 
-	data, err := json.MarshalIndent(out, "", "  ")
-	if err != nil {
-		return err
-	}
-	data = append(data, '\n')
-	if err := os.WriteFile(path, data, 0o644); err != nil {
-		return err
-	}
-	fmt.Printf("wrote %s\n", path)
-	return nil
+	return &out, nil
 }

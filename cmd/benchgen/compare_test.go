@@ -1,0 +1,94 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAllocSlackWidensOffKnownHardware(t *testing.T) {
+	for _, tc := range []struct {
+		base int64
+		same bool
+		want int64
+	}{
+		{base: 0, same: true, want: 4},
+		{base: 100_000, same: true, want: 100},
+		{base: 0, same: false, want: 64},
+		{base: 100_000, same: false, want: 1000},
+	} {
+		if got := allocSlack(tc.base, tc.same); got != tc.want {
+			t.Errorf("allocSlack(%d, %v) = %d, want %d", tc.base, tc.same, got, tc.want)
+		}
+	}
+}
+
+func TestMedianInt64(t *testing.T) {
+	for _, tc := range []struct {
+		vs   []int64
+		want int64
+	}{
+		{[]int64{5}, 5},
+		{[]int64{7, 7, 7}, 7},
+		{[]int64{9, 1, 5}, 5},
+		// Lower median on even counts: a measured value, not an average.
+		{[]int64{1, 9}, 1},
+		// A single background-allocation spike must not move the median.
+		{[]int64{100, 100, 4000}, 100},
+	} {
+		if got := medianInt64(tc.vs); got != tc.want {
+			t.Errorf("medianInt64(%v) = %d, want %d", tc.vs, got, tc.want)
+		}
+	}
+}
+
+func benchFixture(allocs int64, ns float64) *BenchFile {
+	f := &BenchFile{
+		GoOS: "linux", GoArch: "amd64", NumCPU: 8, CPU: "TestCPU v1",
+		Benchmarks: map[string]BenchResult{},
+		Headline:   map[string]float64{"fig3_mean_final_d15": 0.5},
+	}
+	for _, g := range gatedWorkloads {
+		f.Benchmarks[g.key] = BenchResult{NsPerOp: ns, AllocsPerOp: allocs}
+	}
+	return f
+}
+
+// TestGateDiffAllocSlackByHardware pins the satellite fix: a +40/op
+// allocs drift trips the tight same-hardware gate but is absorbed by
+// the widened slack when the baseline hardware is unknown.
+func TestGateDiffAllocSlackByHardware(t *testing.T) {
+	base := benchFixture(1000, 100)
+	cand := benchFixture(1040, 100)
+	if findings := gateDiff(base, cand, true); len(findings) == 0 {
+		t.Fatal("same-hardware gate missed a +40 allocs/op drift beyond the tight slack")
+	}
+	if findings := gateDiff(base, cand, false); len(findings) != 0 {
+		t.Fatalf("unknown-hardware gate should absorb +40 allocs/op, got %v", findings)
+	}
+	// A real per-iteration leak (+100/op per the fixed 100x windows)
+	// still trips even the widened gate.
+	leak := benchFixture(10_000, 100)
+	if findings := gateDiff(base, leak, false); len(findings) == 0 {
+		t.Fatal("unknown-hardware gate missed a real allocation leak")
+	}
+}
+
+// TestGateDiffNsGateNeedsSameHardware pins that wall-clock regressions
+// only fail on proven-identical hardware, while headline diffs always
+// fail.
+func TestGateDiffNsGateNeedsSameHardware(t *testing.T) {
+	base := benchFixture(1000, 100)
+	slow := benchFixture(1000, 200)
+	if findings := gateDiff(base, slow, true); len(findings) == 0 {
+		t.Fatal("same-hardware gate missed a 2x ns/op regression")
+	}
+	if findings := gateDiff(base, slow, false); len(findings) != 0 {
+		t.Fatalf("cross-hardware ns/op must be advisory, got %v", findings)
+	}
+	drift := benchFixture(1000, 100)
+	drift.Headline["fig3_mean_final_d15"] = 0.75
+	findings := gateDiff(base, drift, false)
+	if len(findings) != 1 || !strings.Contains(findings[0], "headline") {
+		t.Fatalf("headline diff must fail on any hardware, got %v", findings)
+	}
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for name, args := range map[string][]string{
+		"no subcommand":          {},
+		"unknown subcommand":     {"frobnicate"},
+		"serve unknown flag":     {"serve", "-no-such-flag"},
+		"serve stray args":       {"serve", "extra"},
+		"submit unknown kind":    {"submit", "-kind", "sideways"},
+		"submit sweep with args": {"submit", "-kind", "scenario", "stray"},
+		"submit sweep with out":  {"submit", "-kind", "scenario", "-out", t.TempDir()},
+		"watch stray args":       {"watch", "-job", "job-1", "stray"},
+	} {
+		t.Run(name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			if err := run(args, &stdout, &stderr); err == nil {
+				t.Fatalf("run(%v) succeeded, want error", args)
+			}
+		})
+	}
+}
+
+// TestServeSmoke boots the daemon on an ephemeral port, submits a tiny
+// sweep through the submit subcommand, and shuts the server down — the
+// CLI wiring end to end, without touching the network beyond loopback.
+func TestServeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon round-trip in -short mode")
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+
+	// runServe blocks until a process signal, so the goroutine lives for
+	// the rest of the test binary — the channel only catches early exits.
+	serveDone := make(chan error, 1)
+	var serveOut, serveErr bytes.Buffer
+	go func() {
+		serveDone <- run([]string{"serve", "-listen", addr, "-data", t.TempDir()}, &serveOut, &serveErr)
+	}()
+
+	var stdout, stderr bytes.Buffer
+	args := []string{
+		"submit", "-addr", "http://" + addr, "-kind", "scenario",
+		"-scenario", "honest_baseline", "-nodes", "40", "-rounds", "3", "-runs", "2",
+		"-stream",
+	}
+	var submitErr error
+	for try := 0; try < 100; try++ {
+		stdout.Reset()
+		stderr.Reset()
+		if submitErr = run(args, &stdout, &stderr); submitErr == nil {
+			break
+		}
+		if !strings.Contains(submitErr.Error(), "connection refused") {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if submitErr != nil {
+		t.Fatalf("submit: %v\nstderr: %s\nserve log: %s", submitErr, stderr.String(), serveOut.String())
+	}
+	if !strings.Contains(stdout.String(), `"event":"cell_start"`) {
+		t.Fatalf("streamed output carries no cell_start event:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "done") {
+		t.Fatalf("submit did not report a settled job:\n%s", stderr.String())
+	}
+	select {
+	case err := <-serveDone:
+		t.Fatalf("serve exited early: %v\n%s", err, serveErr.String())
+	default:
+	}
+}

@@ -105,6 +105,17 @@ func Attach(r *protocol.Runner, scn Scenario) (*Engine, error) {
 			}
 		}
 	}
+	// Index-named targets are explicit victims: pin them so sparse runs
+	// materialize them every round and per-victim NodeOutcome assertions
+	// see exact outcomes (unpinned, an unmaterialized victim reads as
+	// OutcomeNone). Only TargetIndices pins — random/stake-ranked targets
+	// are aggregate-level and would skew the panel extrapolation mass for
+	// no observable benefit.
+	for _, ph := range scn.Phases {
+		if ph.Target.Mode == TargetIndices {
+			r.PinMaterialized(ph.Target.Indices)
+		}
+	}
 	r.SetHooks(protocol.Hooks{
 		RoundStart: e.roundStart,
 		RoundEnd:   e.roundEnd,

@@ -352,6 +352,86 @@ func TestAdaptiveCorruptionBudget(t *testing.T) {
 	}
 }
 
+// TestSparseEclipseVictimOutcomes is the regression test for sparse-mode
+// per-victim queries: a scenario naming eclipse victims by index, run
+// above the sparse threshold, must report exact NodeOutcome answers for
+// those victims. Before the fix, an unmaterialized victim read as
+// OutcomeNone whether or not it decided, so per-victim assertions were
+// meaningless above SparseAutoThreshold; Attach now pins TargetIndices
+// nodes into every round's materialized set.
+func TestSparseEclipseVictimOutcomes(t *testing.T) {
+	const n = protocol.SparseAutoThreshold // 4096: at the sparse boundary
+	victims := []int{9, 1033, 2048, 4095}
+	stakes := make([]float64, n)
+	behaviors := make([]protocol.Behavior, n)
+	for i := range stakes {
+		stakes[i] = float64(1 + i%50)
+		behaviors[i] = protocol.Honest
+	}
+	p := protocol.DefaultParams()
+	p.TauStep, p.TauFinal = 60, 70
+	p.AsyncProb = 0
+	r, err := protocol.NewRunner(protocol.Config{
+		Params:    p,
+		Stakes:    stakes,
+		Behaviors: behaviors,
+		Fanout:    5,
+		Seed:      99,
+		Sparse:    protocol.SparseOn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scn := Scenario{
+		Name:        "pin_eclipse",
+		Description: "eclipse four named victims from tick 3 on",
+		Phases: []Phase{{
+			Name: "eclipse", From: 3, To: 8,
+			Target: Target{Mode: TargetIndices, Indices: victims},
+			Inject: []Injection{{Kind: InjectEclipse}},
+		}},
+	}
+	e, err := Attach(r, scn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tick 1 is all-honest and every node starts synced: a decided first
+	// round must show each victim an exact (non-None) outcome. Without
+	// pinning, a given node is materialized only when the committee or
+	// probe-panel lottery happens to draw it, so at this population some
+	// victim reads None here. (Later honest rounds are no good for this
+	// assertion: an exact outcome can legitimately be None once a node
+	// has fallen behind through ordinary gossip misses.)
+	rep := r.RunRounds(1)[0]
+	if !rep.Decided {
+		t.Fatal("round 1 did not decide; the exact-outcome assertion never ran")
+	}
+	for _, id := range victims {
+		if out, _ := r.NodeOutcome(id); out == protocol.OutcomeNone {
+			t.Errorf("tick 1 (decided): victim %d reports OutcomeNone — not materialized", id)
+		}
+	}
+	r.RunRounds(1) // tick 2: still honest
+	// Ticks 3-8: the victims are cut from the backbone. From tick 4 they
+	// are behind the canonical chain (or starved of every proposal), so
+	// their exact outcome is None — which per-victim audits can now
+	// actually observe, instead of None-because-unmaterialized.
+	for tick := 3; tick <= 8; tick++ {
+		r.RunRounds(1)
+		if tick < 4 {
+			continue
+		}
+		for _, id := range victims {
+			if out, _ := r.NodeOutcome(id); out != protocol.OutcomeNone {
+				t.Errorf("tick %d: eclipsed victim %d reports %v, want OutcomeNone", tick, id, out)
+			}
+		}
+	}
+	if got := e.Audit().Report().SafetyViolations; got != 0 {
+		t.Fatalf("eclipse run violated safety %d times", got)
+	}
+}
+
 // TestSilenceDegradesConsensus: with the richest 20% selectively silent
 // and a loss burst active, committee quorums must visibly suffer
 // relative to the honest baseline at the same seed. (Raw message counts

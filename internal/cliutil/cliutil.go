@@ -9,6 +9,7 @@ package cliutil
 import (
 	"flag"
 	"fmt"
+	"strings"
 
 	"github.com/dsn2020-algorand/incentives/internal/experiments"
 	"github.com/dsn2020-algorand/incentives/internal/protocol"
@@ -58,6 +59,11 @@ func (w *WeightFlags) Resolve() (weight.Backend, experiments.WeightProfile, erro
 // because profiles are functions and cannot be digested directly.
 func (w *WeightFlags) Spec() string { return *w.profile }
 
+// Backend returns the raw -weightBackend string; daemon clients ship it
+// verbatim in job specs and let the server resolve it, so client and
+// server cannot drift on the parse.
+func (w *WeightFlags) Backend() string { return *w.backend }
+
 // SparseFlags is the registered sparse-path flag trio.
 type SparseFlags struct {
 	mode     *string
@@ -89,6 +95,32 @@ func (s *SparseFlags) Resolve() (protocol.SparseMode, protocol.Params, error) {
 		params.TauFinal = *s.tauFinal
 	}
 	return mode, params, nil
+}
+
+// Mode returns the raw -sparse string for daemon job specs.
+func (s *SparseFlags) Mode() string { return *s.mode }
+
+// TauStepValue/TauFinalValue return the raw tau overrides (0 = default)
+// for daemon job specs.
+func (s *SparseFlags) TauStepValue() float64  { return *s.tauStep }
+func (s *SparseFlags) TauFinalValue() float64 { return *s.tauFinal }
+
+// ClientFlags is the daemon-client flag set the simd submit/watch
+// subcommands share.
+type ClientFlags struct {
+	addr *string
+}
+
+// Client registers -addr, the simulation daemon's base URL.
+func Client(fs *flag.FlagSet) *ClientFlags {
+	return &ClientFlags{
+		addr: fs.String("addr", "http://127.0.0.1:8080", "simulation daemon base URL"),
+	}
+}
+
+// BaseURL returns the daemon base URL without a trailing slash.
+func (c *ClientFlags) BaseURL() string {
+	return strings.TrimSuffix(*c.addr, "/")
 }
 
 // NoArgs rejects stray positional arguments after flag parsing.

@@ -58,6 +58,20 @@ func GridFingerprint(cfg ScenarioGridConfig, weightsSpec string) string {
 		cfg.WeightBackend, weightsSpec, cfg.Sparse)
 }
 
+// GridCellFingerprint digests the configuration one grid cell's results
+// depend on: the grid fingerprint with the scenario and seed axes
+// collapsed to this cell's (scenario, seed) pair. A cell's simulation
+// reads nothing else from the grid shape — not the other scenarios, not
+// the other seeds, not the cell's index — so two grids sharing a cell
+// key produce bit-identical rows and audit for it. This is the
+// completed-cell cache key the simulation daemon uses to skip repeated
+// cells across otherwise different sweeps.
+func GridCellFingerprint(cfg ScenarioGridConfig, weightsSpec, scenario string, seed int64) string {
+	cfg.Scenarios = []string{scenario}
+	cfg.Seeds = []int64{seed}
+	return "cell|" + GridFingerprint(cfg, weightsSpec)
+}
+
 // GridCheckpointName is the checkpoint filename for one shard of the
 // grid ("full_grid_checkpoint_<i>of<n>.jsonl"; the whole grid is shard
 // 0 of 1).

@@ -116,7 +116,11 @@ func simulateGridCell(cfg ScenarioGridConfig, scenarios []adversary.Scenario, ce
 	seed := cfg.Seeds[ki]
 	out := GridCell{Scenario: cfg.Scenarios[si], Seed: seed}
 	rng := sim.NewRNG(seed, "scenario.setup")
-	pop, err := stake.SamplePopulation(cfg.StakeDist, cfg.Nodes, rng)
+	// The population vector is arena scratch: NewRunner copies the stakes
+	// into the genesis ledger and never retains the slice, so one buffer
+	// serves every cell a worker runs — at sparse-grid populations the
+	// per-cell make([]float64, n) was a measurable slice of setup time.
+	pop, err := stake.SamplePopulationInto(cfg.StakeDist, arena.StakeBuf(cfg.Nodes), rng)
 	if err != nil {
 		return out, err
 	}

@@ -94,7 +94,28 @@ type StreamOptions struct {
 	// only their audit event, so summaries still cover the whole grid
 	// while an interrupted run resumes where it stopped.
 	Restored map[int]adversary.Report
+	// Cached maps global cell indices to previously completed cells
+	// (rows and audit). Those cells are not re-simulated either, but —
+	// unlike Restored — they replay their full row stream, so the sink
+	// observes a byte-identical event sequence to a fresh simulation.
+	// This is the simulation daemon's completed-cell cache seam: entries
+	// must be exact prior results for this cell's configuration (see
+	// GridCellFingerprint) and are never mutated by the driver.
+	Cached map[int]*GridCell
+	// Interrupt, when non-nil, is polled before each cell executes; once
+	// it returns true every remaining cell fails with ErrInterrupted
+	// instead of simulating, so the stream stops at a cell boundary:
+	// cells completed before the interrupt have fully streamed (and, with
+	// a CheckpointSink attached, are durable), cells after it cost
+	// nothing. This is the graceful-shutdown seam — a later run restoring
+	// the checkpoint resumes exactly where the interrupt landed.
+	Interrupt func() bool
 }
+
+// ErrInterrupted is the per-cell failure StreamScenarioGrid reports once
+// StreamOptions.Interrupt fires; test with errors.Is (the run pool wraps
+// it with the failing cell's index).
+var ErrInterrupted = errors.New("experiments: grid interrupted")
 
 // gridCellOut is one streamed cell in flight between the run pool and
 // the fold.
@@ -187,8 +208,10 @@ func ownedCells(cfg ScenarioGridConfig, shard ShardSpec) []int {
 	return owned
 }
 
-// runOwnedCell computes one owned cell, or replays its checkpointed
-// audit without simulating when the restore set covers it.
+// runOwnedCell computes one owned cell, or replays it without
+// simulating: a checkpointed audit (restore set, no rows) or a cached
+// prior result (rows included). Restore wins when a cell is in both —
+// its rows were already delivered by the interrupted run.
 func runOwnedCell(cfg ScenarioGridConfig, scenarios []adversary.Scenario, cell int, arena *protocol.Arena, opt StreamOptions) (gridCellOut, error) {
 	if rep, ok := opt.Restored[cell]; ok {
 		si, ki := cell/len(cfg.Seeds), cell%len(cfg.Seeds)
@@ -196,6 +219,12 @@ func runOwnedCell(cfg ScenarioGridConfig, scenarios []adversary.Scenario, cell i
 			cell:     GridCell{Scenario: cfg.Scenarios[si], Seed: cfg.Seeds[ki], Audit: rep},
 			restored: true,
 		}, nil
+	}
+	if c, ok := opt.Cached[cell]; ok {
+		return gridCellOut{cell: *c}, nil
+	}
+	if opt.Interrupt != nil && opt.Interrupt() {
+		return gridCellOut{}, ErrInterrupted
 	}
 	c, err := simulateGridCell(cfg, scenarios, cell, arena, nil)
 	return gridCellOut{cell: c}, err
@@ -209,8 +238,14 @@ func materializeOwnedCells(cfg ScenarioGridConfig, scenarios []adversary.Scenari
 	results, err := runpool.SweepWithState(len(owned), cfg.Workers,
 		func(int) *protocol.Arena { return protocol.NewArena() },
 		func(i int, arena *protocol.Arena) (gridCellOut, error) {
-			if _, ok := opt.Restored[owned[i]]; ok {
+			if _, restored := opt.Restored[owned[i]]; restored {
 				return runOwnedCell(cfg, scenarios, owned[i], arena, opt)
+			}
+			if _, cached := opt.Cached[owned[i]]; cached {
+				return runOwnedCell(cfg, scenarios, owned[i], arena, opt)
+			}
+			if opt.Interrupt != nil && opt.Interrupt() {
+				return gridCellOut{}, ErrInterrupted
 			}
 			c, err := simulateGridCell(cfg, scenarios, owned[i], arena, func(slot int) []float64 {
 				return slab.Row(3*i + slot%3)

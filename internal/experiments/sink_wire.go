@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/dsn2020-algorand/incentives/internal/adversary"
+)
+
+// The wire sink serialises the Sink event grammar as NDJSON — one JSON
+// object per line, in exactly the order the driver emitted the events:
+//
+//	{"event":"cell_start","cell":0,"name":"...","seed":1,"columns":[...]}
+//	{"event":"row","cell":0,"row":0,"values":[...]}
+//	{"event":"audit","cell":0,"audit":{...}}
+//	{"event":"cell_done","cell":0}
+//
+// Because drivers emit cells and rows in deterministic order at any
+// worker count (runpool.SweepFold's contract) and encoding/json renders
+// every float64 with the shortest round-trip form, the encoded byte
+// stream is itself deterministic: the simulation daemon's contract that
+// a streamed job is byte-identical at any worker budget, cold or served
+// from cache, reduces to this encoding. ReplayWire inverts it, driving
+// any local Sink (CSV, summary, checkpoint) from a received stream —
+// which is how a daemon client reconstructs the exact files the CLI
+// would have written.
+
+// Wire event names.
+const (
+	WireCellStart = "cell_start"
+	WireRow       = "row"
+	WireAudit     = "audit"
+	WireCellDone  = "cell_done"
+)
+
+// WireEvent is one line of the NDJSON stream: a tagged union over the
+// four Sink calls, with unused fields omitted.
+type WireEvent struct {
+	Event    string            `json:"event"`
+	Cell     int               `json:"cell"`
+	Name     string            `json:"name,omitempty"`
+	Seed     int64             `json:"seed,omitempty"`
+	Restored bool              `json:"restored,omitempty"`
+	Columns  []string          `json:"columns,omitempty"`
+	Row      int               `json:"row,omitempty"`
+	Values   []float64         `json:"values,omitempty"`
+	Audit    *adversary.Report `json:"audit,omitempty"`
+}
+
+// WireSink encodes the sink stream onto w as NDJSON. Writes are
+// line-buffered internally only by the encoder; callers needing
+// flush-per-event semantics (live streaming) should hand it a writer
+// that flushes on Write.
+type WireSink struct {
+	enc *json.Encoder
+}
+
+// NewWireSink streams onto w.
+func NewWireSink(w io.Writer) *WireSink {
+	return &WireSink{enc: json.NewEncoder(w)}
+}
+
+func (s *WireSink) CellStart(cell Cell, columns []string) error {
+	return s.enc.Encode(WireEvent{
+		Event: WireCellStart, Cell: cell.Index,
+		Name: cell.Name, Seed: cell.Seed, Restored: cell.Restored,
+		Columns: columns,
+	})
+}
+
+func (s *WireSink) Row(cell Cell, row Row) error {
+	return s.enc.Encode(WireEvent{Event: WireRow, Cell: cell.Index, Row: row.Index, Values: row.Values})
+}
+
+func (s *WireSink) AuditEvent(cell Cell, report adversary.Report) error {
+	return s.enc.Encode(WireEvent{Event: WireAudit, Cell: cell.Index, Audit: &report})
+}
+
+func (s *WireSink) CellDone(cell Cell) error {
+	return s.enc.Encode(WireEvent{Event: WireCellDone, Cell: cell.Index})
+}
+
+// ReplayWire decodes an NDJSON wire stream and drives sink with the
+// decoded events, enforcing the Sink grammar (CellStart opens a cell,
+// rows/audit belong to the open cell, CellDone closes it). It is the
+// client half of the wire sink: replaying a daemon's stream into the
+// CSV and summary sinks reproduces the CLI's files byte for byte.
+func ReplayWire(r io.Reader, sink Sink) error {
+	if sink == nil {
+		return fmt.Errorf("experiments: wire replay needs a sink")
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var (
+		cur  Cell
+		open bool
+		line int
+	)
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev WireEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return fmt.Errorf("experiments: wire line %d: %w", line, err)
+		}
+		switch ev.Event {
+		case WireCellStart:
+			if open {
+				return fmt.Errorf("experiments: wire line %d: cell %d started while cell %d is open", line, ev.Cell, cur.Index)
+			}
+			cur = Cell{Index: ev.Cell, Name: ev.Name, Seed: ev.Seed, Restored: ev.Restored}
+			open = true
+			if err := sink.CellStart(cur, ev.Columns); err != nil {
+				return err
+			}
+		case WireRow:
+			if !open || ev.Cell != cur.Index {
+				return fmt.Errorf("experiments: wire line %d: row for cell %d outside its cell", line, ev.Cell)
+			}
+			if err := sink.Row(cur, Row{Index: ev.Row, Values: ev.Values}); err != nil {
+				return err
+			}
+		case WireAudit:
+			if !open || ev.Cell != cur.Index {
+				return fmt.Errorf("experiments: wire line %d: audit for cell %d outside its cell", line, ev.Cell)
+			}
+			if ev.Audit == nil {
+				return fmt.Errorf("experiments: wire line %d: audit event without a report", line)
+			}
+			if err := sink.AuditEvent(cur, *ev.Audit); err != nil {
+				return err
+			}
+		case WireCellDone:
+			if !open || ev.Cell != cur.Index {
+				return fmt.Errorf("experiments: wire line %d: cell_done for cell %d outside its cell", line, ev.Cell)
+			}
+			open = false
+			if err := sink.CellDone(cur); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("experiments: wire line %d: unknown event %q", line, ev.Event)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if open {
+		return fmt.Errorf("experiments: wire stream ended inside cell %d", cur.Index)
+	}
+	return nil
+}

@@ -38,6 +38,51 @@ func TestArenaTopologyBitIdentical(t *testing.T) {
 	}
 }
 
+// TestArenaSeenRecycleBitIdentical pins the dedup-table recycling: one
+// arena alternating between populations on either side of the 512-node
+// inline-bitmap window (where the per-slot stride changes and the table
+// must be dropped) and re-running the small population (where the grown
+// table is retained wholesale) must produce delivery traces and stats
+// identical to fresh networks every time.
+func TestArenaSeenRecycleBitIdentical(t *testing.T) {
+	run := func(ar *Arena, n int, seed int64) (*recorder, Stats) {
+		engine := sim.NewEngine(seed)
+		rec := newRecorder()
+		net, err := New(Config{
+			N:        n,
+			Fanout:   5,
+			Delay:    UniformDelay{Min: time.Millisecond, Max: 10 * time.Millisecond},
+			LossProb: 0.05,
+			Arena:    ar,
+		}, engine, rec.handle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for wave := byte(0); wave < 3; wave++ {
+			net.Gossip(int(wave), Message{ID: [32]byte{wave + 1}, Kind: KindVote, Origin: int(wave)})
+			if err := engine.Run(0); err != nil {
+				t.Fatal(err)
+			}
+			net.ResetSeen()
+		}
+		return rec, net.Stats()
+	}
+
+	ar := &Arena{}
+	// small → large → small: two stride changes plus one same-size reuse.
+	for i, n := range []int{80, 600, 80, 80} {
+		seed := int64(11 + i)
+		freshRec, freshStats := run(nil, n, seed)
+		recycledRec, recycledStats := run(ar, n, seed)
+		if !reflect.DeepEqual(freshRec.delivered, recycledRec.delivered) {
+			t.Fatalf("pass %d (n=%d): delivery traces diverge between fresh and recycled networks", i, n)
+		}
+		if freshStats != recycledStats {
+			t.Fatalf("pass %d (n=%d): stats diverge: fresh %+v, recycled %+v", i, n, freshStats, recycledStats)
+		}
+	}
+}
+
 // TestArenaGossipBitIdentical runs a full gossip wave on fresh and
 // recycled networks and compares delivery traces and stats.
 func TestArenaGossipBitIdentical(t *testing.T) {

@@ -99,6 +99,32 @@ func (s *deliveredSet) init(n int) {
 	}
 }
 
+// adopt re-initialises a recycled set for a population of n, keeping the
+// grown slot table, inline bitset, and extension pool whenever the
+// inline stride is unchanged — the arena path that spares a fresh
+// Network the steady-state table growth. A stride change (crossing the
+// 512-node inline window in either direction) invalidates the per-slot
+// bit windows, so the table and bitset are dropped and regrow lazily;
+// extension buffers survive either way (promotion re-slices and zeroes
+// them per claim).
+func (s *deliveredSet) adopt(n int) {
+	if n < 1 {
+		n = 1
+	}
+	words := (n + 63) / 64
+	inline := words
+	if inline > deliveredMaxInlineWords {
+		inline = deliveredMaxInlineWords
+	}
+	if inline != s.inlineWords {
+		s.slots = nil
+		s.bits = nil
+	}
+	s.words = words
+	s.inlineWords = inline
+	s.reset()
+}
+
 // reset retires every entry by bumping the epoch; table, bitset, and
 // extension memory is retained, and stale state is re-initialised only
 // when its slot is reclaimed.

@@ -160,6 +160,12 @@ type Arena struct {
 	flat   []int
 	relay  []bool
 	online []bool
+	// seen recycles the gossip de-duplication tables: the slot table and
+	// delivery bitsets grow to steady state once and are then re-adopted
+	// (epoch-retired, never re-allocated) by every subsequent Network the
+	// arena backs. Dedup state holds no randomness, so recycling it is
+	// output-invisible like the rest of the arena.
+	seen seenSet
 }
 
 // takeBools returns a length-n buffer from store, growing it as needed.
@@ -192,7 +198,7 @@ type Network struct {
 	handler  Handler
 	relay    []bool
 	online   []bool
-	seen     seenSet
+	seen     *seenSet
 	factor   float64
 	stats    Stats
 	observer func(node int)
@@ -249,7 +255,13 @@ func New(cfg Config, engine *sim.Engine, handler Handler) (*Network, error) {
 		factor:       1,
 		overlayScale: 1,
 	}
-	n.seen.init(cfg.N)
+	if ar := cfg.Arena; ar != nil {
+		ar.seen.adopt(cfg.N)
+		n.seen = &ar.seen
+	} else {
+		n.seen = &seenSet{}
+		n.seen.init(cfg.N)
+	}
 	for i := 0; i < cfg.N; i++ {
 		n.relay[i] = true
 		n.online[i] = true

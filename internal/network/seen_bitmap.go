@@ -11,5 +11,6 @@ type seenSet struct {
 }
 
 func (s *seenSet) init(n int)                       { s.d.init(n) }
+func (s *seenSet) adopt(n int)                      { s.d.adopt(n) }
 func (s *seenSet) reset()                           { s.d.reset() }
 func (s *seenSet) mark(id *[32]byte, node int) bool { return s.d.mark(id, node) }

@@ -13,6 +13,17 @@ type seenSet struct {
 
 func (s *seenSet) init(n int) { s.per = make([]dedupSet, n) }
 
+// adopt re-initialises a recycled set for a population of n: per-node
+// tables are kept (entries retired in place) when the population size
+// matches, rebuilt otherwise.
+func (s *seenSet) adopt(n int) {
+	if len(s.per) != n {
+		s.init(n)
+		return
+	}
+	s.reset()
+}
+
 func (s *seenSet) reset() {
 	for i := range s.per {
 		s.per[i].reset()

@@ -22,10 +22,12 @@ type Server struct {
 
 var publishOnce sync.Once
 
-// Serve starts an introspection server on addr (e.g. ":9090" or
-// "127.0.0.1:0") exporting reg. It returns once the listener is bound;
-// requests are served in the background until Close.
-func Serve(addr string, reg *Registry) (*Server, error) {
+// NewMux builds the introspection route set on a fresh ServeMux:
+// /metrics, /debug/vars and the /debug/pprof handlers, all reading reg.
+// Serve wraps it in its own server; services with their own HTTP
+// surface (the simulation daemon) mount these routes next to their API
+// on one listener instead of running a second port.
+func NewMux(reg *Registry) *http.ServeMux {
 	publishOnce.Do(func() {
 		expvar.Publish("obs", expvar.Func(func() any {
 			return exportVars(Default())
@@ -42,7 +44,14 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
 
+// Serve starts an introspection server on addr (e.g. ":9090" or
+// "127.0.0.1:0") exporting reg. It returns once the listener is bound;
+// requests are served in the background until Close.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	mux := NewMux(reg)
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err

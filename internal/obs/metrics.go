@@ -146,6 +146,58 @@ func (p *PoolMetrics) AuditEvents(kind string) *Counter {
 		"audit events emitted through experiment sinks, by kind")
 }
 
+// SimdMetrics is the typed bundle of simulation-daemon metrics: job
+// lifecycle, queue pressure, the completed-cell cache, and the volume
+// streamed to clients. Increments are per job / per cell / per row —
+// far off the simulation hot path — so they hit the atomics directly.
+// All of it is wall-class by nature (a daemon's workload is whatever
+// clients submit), so none of these families participate in the
+// deterministic-totals contract.
+type SimdMetrics struct {
+	reg *Registry
+
+	JobsSubmitted *Counter
+	JobsCompleted *Counter
+	JobsFailed    *Counter
+	// JobsInFlight counts jobs holding worker slots right now;
+	// QueueDepth counts jobs waiting for slots.
+	JobsInFlight *Gauge
+	QueueDepth   *Gauge
+
+	// CellCacheHits/Misses split each job's cells by whether the
+	// completed-cell cache served them; their ratio is the cache hit
+	// rate. CellCacheSize is the entries currently held.
+	CellCacheHits   *Counter
+	CellCacheMisses *Counter
+	CellCacheSize   *Gauge
+
+	RowsStreamed  *Counter
+	CellsStreamed *Counter
+}
+
+// NewSimdMetrics registers the daemon metric catalog on reg. A nil reg
+// returns nil.
+func NewSimdMetrics(reg *Registry) *SimdMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &SimdMetrics{
+		reg:           reg,
+		JobsSubmitted: reg.Counter("simd_jobs_submitted_total", "jobs accepted by the simulation daemon"),
+		JobsCompleted: reg.Counter("simd_jobs_completed_total", "jobs that streamed to completion"),
+		JobsFailed:    reg.Counter("simd_jobs_failed_total", "jobs that ended in an error or interruption"),
+		JobsInFlight:  reg.Gauge("simd_jobs_in_flight", "jobs currently holding run-pool worker slots"),
+		QueueDepth:    reg.Gauge("simd_queue_depth", "jobs queued for run-pool worker slots"),
+
+		CellCacheHits:   reg.Counter("simd_cell_cache_hits_total", "grid cells served from the completed-cell cache"),
+		CellCacheMisses: reg.Counter("simd_cell_cache_misses_total", "grid cells simulated because the cache had no entry"),
+		CellCacheSize:   reg.Gauge("simd_cell_cache_size", "entries in the completed-cell cache"),
+
+		RowsStreamed:  reg.Counter("simd_rows_streamed_total", "result rows encoded onto client streams"),
+		CellsStreamed: reg.Counter("simd_cells_streamed_total", "cells encoded onto client streams"),
+	}
+}
+
 // --- Cached default bundles ---------------------------------------------
 //
 // DefaultSim/DefaultPool hand instrumented components the bundle for the

@@ -38,6 +38,8 @@ type Arena struct {
 	roleTaken []bool
 	meter     *costMeter
 	behaviors []Behavior
+	// stakes is the caller-facing population scratch; see StakeBuf.
+	stakes []float64
 	// engine is the recycled simulation engine: the first run through the
 	// arena stashes its engine here, later runs rewind it with
 	// sim.Engine.Reset instead of re-growing the calendar queue's rings
@@ -143,6 +145,20 @@ func (a *Arena) takeMeter(n int) *costMeter {
 	a.meter.counts = a.meter.counts[:n]
 	clear(a.meter.counts)
 	return a.meter
+}
+
+// StakeBuf returns a length-n float64 buffer owned by the arena, for
+// sampling stake populations into (stake.SamplePopulationInto) instead
+// of allocating a fresh vector per run. NewRunner never retains
+// Config.Stakes — Genesis copies the values into ledger accounts — so
+// the buffer is free again once the runner is built; with one arena per
+// sweep worker and runs strictly sequential per worker, handing the same
+// buffer to every cell is safe.
+func (a *Arena) StakeBuf(n int) []float64 {
+	if cap(a.stakes) < n {
+		a.stakes = make([]float64, n)
+	}
+	return a.stakes[:n]
 }
 
 // BehaviorBuf returns a length-n behaviour buffer owned by the arena,

@@ -2,6 +2,7 @@ package protocol
 
 import (
 	"math/rand"
+	"sort"
 
 	"github.com/dsn2020-algorand/incentives/internal/ledger"
 )
@@ -90,12 +91,48 @@ func (r *Runner) Behavior(i int) Behavior {
 	return r.behaviors[i]
 }
 
+// PinMaterialized forces the given node ids to be materialized in every
+// sparse round, so NodeOutcome reports their exact outcomes instead of
+// the unmaterialized OutcomeNone. Controllers that script index-based
+// targets (eclipse victims, named equivocators) call this once at attach
+// time; per-victim audit assertions then work above the sparse
+// threshold. A no-op on the dense path, where every node is always
+// materialized. Out-of-range ids are ignored; duplicates collapse.
+//
+// Pinning moves the named nodes from the panel-extrapolated mass to the
+// exactly-simulated set, so aggregate sparse outputs differ (slightly)
+// from an unpinned run of the same seed — which is why scenarios pin
+// only explicitly named targets, never stake- or count-based ones.
+func (r *Runner) PinMaterialized(ids []int) {
+	if r.sparse == nil || len(ids) == 0 {
+		return
+	}
+	s := r.sparse
+	for _, id := range ids {
+		if id < 0 || id >= len(r.behaviors) {
+			continue
+		}
+		dup := false
+		for _, have := range s.pinned {
+			if have == id {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			s.pinned = append(s.pinned, id)
+		}
+	}
+	sort.Ints(s.pinned)
+}
+
 // NodeOutcome reports what node i extracted from the most recently
 // finalised round: its outcome class and the block hash it committed to
 // (zero for none). Valid between rounds; audit collectors read it from
 // the RoundEnd hook to detect conflicting finalisations. In sparse rounds
 // only materialized nodes carry an exact outcome; everyone else reports
-// OutcomeNone (per-node outcomes are panel-extrapolated in aggregate).
+// OutcomeNone (per-node outcomes are panel-extrapolated in aggregate) —
+// PinMaterialized guarantees exact outcomes for specific ids.
 func (r *Runner) NodeOutcome(i int) (Outcome, ledger.Hash) {
 	if i < 0 || i >= len(r.nodes) || r.nodes[i] == nil {
 		return OutcomeNone, ledger.Hash{}

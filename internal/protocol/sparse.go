@@ -153,6 +153,15 @@ type sparseState struct {
 	// panel are this round's probe ids (sorted, distinct, uniform).
 	panel []int
 
+	// pinned are ids materialized every round regardless of committee or
+	// panel membership, set via Runner.PinMaterialized. Adversary
+	// scenarios that name victims by index pin them so per-victim
+	// NodeOutcome queries report exact outcomes instead of the
+	// unmaterialized OutcomeNone. Pinned nodes join the exact-outcome
+	// side of the panel extrapolation (they are materialized), but never
+	// the panel statistics themselves — the panel stays a uniform draw.
+	pinned []int
+
 	// desynced is the explicit lagging-node set replacing per-node ledger
 	// views: materialized nodes all share the canonical ledger read-only,
 	// and membership here is what "behind the canonical chain" means.
@@ -204,6 +213,7 @@ func (s *sparseState) adopt(rng *rand.Rand) {
 	}
 	s.actors = s.actors[:0]
 	s.panel = s.panel[:0]
+	s.pinned = s.pinned[:0]
 	clear(s.desynced)
 }
 
@@ -410,6 +420,9 @@ func (r *Runner) beginRoundSparse(round uint64, lastStep int) {
 		collect(id)
 	}
 	for _, id := range s.panel {
+		collect(id)
+	}
+	for _, id := range s.pinned {
 		collect(id)
 	}
 	sort.Ints(ids)

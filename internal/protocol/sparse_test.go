@@ -260,6 +260,36 @@ func TestSparseEmptyRoundKeepsSync(t *testing.T) {
 	}
 }
 
+// TestSparsePinMaterialized pins that PinMaterialized ids are
+// materialized every sparse round — the seam per-victim adversary
+// assertions rely on — and that the pin set survives rounds, drops
+// out-of-range ids, and collapses duplicates.
+func TestSparsePinMaterialized(t *testing.T) {
+	if forcePerNodeDraw {
+		t.Skip("protocol_pernode_draw: sparse path disabled")
+	}
+	const n = 5000
+	pinned := []int{7, 999, 2500, 4999}
+	r, err := NewRunner(sparseTestConfig(n, 13, SparseOn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.PinMaterialized(pinned)
+	r.PinMaterialized([]int{2500, -1, n}) // dup and out-of-range: ignored
+	if got := len(r.sparse.pinned); got != len(pinned) {
+		t.Fatalf("pinned set has %d ids, want %d: %v", got, len(pinned), r.sparse.pinned)
+	}
+	for i := 0; i < 4; i++ {
+		rep := r.runRound()
+		reportInvariants(t, rep, n)
+		for _, id := range pinned {
+			if r.nodes[id] == nil {
+				t.Fatalf("pinned node %d not materialized in round %d", id, rep.Round)
+			}
+		}
+	}
+}
+
 // TestSparseAdversarySmoke drives the sparse path through mid-run
 // behaviour flips (the adaptive-corruption seam) and a selfish cohort,
 // checking the bookkeeping invariants hold every round.

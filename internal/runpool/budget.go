@@ -1,0 +1,130 @@
+package runpool
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// WorkerBudget is the job-level scheduling seam for long-lived services
+// running many sweeps concurrently: a FIFO semaphore over a fixed pool
+// of worker slots. Each job acquires the worker count it will pass to
+// Sweep/SweepFold before starting, so the total goroutine parallelism
+// across every in-flight sweep never exceeds the budget, and jobs queue
+// in submission order instead of oversubscribing the host.
+//
+// Scheduling is strictly FIFO: a large job at the head of the queue
+// blocks smaller jobs behind it until it gets its slots. That head-of-
+// line blocking is deliberate — backfilling small jobs around a big one
+// would starve it on a busy service.
+//
+// The budget only shapes execution, never results: by the run-pool
+// determinism contract a sweep's output is identical at any worker
+// count, so whatever slot count a job is granted, its stream is
+// byte-identical.
+type WorkerBudget struct {
+	mu      sync.Mutex
+	total   int
+	free    int
+	waiters []*budgetWaiter
+}
+
+type budgetWaiter struct {
+	n  int
+	ch chan struct{}
+}
+
+// NewWorkerBudget builds a budget of total slots; total < 1 means one.
+func NewWorkerBudget(total int) *WorkerBudget {
+	if total < 1 {
+		total = 1
+	}
+	return &WorkerBudget{total: total, free: total}
+}
+
+// Total returns the budget's slot count.
+func (b *WorkerBudget) Total() int { return b.total }
+
+// InUse returns the slots currently held by running jobs.
+func (b *WorkerBudget) InUse() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total - b.free
+}
+
+// Queued returns the number of jobs waiting for slots.
+func (b *WorkerBudget) Queued() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.waiters)
+}
+
+// clamp maps a requested worker count to a grantable one: 0 and
+// negatives mean "as many as the host would use" (Resolve), and no job
+// may hold more than the whole budget.
+func (b *WorkerBudget) clamp(n int) int {
+	n = Resolve(n)
+	if n > b.total {
+		n = b.total
+	}
+	return n
+}
+
+// Acquire blocks until n slots are free and every earlier waiter has
+// been served, then claims them. It returns the granted count (n after
+// clamping — the worker count to run the sweep with) and an idempotent
+// release function the job must call when its sweep finishes. A
+// cancelled ctx abandons the wait.
+func (b *WorkerBudget) Acquire(ctx context.Context, n int) (int, func(), error) {
+	n = b.clamp(n)
+	b.mu.Lock()
+	if len(b.waiters) == 0 && b.free >= n {
+		b.free -= n
+		b.mu.Unlock()
+		return n, b.releaseOnce(n), nil
+	}
+	w := &budgetWaiter{n: n, ch: make(chan struct{})}
+	b.waiters = append(b.waiters, w)
+	b.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		return n, b.releaseOnce(n), nil
+	case <-ctx.Done():
+		b.mu.Lock()
+		granted := true
+		for i, q := range b.waiters {
+			if q == w {
+				b.waiters = append(b.waiters[:i], b.waiters[i+1:]...)
+				granted = false
+				break
+			}
+		}
+		b.mu.Unlock()
+		if granted {
+			// The grant raced the cancellation: hand the slots back.
+			b.release(n)
+		}
+		return 0, nil, fmt.Errorf("runpool: budget acquire: %w", ctx.Err())
+	}
+}
+
+// releaseOnce wraps release in a sync.Once so double-releasing a job
+// (deferred release plus an explicit one) cannot corrupt the budget.
+func (b *WorkerBudget) releaseOnce(n int) func() {
+	var once sync.Once
+	return func() { once.Do(func() { b.release(n) }) }
+}
+
+// release returns n slots and serves the queue head-first.
+func (b *WorkerBudget) release(n int) {
+	b.mu.Lock()
+	b.free += n
+	for len(b.waiters) > 0 && b.free >= b.waiters[0].n {
+		w := b.waiters[0]
+		b.waiters = b.waiters[1:]
+		b.free -= w.n
+		close(w.ch)
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,121 @@
+package runpool
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestWorkerBudgetClampAndGrant(t *testing.T) {
+	b := NewWorkerBudget(4)
+	if b.Total() != 4 {
+		t.Fatalf("Total = %d, want 4", b.Total())
+	}
+	// Oversized requests clamp to the whole budget.
+	n, release, err := b.Acquire(context.Background(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("granted %d, want clamp to 4", n)
+	}
+	if b.InUse() != 4 {
+		t.Fatalf("InUse = %d, want 4", b.InUse())
+	}
+	release()
+	release() // idempotent
+	if b.InUse() != 0 {
+		t.Fatalf("InUse after release = %d, want 0", b.InUse())
+	}
+	// Zero means "as many as the host would use", still clamped.
+	n, release, err = b.Acquire(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 1 || n > 4 {
+		t.Fatalf("granted %d for workers=0, want within [1,4]", n)
+	}
+	release()
+}
+
+func TestWorkerBudgetFIFO(t *testing.T) {
+	b := NewWorkerBudget(4)
+	_, releaseA, err := b.Acquire(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type grant struct {
+		who     string
+		release func()
+	}
+	grants := make(chan grant, 2)
+	acquire := func(who string, n int) {
+		_, release, err := b.Acquire(context.Background(), n)
+		if err != nil {
+			t.Errorf("%s: %v", who, err)
+			return
+		}
+		grants <- grant{who, release}
+	}
+	go acquire("big", 4)
+	// Give "big" time to join the queue first, then queue a small job
+	// that current free slots (1) could serve — FIFO must hold it behind
+	// the big job anyway.
+	for b.Queued() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	go acquire("small", 1)
+	for b.Queued() < 2 {
+		time.Sleep(time.Millisecond)
+	}
+
+	select {
+	case g := <-grants:
+		t.Fatalf("%s granted while head-of-queue job still waits", g.who)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	releaseA()
+	first := <-grants
+	if first.who != "big" {
+		t.Fatalf("first grant went to %s, want the queue head (big)", first.who)
+	}
+	first.release()
+	second := <-grants
+	if second.who != "small" {
+		t.Fatalf("second grant went to %s, want small", second.who)
+	}
+	second.release()
+	if b.InUse() != 0 || b.Queued() != 0 {
+		t.Fatalf("budget not drained: inUse %d queued %d", b.InUse(), b.Queued())
+	}
+}
+
+func TestWorkerBudgetAcquireCancel(t *testing.T) {
+	b := NewWorkerBudget(2)
+	_, release, err := b.Acquire(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := b.Acquire(ctx, 1)
+		done <- err
+	}()
+	for b.Queued() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("cancelled Acquire returned nil error")
+	}
+	release()
+	// The cancelled waiter must not have leaked slots or queue entries.
+	n, release2, err := b.Acquire(context.Background(), 2)
+	if err != nil || n != 2 {
+		t.Fatalf("post-cancel Acquire = (%d, %v), want (2, nil)", n, err)
+	}
+	release2()
+}

@@ -1,0 +1,126 @@
+package simd
+
+import (
+	"sync"
+
+	"github.com/dsn2020-algorand/incentives/internal/adversary"
+	"github.com/dsn2020-algorand/incentives/internal/experiments"
+	"github.com/dsn2020-algorand/incentives/internal/obs"
+)
+
+// cellCache is the daemon's completed-cell store, keyed by
+// experiments.GridCellFingerprint: a cell that already ran — in any
+// grid sharing its configuration — is served from here with its full
+// row stream instead of re-simulating. Entries are exact prior results,
+// so a cache hit is byte-identical on the wire to a fresh simulation;
+// the cache only ever trades compute, never output. Eviction is FIFO at
+// a fixed entry capacity, which keeps the policy deterministic given
+// the same job sequence.
+type cellCache struct {
+	mu    sync.Mutex
+	cap   int
+	cells map[string]*experiments.GridCell
+	order []string
+	size  *obs.Gauge // nil-safe
+}
+
+// newCellCache builds a cache of capacity entries (0 = 4096, negative
+// disables caching entirely).
+func newCellCache(capacity int, size *obs.Gauge) *cellCache {
+	if capacity == 0 {
+		capacity = 4096
+	}
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &cellCache{cap: capacity, cells: make(map[string]*experiments.GridCell), size: size}
+}
+
+// get returns the cached cell for key, or nil. Callers must not mutate
+// the result — it is shared across every job that hits the key.
+func (c *cellCache) get(key string) *experiments.GridCell {
+	if c.cap == 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cells[key]
+}
+
+// put stores a completed cell, evicting the oldest entry at capacity.
+func (c *cellCache) put(key string, cell *experiments.GridCell) {
+	if c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	if _, ok := c.cells[key]; !ok {
+		for len(c.order) >= c.cap {
+			delete(c.cells, c.order[0])
+			c.order = c.order[1:]
+		}
+		c.order = append(c.order, key)
+	}
+	c.cells[key] = cell
+	n := len(c.cells)
+	c.mu.Unlock()
+	c.size.Set(int64(n))
+}
+
+// len returns the live entry count.
+func (c *cellCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cells)
+}
+
+// cacheSink captures each freshly streamed (non-restored) cell into the
+// cache as it completes: rows are copied out of the stream (Row.Values
+// is aliased scratch) into an owned GridCell, stored under the cell's
+// precomputed fingerprint on CellDone. Cells served from the cache also
+// pass through here; re-storing the same value under the same key is a
+// no-op refresh.
+type cacheSink struct {
+	cache *cellCache
+	keys  map[int]string // global cell index -> cache key
+	cur   *experiments.GridCell
+	key   string
+}
+
+func (s *cacheSink) CellStart(cell experiments.Cell, columns []string) error {
+	s.cur = nil
+	if cell.Restored || len(columns) != 3 {
+		return nil
+	}
+	key, ok := s.keys[cell.Index]
+	if !ok {
+		return nil
+	}
+	s.key = key
+	s.cur = &experiments.GridCell{Scenario: cell.Name, Seed: cell.Seed}
+	return nil
+}
+
+func (s *cacheSink) Row(cell experiments.Cell, row experiments.Row) error {
+	if s.cur == nil || len(row.Values) != 3 {
+		return nil
+	}
+	s.cur.Final = append(s.cur.Final, row.Values[0])
+	s.cur.Tentative = append(s.cur.Tentative, row.Values[1])
+	s.cur.None = append(s.cur.None, row.Values[2])
+	return nil
+}
+
+func (s *cacheSink) AuditEvent(cell experiments.Cell, report adversary.Report) error {
+	if s.cur != nil {
+		s.cur.Audit = report
+	}
+	return nil
+}
+
+func (s *cacheSink) CellDone(cell experiments.Cell) error {
+	if s.cur != nil {
+		s.cache.put(s.key, s.cur)
+		s.cur = nil
+	}
+	return nil
+}

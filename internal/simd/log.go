@@ -1,0 +1,64 @@
+package simd
+
+import "sync"
+
+// eventLog is one job's append-only wire-event buffer plus the follower
+// rendezvous: the job's WireSink writes whole NDJSON lines into it, and
+// any number of stream handlers replay from offset zero then block for
+// more. Because json.Encoder hands each event to Write as one call, the
+// buffer only ever grows by whole lines — a follower chunk never splits
+// an event, which is what lets the SSE framing wrap lines naively.
+type eventLog struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []byte
+	closed bool
+}
+
+func newEventLog() *eventLog {
+	l := &eventLog{}
+	l.cond = sync.NewCond(&l.mu)
+	return l
+}
+
+// Write appends one encoded event and wakes every follower.
+func (l *eventLog) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	l.buf = append(l.buf, p...)
+	l.mu.Unlock()
+	l.cond.Broadcast()
+	return len(p), nil
+}
+
+// close marks the stream complete; followers drain and finish.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// next blocks until bytes beyond off exist or the log closes. It
+// returns the new bytes (copied — the caller writes them outside the
+// lock), the new offset, and whether the stream is complete.
+func (l *eventLog) next(off int) ([]byte, int, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for len(l.buf) <= off && !l.closed {
+		l.cond.Wait()
+	}
+	if len(l.buf) > off {
+		chunk := make([]byte, len(l.buf)-off)
+		copy(chunk, l.buf[off:])
+		off = len(l.buf)
+		return chunk, off, l.closed
+	}
+	return nil, off, true
+}
+
+// size returns the bytes buffered so far.
+func (l *eventLog) size() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buf)
+}

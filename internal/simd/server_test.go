@@ -1,0 +1,453 @@
+package simd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/dsn2020-algorand/incentives/internal/experiments"
+	"github.com/dsn2020-algorand/incentives/internal/obs"
+)
+
+// testGridSpec is the small two-scenario × two-seed grid the e2e tests
+// sweep: big enough to exercise multi-cell streaming, small enough to
+// run in milliseconds.
+func testGridSpec() GridJobSpec {
+	return GridJobSpec{
+		Scenarios: []string{"crash_churn", "honest_baseline"},
+		Seeds:     2,
+		Nodes:     60,
+		Rounds:    6,
+	}
+}
+
+// startDaemon boots a daemon over httptest and returns its client.
+func startDaemon(t *testing.T, dataDir string, maxWorkers int) (*Server, *httptest.Server, *Client) {
+	t.Helper()
+	daemon, err := New(Config{DataDir: dataDir, MaxWorkers: maxWorkers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(daemon)
+	t.Cleanup(ts.Close)
+	return daemon, ts, &Client{Base: ts.URL}
+}
+
+// streamBytes submits req with the given worker request and reads the
+// job's whole wire stream (which follows until the job settles).
+func streamBytes(t *testing.T, c *Client, req JobRequest) (JobStatus, []byte) {
+	t.Helper()
+	st, err := c.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := c.Stream(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	blob, err := io.ReadAll(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := c.Status(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return final, blob
+}
+
+// directWireBytes runs the grid in-process (no daemon) through the wire
+// sink — the CLI-equivalent reference bytes.
+func directWireBytes(t *testing.T, spec GridJobSpec, workers int) []byte {
+	t.Helper()
+	cfg, err := spec.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = workers
+	var buf bytes.Buffer
+	if err := experiments.StreamScenarioGrid(cfg, experiments.NewWireSink(&buf), experiments.StreamOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// writeCLIGridFiles replicates the `scenario -full` sink stack (CSV +
+// stream summary, no checkpoint) into dir.
+func writeCLIGridFiles(t *testing.T, spec GridJobSpec, dir string) {
+	t.Helper()
+	cfg, err := spec.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	csv := experiments.NewGridCSVSink(dir, cfg, "full_grid_summary.csv")
+	summary := experiments.NewSummarySink(0)
+	if err := experiments.StreamScenarioGrid(cfg, experiments.MultiSink(csv, summary), experiments.StreamOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := csv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	table, err := summary.Table()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, "full_grid_stream_summary.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := table.WriteCSV(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// diffDirs asserts every file in want exists byte-identical in got.
+func diffDirs(t *testing.T, want, got string) {
+	t.Helper()
+	entries, err := os.ReadDir(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("reference directory is empty")
+	}
+	for _, e := range entries {
+		wantBlob, err := os.ReadFile(filepath.Join(want, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotBlob, err := os.ReadFile(filepath.Join(got, e.Name()))
+		if err != nil {
+			t.Fatalf("daemon output missing %s: %v", e.Name(), err)
+		}
+		if !bytes.Equal(wantBlob, gotBlob) {
+			t.Errorf("%s differs between CLI and daemon outputs", e.Name())
+		}
+	}
+}
+
+func TestGridJobMatchesCLIBytes(t *testing.T) {
+	spec := testGridSpec()
+	_, _, client := startDaemon(t, filepath.Join(t.TempDir(), "data"), 4)
+
+	st, streamed := streamBytes(t, client, JobRequest{Kind: KindGrid, Grid: &spec})
+	if st.State != JobDone {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	if st.Cells != 4 || st.CellsDone != 4 {
+		t.Fatalf("cells %d done %d, want 4/4", st.Cells, st.CellsDone)
+	}
+	if want := directWireBytes(t, spec, 1); !bytes.Equal(streamed, want) {
+		t.Fatal("daemon stream differs from in-process wire encoding")
+	}
+
+	// Replaying the stream client-side reproduces the CLI's files.
+	cliDir := filepath.Join(t.TempDir(), "cli")
+	gotDir := filepath.Join(t.TempDir(), "daemon")
+	writeCLIGridFiles(t, spec, cliDir)
+	violations, err := WriteGridOutputs(bytes.NewReader(streamed), spec, gotDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if violations != 0 {
+		t.Fatalf("unexpected safety violations: %d", violations)
+	}
+	diffDirs(t, cliDir, gotDir)
+
+	// The job completed, so its durable state is gone: nothing to resume.
+	matches, _ := filepath.Glob(filepath.Join(t.TempDir(), "data", "simd_*"))
+	if len(matches) != 0 {
+		t.Fatalf("completed job left durable files: %v", matches)
+	}
+}
+
+func TestGridJobWorkerAndCacheInvariance(t *testing.T) {
+	spec := testGridSpec()
+	_, ts, client := startDaemon(t, "", 8)
+
+	spec.Workers = 1
+	cold, first := streamBytes(t, client, JobRequest{Kind: KindGrid, Grid: &spec})
+	if cold.State != JobDone {
+		t.Fatalf("cold job ended %s: %s", cold.State, cold.Error)
+	}
+	if cold.CachedCells != 0 {
+		t.Fatalf("cold job reports %d cached cells", cold.CachedCells)
+	}
+
+	spec.Workers = 8
+	warm, second := streamBytes(t, client, JobRequest{Kind: KindGrid, Grid: &spec})
+	if warm.State != JobDone {
+		t.Fatalf("warm job ended %s: %s", warm.State, warm.Error)
+	}
+	if warm.CachedCells != 4 {
+		t.Fatalf("warm job served %d cells from cache, want 4", warm.CachedCells)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("cache-served stream differs from cold stream (worker budgets 1 vs 8)")
+	}
+
+	// The daemon's metric families are scrapeable and lint clean.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{
+		"simd_jobs_submitted_total", "simd_jobs_completed_total",
+		"simd_cell_cache_hits_total", "simd_rows_streamed_total",
+	} {
+		if !strings.Contains(string(blob), family) {
+			t.Errorf("/metrics lacks %s", family)
+		}
+	}
+	if families, err := obs.LintPrometheus(bytes.NewReader(blob)); err != nil {
+		t.Fatalf("promlint: %v", err)
+	} else if len(families) == 0 {
+		t.Fatal("promlint saw no metric families")
+	}
+}
+
+// wireLinesByCell splits an NDJSON stream into per-cell event lines.
+func wireLinesByCell(t *testing.T, blob []byte) map[int][]string {
+	t.Helper()
+	out := map[int][]string{}
+	for _, line := range strings.Split(strings.TrimRight(string(blob), "\n"), "\n") {
+		var ev experiments.WireEvent
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("bad wire line %q: %v", line, err)
+		}
+		out[ev.Cell] = append(out[ev.Cell], line)
+	}
+	return out
+}
+
+func TestShutdownCheckpointResume(t *testing.T) {
+	// A 12-cell grid at one worker: cells land one at a time, so a drain
+	// triggered after the first cell interrupts mid-grid.
+	spec := GridJobSpec{
+		Scenarios: []string{"crash_churn", "honest_baseline", "partition_healing"},
+		Seeds:     4,
+		Nodes:     80,
+		Rounds:    8,
+	}
+	reference := directWireBytes(t, spec, 1)
+	refCells := wireLinesByCell(t, reference)
+
+	dataDir := filepath.Join(t.TempDir(), "data")
+	daemon, _, client := startDaemon(t, dataDir, 1)
+	st, err := client.Submit(JobRequest{Kind: KindGrid, Grid: &spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		cur, err := client.Status(st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.CellsDone >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no cell completed before the deadline")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := daemon.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	interrupted, err := client.Status(st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if interrupted.State == JobDone {
+		t.Skip("job finished before the drain landed; nothing to resume")
+	}
+	if interrupted.State != JobInterrupted {
+		t.Fatalf("drained job ended %s: %s", interrupted.State, interrupted.Error)
+	}
+
+	// A fresh daemon on the same data dir re-enqueues and finishes the
+	// job; its cache is empty, so only the checkpoint feeds the resume.
+	_, _, client2 := startDaemon(t, dataDir, 1)
+	var resumed JobStatus
+	for deadline := time.Now().Add(60 * time.Second); ; {
+		jobs, err := client2.List()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(jobs) != 1 {
+			t.Fatalf("restarted daemon has %d jobs, want the one resumed", len(jobs))
+		}
+		resumed = jobs[0]
+		if resumed.State == JobDone || resumed.State == JobFailed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed job stuck in %s", resumed.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if resumed.State != JobDone {
+		t.Fatalf("resumed job ended %s: %s", resumed.State, resumed.Error)
+	}
+	if resumed.RestoredCells < 1 || resumed.RestoredCells >= 12 {
+		t.Fatalf("resumed job restored %d of 12 cells; the interrupt did not land mid-grid", resumed.RestoredCells)
+	}
+
+	stream, err := client2.Stream(resumed.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := io.ReadAll(stream)
+	stream.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restored cells replay audit-only; every remaining cell's event
+	// lines must be byte-identical to the uninterrupted run's.
+	restoredCells := 0
+	for cell, lines := range wireLinesByCell(t, blob) {
+		var start experiments.WireEvent
+		if err := json.Unmarshal([]byte(lines[0]), &start); err != nil {
+			t.Fatal(err)
+		}
+		if start.Restored {
+			restoredCells++
+			// The restored audit must match the reference cell's audit line.
+			var auditLine string
+			for _, l := range lines {
+				if strings.Contains(l, `"event":"audit"`) {
+					auditLine = l
+				}
+			}
+			found := false
+			for _, l := range refCells[cell] {
+				if l == auditLine {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("cell %d: restored audit differs from the uninterrupted run", cell)
+			}
+			continue
+		}
+		if len(lines) != len(refCells[cell]) {
+			t.Fatalf("cell %d: %d events, reference has %d", cell, len(lines), len(refCells[cell]))
+		}
+		for i := range lines {
+			if lines[i] != refCells[cell][i] {
+				t.Fatalf("cell %d event %d differs from the uninterrupted run:\n got %s\nwant %s",
+					cell, i, lines[i], refCells[cell][i])
+			}
+		}
+	}
+	if restoredCells != resumed.RestoredCells {
+		t.Fatalf("stream carries %d restored cells, status says %d", restoredCells, resumed.RestoredCells)
+	}
+
+	// Completion cleaned up the durable state.
+	matches, _ := filepath.Glob(filepath.Join(dataDir, "simd_*"))
+	if len(matches) != 0 {
+		t.Fatalf("resumed job left durable files: %v", matches)
+	}
+}
+
+func TestScenarioJob(t *testing.T) {
+	_, _, client := startDaemon(t, "", 4)
+	req := JobRequest{Kind: KindScenario, Scenario: &ScenarioJobSpec{
+		Scenario: "honest_baseline", Nodes: 40, Rounds: 5, Runs: 3,
+	}}
+	st, blob := streamBytes(t, client, req)
+	if st.State != JobDone {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	if st.Cells != 3 || st.CellsDone != 3 {
+		t.Fatalf("cells %d done %d, want 3/3", st.Cells, st.CellsDone)
+	}
+	// The stream obeys the sink grammar end to end.
+	if err := experiments.ReplayWire(bytes.NewReader(blob), &restoredCounter{}); err != nil {
+		t.Fatal(err)
+	}
+	// Streams are worker-invariant for sweeps too.
+	req2 := JobRequest{Kind: KindScenario, Scenario: &ScenarioJobSpec{
+		Scenario: "honest_baseline", Nodes: 40, Rounds: 5, Runs: 3, CommonSpec: CommonSpec{Workers: 3},
+	}}
+	st2, blob2 := streamBytes(t, client, req2)
+	if st2.State != JobDone {
+		t.Fatalf("job ended %s: %s", st2.State, st2.Error)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("sweep stream differs across worker budgets")
+	}
+}
+
+func TestSubmitRejectsBadSpecs(t *testing.T) {
+	_, _, client := startDaemon(t, "", 2)
+	for _, req := range []JobRequest{
+		{Kind: "nope"},
+		{Kind: KindGrid, Grid: &GridJobSpec{Scenarios: []string{"not_a_scenario"}}},
+		{Kind: KindGrid, Grid: &GridJobSpec{Seeds: -1}},
+		{Kind: KindGrid, Grid: &GridJobSpec{CommonSpec: CommonSpec{Sparse: "sideways"}}},
+		{Kind: KindScenario, Scenario: &ScenarioJobSpec{Scenario: "not_a_scenario"}},
+		{Kind: KindGrid, Scenario: &ScenarioJobSpec{}},
+	} {
+		if _, err := client.Submit(req); err == nil {
+			t.Errorf("submit accepted bad request %+v", req)
+		}
+	}
+	if _, err := client.Status("job-404"); err == nil {
+		t.Error("status of unknown job did not error")
+	}
+}
+
+func TestSSEFraming(t *testing.T) {
+	_, ts, client := startDaemon(t, "", 2)
+	spec := testGridSpec()
+	st, err := client.Submit(JobRequest{Kind: KindGrid, Grid: &spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(fmt.Sprintf("%s/api/v1/jobs/%s/stream?sse=1", ts.URL, st.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	blob, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(blob), "\n"), "\n\n")
+	if len(lines) == 0 {
+		t.Fatal("no SSE messages")
+	}
+	for _, msg := range lines {
+		if !strings.HasPrefix(msg, "data: ") {
+			t.Fatalf("SSE message %q lacks data: prefix", msg)
+		}
+	}
+}

@@ -1,0 +1,243 @@
+// Package simd implements the long-lived simulation daemon: an HTTP
+// service that accepts scenario-sweep and scenario-grid jobs as JSON,
+// schedules them on a shared worker budget, and streams each job's
+// results back as the NDJSON wire encoding of the experiments.Sink
+// event grammar.
+//
+// The daemon inherits every determinism guarantee of the batch CLIs:
+// a job's streamed bytes are identical at any worker budget, whether
+// its cells were freshly simulated, served from the completed-cell
+// cache, or restored from the checkpoint of an interrupted run — so a
+// client replaying the stream through the CSV sinks reconstructs the
+// exact files `cmd/scenario` would have written.
+package simd
+
+import (
+	"fmt"
+
+	"github.com/dsn2020-algorand/incentives/internal/adversary"
+	"github.com/dsn2020-algorand/incentives/internal/experiments"
+	"github.com/dsn2020-algorand/incentives/internal/protocol"
+)
+
+// Job kinds.
+const (
+	KindGrid     = "grid"
+	KindScenario = "scenario"
+)
+
+// CommonSpec mirrors experiments.CommonConfig plus the protocol tau
+// overrides — the execution-shaping knobs every CLI spells as
+// -workers/-weightBackend/-weights/-sparse/-tauStep/-tauFinal. Values
+// resolve through the same parsers as the CLI flags, so a job spec and
+// a command line that spell the same experiment produce the same
+// config, the same fingerprint, and byte-identical results.
+type CommonSpec struct {
+	// Workers is the job's worker-slot request against the daemon's
+	// budget (0 = as many as the host would use, clamped to the budget).
+	// Like the CLI flag, it never changes a single output bit.
+	Workers int `json:"workers,omitempty"`
+	// WeightBackend is the CLI -weightBackend spelling: "" or "direct",
+	// or "indexed".
+	WeightBackend string `json:"weight_backend,omitempty"`
+	// Weights is the CLI -weights profile spec (e.g. "zipf:1.1"); empty
+	// keeps ledger weights.
+	Weights string `json:"weights,omitempty"`
+	// Sparse is the CLI -sparse spelling: "" or "auto", "on", "off".
+	Sparse string `json:"sparse,omitempty"`
+	// TauStep/TauFinal override the committee taus exactly like the CLI
+	// flags (0 keeps the default).
+	TauStep  float64 `json:"tau_step,omitempty"`
+	TauFinal float64 `json:"tau_final,omitempty"`
+}
+
+// resolve parses the spec into the experiment-layer values.
+func (c CommonSpec) resolve() (experiments.CommonConfig, protocol.Params, error) {
+	var common experiments.CommonConfig
+	backend, err := experiments.ParseWeightBackend(c.WeightBackend)
+	if err != nil {
+		return common, protocol.Params{}, err
+	}
+	profile, err := experiments.ParseWeightProfile(c.Weights)
+	if err != nil {
+		return common, protocol.Params{}, err
+	}
+	mode, err := protocol.ParseSparseMode(c.Sparse)
+	if err != nil {
+		return common, protocol.Params{}, err
+	}
+	params := protocol.DefaultParams()
+	if c.TauStep != 0 {
+		params.TauStep = c.TauStep
+	}
+	if c.TauFinal != 0 {
+		params.TauFinal = c.TauFinal
+	}
+	common.Workers = c.Workers
+	common.WeightBackend = backend
+	common.WeightProfile = profile
+	common.Sparse = mode
+	return common, params, nil
+}
+
+// GridJobSpec is a scenario×seed grid job, mirroring the `cmd/scenario
+// -full` surface: named scenarios (empty = every registered one)
+// crossed with seeds 1..Seeds at Nodes nodes.
+type GridJobSpec struct {
+	CommonSpec
+	// Scenarios names the grid's scenario axis; empty selects every
+	// registered scenario.
+	Scenarios []string `json:"scenarios,omitempty"`
+	// Seeds is the seed-axis length: the grid runs seeds 1..Seeds
+	// (default 3), exactly like -fullSeeds.
+	Seeds int `json:"seeds,omitempty"`
+	// Nodes is the network size per cell (default 500).
+	Nodes int `json:"nodes,omitempty"`
+	// Rounds is the rounds per cell (default 12).
+	Rounds int `json:"rounds,omitempty"`
+}
+
+// Config resolves the spec into the grid config the CLI would build
+// from the equivalent flags. The spec's Weights string doubles as the
+// fingerprint's weightsSpec.
+func (s GridJobSpec) Config() (experiments.ScenarioGridConfig, error) {
+	cfg := experiments.FullScenarioGridConfig()
+	common, params, err := s.CommonSpec.resolve()
+	if err != nil {
+		return cfg, err
+	}
+	cfg.CommonConfig = common
+	cfg.Params = params
+	if len(s.Scenarios) > 0 {
+		cfg.Scenarios = s.Scenarios
+	}
+	if s.Nodes > 0 {
+		cfg.Nodes = s.Nodes
+	}
+	if s.Rounds > 0 {
+		cfg.Rounds = s.Rounds
+	}
+	seeds := s.Seeds
+	if seeds == 0 {
+		seeds = 3
+	}
+	if seeds < 1 {
+		return cfg, fmt.Errorf("simd: grid needs seeds >= 1, got %d", seeds)
+	}
+	cfg.Seeds = make([]int64, seeds)
+	for i := range cfg.Seeds {
+		cfg.Seeds[i] = int64(i + 1)
+	}
+	// Resolve scenario names eagerly so a bad submission fails at the
+	// API instead of after queueing.
+	for _, name := range cfg.Scenarios {
+		if _, ok := adversary.Lookup(name); !ok {
+			return cfg, fmt.Errorf("simd: unknown scenario %q", name)
+		}
+	}
+	return cfg, nil
+}
+
+// ScenarioJobSpec is a per-scenario sweep job, mirroring the default
+// `cmd/scenario` surface: Runs independent simulations of one scenario,
+// streamed run by run.
+type ScenarioJobSpec struct {
+	CommonSpec
+	// Scenario names a registered scenario (default
+	// eclipse_equivocation, like the CLI).
+	Scenario string `json:"scenario,omitempty"`
+	// Nodes is the network size per run (default 100).
+	Nodes int `json:"nodes,omitempty"`
+	// Rounds is the rounds per run (default 12).
+	Rounds int `json:"rounds,omitempty"`
+	// Runs is the number of independent simulations (default 4).
+	Runs int `json:"runs,omitempty"`
+	// Seed is the base seed; run i derives its own (default 1).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Config resolves the spec into the sweep config the CLI would build.
+func (s ScenarioJobSpec) Config() (experiments.ScenarioConfig, error) {
+	name := s.Scenario
+	if name == "" {
+		name = adversary.EclipseEquivocation
+	}
+	if _, ok := adversary.Lookup(name); !ok {
+		return experiments.ScenarioConfig{}, fmt.Errorf("simd: unknown scenario %q", name)
+	}
+	cfg := experiments.DefaultScenarioConfig(name)
+	common, params, err := s.CommonSpec.resolve()
+	if err != nil {
+		return cfg, err
+	}
+	cfg.CommonConfig = common
+	cfg.Params = params
+	if s.Nodes > 0 {
+		cfg.Nodes = s.Nodes
+	}
+	if s.Rounds > 0 {
+		cfg.Rounds = s.Rounds
+	}
+	if s.Runs > 0 {
+		cfg.Runs = s.Runs
+	}
+	if s.Seed != 0 {
+		cfg.Seed = s.Seed
+	}
+	return cfg, nil
+}
+
+// JobRequest is the POST /api/v1/jobs body: a tagged union over the job
+// kinds.
+type JobRequest struct {
+	// Kind selects the payload: "grid" (the default) or "scenario".
+	Kind     string           `json:"kind,omitempty"`
+	Grid     *GridJobSpec     `json:"grid,omitempty"`
+	Scenario *ScenarioJobSpec `json:"scenario,omitempty"`
+}
+
+// normalize fills the default kind and rejects mismatched payloads.
+func (r *JobRequest) normalize() error {
+	switch r.Kind {
+	case "", KindGrid:
+		r.Kind = KindGrid
+		if r.Scenario != nil {
+			return fmt.Errorf("simd: grid job carries a scenario payload")
+		}
+		if r.Grid == nil {
+			r.Grid = &GridJobSpec{}
+		}
+	case KindScenario:
+		if r.Grid != nil {
+			return fmt.Errorf("simd: scenario job carries a grid payload")
+		}
+		if r.Scenario == nil {
+			r.Scenario = &ScenarioJobSpec{}
+		}
+	default:
+		return fmt.Errorf("simd: unknown job kind %q (want %q or %q)", r.Kind, KindGrid, KindScenario)
+	}
+	return nil
+}
+
+// fingerprint digests the job's full result-shaping configuration; grid
+// jobs use the checkpoint fingerprint (so daemon checkpoints interoperate
+// with resume validation), scenario jobs an analogous sweep digest.
+func (r *JobRequest) fingerprint() (string, error) {
+	switch r.Kind {
+	case KindScenario:
+		cfg, err := r.Scenario.Config()
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("sweep|scenario=%s|nodes=%d|rounds=%d|runs=%d|seed=%d|fanout=%d|params=%+v|stake=%+v|backend=%d|weights=%s|sparse=%d",
+			cfg.Scenario, cfg.Nodes, cfg.Rounds, cfg.Runs, cfg.Seed, cfg.Fanout,
+			cfg.Params, cfg.StakeDist, cfg.WeightBackend, r.Scenario.Weights, cfg.Sparse), nil
+	default:
+		cfg, err := r.Grid.Config()
+		if err != nil {
+			return "", err
+		}
+		return experiments.GridFingerprint(cfg, r.Grid.Weights), nil
+	}
+}

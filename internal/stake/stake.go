@@ -131,11 +131,23 @@ func SamplePopulation(dist Distribution, n int, rng *rand.Rand) (*Population, er
 	if n <= 0 {
 		return nil, errors.New("stake: population size must be positive")
 	}
-	stakes := make([]float64, n)
-	for i := range stakes {
-		stakes[i] = dist.Sample(rng)
+	return SamplePopulationInto(dist, make([]float64, n), rng)
+}
+
+// SamplePopulationInto draws len(buf) account stakes from dist into buf
+// and wraps it — the returned Population aliases buf, so the caller must
+// not reuse the buffer while the population is live. Sweep workers use it
+// with an arena-recycled vector (protocol.Arena.StakeBuf) to stop
+// per-cell population builds from dominating large-population setup. The
+// draw sequence is identical to SamplePopulation's.
+func SamplePopulationInto(dist Distribution, buf []float64, rng *rand.Rand) (*Population, error) {
+	if len(buf) == 0 {
+		return nil, errors.New("stake: population size must be positive")
 	}
-	return &Population{Stakes: stakes}, nil
+	for i := range buf {
+		buf[i] = dist.Sample(rng)
+	}
+	return &Population{Stakes: buf}, nil
 }
 
 // ScaledPopulation draws n stakes from dist and rescales them so the total
